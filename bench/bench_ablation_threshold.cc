@@ -1,0 +1,128 @@
+// ABL1 — flush-threshold ablation (paper §5.2 discussion).
+//
+// Sweeps the background-writer cadence under SIAS-t1, which controls how
+// often the open append page is sealed (and thus its filling degree when it
+// reaches the device), against the t2 checkpoint-piggyback policy.
+// The paper's finding to reproduce: "threshold t1 is less suitable ...
+// sparsely filled pages are persisted too frequently, leading to a poor
+// overall space consumption, wasted space and a higher amount of write
+// requests. ... The optimal threshold for write efficiency is the maximum
+// filling degree of a page."
+//
+// Usage: bench_ablation_threshold [warehouses] [duration_vsec]
+#include <cstdlib>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/sias_table.h"
+
+using namespace sias;
+using namespace sias::bench;
+
+namespace {
+
+struct ThresholdRow {
+  const char* label;
+  double written_mb;
+  double space_mb;
+  uint64_t pages_opened;
+  double notpm;
+  double fill_degree;  // appended tuple bytes / (pages * page size)
+};
+
+ThresholdRow RunPoint(const char* label, FlushPolicy policy, VDuration bg_interval,
+             int warehouses, VDuration duration) {
+  ExperimentConfig cfg;
+  cfg.scheme = VersionScheme::kSiasChains;
+  cfg.flush_policy = policy;
+  cfg.warehouses = warehouses;
+  cfg.scale.customers_per_district = 150;
+  cfg.scale.items = 2000;
+  cfg.pool_frames = 3072;
+  cfg.duration = duration;
+  cfg.bgwriter_interval = bg_interval;
+  cfg.checkpoint_interval = 4 * kVSecond;
+  auto exp = Setup(std::move(cfg));
+  SIAS_CHECK_MSG(exp.ok(), "setup failed: %s",
+                 exp.status().ToString().c_str());
+  uint64_t pages_before = 0;
+  for (auto* tab :
+       {(*exp)->tables.warehouse, (*exp)->tables.district,
+        (*exp)->tables.customer, (*exp)->tables.history,
+        (*exp)->tables.new_order, (*exp)->tables.orders,
+        (*exp)->tables.order_line, (*exp)->tables.item,
+        (*exp)->tables.stock}) {
+    pages_before +=
+        static_cast<SiasTable*>(tab->heap())->append_stats().pages_opened;
+  }
+  auto result = (*exp)->Run();
+  SIAS_CHECK_MSG(result.ok(), "run failed: %s",
+                 result.status().ToString().c_str());
+  uint64_t pages_after = 0, versions = 0;
+  for (auto* tab :
+       {(*exp)->tables.warehouse, (*exp)->tables.district,
+        (*exp)->tables.customer, (*exp)->tables.history,
+        (*exp)->tables.new_order, (*exp)->tables.orders,
+        (*exp)->tables.order_line, (*exp)->tables.item,
+        (*exp)->tables.stock}) {
+    auto as = static_cast<SiasTable*>(tab->heap())->append_stats();
+    pages_after += as.pages_opened;
+    versions += as.versions_appended;
+  }
+  uint64_t written = 0;
+  for (const auto& e : (*exp)->trace->events()) {
+    if (e.op == TraceOp::kWrite && e.time >= (*exp)->measure_start) {
+      written += e.length;
+    }
+  }
+  ThresholdRow row;
+  row.label = label;
+  row.written_mb = Mb(written);
+  row.space_mb = Mb((*exp)->db->stats().heap_allocated_bytes);
+  row.pages_opened = pages_after - pages_before;
+  row.notpm = result->Notpm();
+  // Approximate fill: committed transactions produce a near-constant byte
+  // volume per txn; normalize pages by the t2 run later instead.
+  row.fill_degree = row.pages_opened
+                        ? static_cast<double>(versions) /
+                              static_cast<double>(row.pages_opened)
+                        : 0.0;  // versions per page (higher = denser)
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int warehouses = argc > 1 ? atoi(argv[1]) : 24;
+  int duration = argc > 2 ? atoi(argv[2]) : 4;
+  VDuration window = static_cast<VDuration>(duration) * kVSecond;
+
+  printf("ABL1: SIAS flush-threshold ablation — TPC-C %d WH, %d vsec\n",
+         warehouses, duration);
+  printf("%-22s %10s %10s %10s %12s %8s\n", "policy", "written MB",
+         "space MB", "pages", "versions/pg", "NOTPM");
+
+  std::vector<ThresholdRow> rows;
+  rows.push_back(RunPoint("t1 seal every 5ms", FlushPolicy::kT1BackgroundWriter,
+                          5 * kVMillisecond, warehouses, window));
+  rows.push_back(RunPoint("t1 seal every 20ms",
+                          FlushPolicy::kT1BackgroundWriter,
+                          20 * kVMillisecond, warehouses, window));
+  rows.push_back(RunPoint("t1 seal every 100ms",
+                          FlushPolicy::kT1BackgroundWriter,
+                          100 * kVMillisecond, warehouses, window));
+  rows.push_back(RunPoint("t2 checkpoint piggyback",
+                          FlushPolicy::kT2Checkpoint, 20 * kVMillisecond,
+                          warehouses, window));
+  for (const auto& r : rows) {
+    printf("%-22s %10.1f %10.1f %10llu %12.1f %8.0f\n", r.label,
+           r.written_mb, r.space_mb,
+           static_cast<unsigned long long>(r.pages_opened), r.fill_degree,
+           r.notpm);
+  }
+  printf("\nExpected shape (paper): the more often t1 seals sparsely filled "
+         "pages, the more pages are appended and the more space and write "
+         "volume are consumed; the checkpoint piggyback (t2, pages sealed "
+         "full) is the most write- and space-efficient.\n");
+  return 0;
+}

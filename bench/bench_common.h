@@ -1,0 +1,143 @@
+// Shared experiment scaffolding for the paper-reproduction benchmarks:
+// device construction (SSD RAID / HDD), database + TPC-C setup, loading,
+// and result-row printing. See DESIGN.md §4 for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured results.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "device/flash_ssd.h"
+#include "device/hdd.h"
+#include "device/mem_device.h"
+#include "device/raid0.h"
+#include "device/trace.h"
+#include "workload/tpcc_driver.h"
+#include "workload/tpcc_gen.h"
+
+namespace sias {
+namespace bench {
+
+enum class DeviceKind { kSsdRaid, kHdd, kMem };
+
+struct ExperimentConfig {
+  VersionScheme scheme = VersionScheme::kSiasChains;
+  DeviceKind device = DeviceKind::kSsdRaid;
+  int raid_members = 2;
+  uint64_t device_capacity = 8ull << 30;  ///< total data capacity
+  int warehouses = 4;
+  tpcc::TpccScale scale;
+  size_t pool_frames = 2048;  ///< 16 MB buffer pool by default
+  FlushPolicy flush_policy = FlushPolicy::kT2Checkpoint;
+  VDuration checkpoint_interval = 30 * kVSecond;
+  VDuration bgwriter_interval = 200 * kVMillisecond;
+  int terminals = 0;  ///< 0 = one per warehouse
+  int threads = 4;
+  VDuration duration = 5 * kVSecond;
+  uint64_t seed = 42;
+};
+
+/// A fully wired experiment: devices, database, loaded TPC-C data.
+struct Experiment {
+  std::unique_ptr<StorageDevice> data_device;
+  std::unique_ptr<MemDevice> wal_device;
+  std::unique_ptr<TraceRecorder> trace;
+  std::unique_ptr<Database> db;
+  tpcc::TpccTables tables;
+  ExperimentConfig config;
+  VTime measure_start = 0;  ///< virtual time when loading finished
+
+  /// Runs the TPC-C mix for config.duration; attaches the tracer first.
+  Result<tpcc::TpccResult> Run();
+};
+
+inline std::unique_ptr<StorageDevice> MakeDevice(const ExperimentConfig& cfg) {
+  switch (cfg.device) {
+    case DeviceKind::kSsdRaid: {
+      std::vector<std::unique_ptr<StorageDevice>> members;
+      for (int i = 0; i < cfg.raid_members; ++i) {
+        FlashConfig fc;
+        fc.capacity_bytes = cfg.device_capacity / cfg.raid_members;
+        members.push_back(std::make_unique<FlashSsd>(fc));
+      }
+      if (members.size() == 1) return std::move(members[0]);
+      return std::make_unique<Raid0>(std::move(members));
+    }
+    case DeviceKind::kHdd: {
+      HddConfig hc;
+      hc.capacity_bytes = cfg.device_capacity;
+      return std::make_unique<Hdd>(hc);
+    }
+    case DeviceKind::kMem:
+      return std::make_unique<MemDevice>(cfg.device_capacity);
+  }
+  return nullptr;
+}
+
+/// Builds devices + database + schema and loads the scaled TPC-C dataset.
+inline Result<std::unique_ptr<Experiment>> Setup(ExperimentConfig cfg) {
+  auto exp = std::make_unique<Experiment>();
+  exp->config = cfg;
+  exp->data_device = MakeDevice(cfg);
+  // WAL on its own fast log device (common deployment; the paper's
+  // blocktraces cover the DB volume).
+  exp->wal_device = std::make_unique<MemDevice>(
+      8ull << 30, 20 * kVMicrosecond, 60 * kVMicrosecond);
+
+  DatabaseOptions opts;
+  opts.data_device = exp->data_device.get();
+  opts.wal_device = exp->wal_device.get();
+  opts.pool_frames = cfg.pool_frames;
+  opts.flush_policy = cfg.flush_policy;
+  opts.checkpoint_interval = cfg.checkpoint_interval;
+  opts.bgwriter_interval = cfg.bgwriter_interval;
+  // Short REAL-time deadlock timeout: terminals are multiplexed over few
+  // worker threads, so a blocking wait can sit in front of the very
+  // terminal that holds the lock; fast timeout + retry resolves it.
+  opts.lock_timeout_ms = 20;
+  SIAS_ASSIGN_OR_RETURN(exp->db, Database::Open(opts));
+
+  SIAS_ASSIGN_OR_RETURN(exp->tables,
+                        tpcc::CreateTpccTables(exp->db.get(), cfg.scheme));
+  Random rng(cfg.seed);
+  VirtualClock load_clock;
+  SIAS_RETURN_NOT_OK(tpcc::LoadTpcc(exp->db.get(), exp->tables, cfg.scale,
+                                    cfg.warehouses, rng, &load_clock));
+  // Settle: checkpoint the loaded state so measurement starts clean.
+  SIAS_RETURN_NOT_OK(exp->db->Checkpoint(&load_clock));
+  // Measurement must begin after every load-time device reservation, or
+  // the first benchmark I/Os would queue behind the loading traffic.
+  exp->measure_start = load_clock.now();
+  return exp;
+}
+
+inline Result<tpcc::TpccResult> Experiment::Run() {
+  trace = std::make_unique<TraceRecorder>();
+  data_device->set_trace(trace.get());
+  tpcc::TpccConfig tcfg;
+  tcfg.warehouses = config.warehouses;
+  tcfg.scale = config.scale;
+  tpcc::TpccExecutor exec(db.get(), tables, tcfg);
+  tpcc::DriverConfig dcfg;
+  dcfg.terminals =
+      config.terminals > 0 ? config.terminals : config.warehouses;
+  dcfg.threads = config.threads;
+  dcfg.duration = config.duration;
+  dcfg.start_time = measure_start;
+  dcfg.seed = config.seed;
+  tpcc::TpccDriver driver(db.get(), &exec, dcfg);
+  return driver.Run();
+}
+
+/// MB helper.
+inline double Mb(uint64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+inline const char* SchemeName(VersionScheme s) { return ToString(s); }
+
+}  // namespace bench
+}  // namespace sias

@@ -1,0 +1,275 @@
+// Microbenchmarks (google-benchmark) for the core data structures, plus the
+// ABL2 ablation: SIAS-Chains pointer walk vs SIAS-V vector walk as a
+// function of version depth, and the VidMap access costs C_R / C_W of
+// paper §4.1.3.
+#include <benchmark/benchmark.h>
+
+#include "buffer/buffer_pool.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "engine/database.h"
+#include "core/sias_table.h"
+#include "core/vid_map.h"
+#include "core/vid_map_v.h"
+#include "device/flash_ssd.h"
+#include "device/mem_device.h"
+#include "index/btree.h"
+#include "index/key_codec.h"
+#include "mvcc/tuple.h"
+#include "mvcc/visibility.h"
+#include "storage/disk_manager.h"
+#include "txn/clog.h"
+#include "txn/lock_manager.h"
+#include "txn/txn_manager.h"
+
+namespace sias {
+namespace {
+
+// ---------------------------------------------------------------------------
+// VidMap access cost: C_R (lookup) and C_W (entrypoint swing), paper §4.1.3.
+// ---------------------------------------------------------------------------
+
+void BM_VidMapGet(benchmark::State& state) {
+  VidMap map;
+  for (int i = 0; i < 100000; ++i) {
+    Vid v = map.AllocateVid();
+    map.Set(v, Tid{static_cast<PageNumber>(i), 0});
+  }
+  Random rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.Get(rng.Uniform(0, 99999)));
+  }
+}
+BENCHMARK(BM_VidMapGet);
+
+void BM_VidMapCompareAndSet(benchmark::State& state) {
+  VidMap map;
+  for (int i = 0; i < 100000; ++i) {
+    Vid v = map.AllocateVid();
+    map.Set(v, Tid{static_cast<PageNumber>(i), 0});
+  }
+  Random rng(1);
+  uint16_t gen = 0;
+  for (auto _ : state) {
+    Vid v = rng.Uniform(0, 99999);
+    Tid cur = map.Get(v);
+    benchmark::DoNotOptimize(
+        map.CompareAndSet(v, cur, Tid{cur.page, static_cast<uint16_t>(++gen)}));
+  }
+}
+BENCHMARK(BM_VidMapCompareAndSet);
+
+void BM_VidMapVGet(benchmark::State& state) {
+  VidMapV map;
+  int depth = static_cast<int>(state.range(0));
+  for (int i = 0; i < 10000; ++i) {
+    Vid v = map.AllocateVid();
+    Tid front{};
+    for (int d = 0; d < depth; ++d) {
+      Tid t{static_cast<PageNumber>(i * 16 + d), 0};
+      map.PushFront(v, front, t);
+      front = t;
+    }
+  }
+  Random rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.Get(rng.Uniform(0, 9999)));
+  }
+}
+BENCHMARK(BM_VidMapVGet)->Arg(1)->Arg(4)->Arg(16);
+
+// ---------------------------------------------------------------------------
+// Visibility kernels.
+// ---------------------------------------------------------------------------
+
+void BM_SiVisibilityCheck(benchmark::State& state) {
+  Clog clog;
+  for (Xid x = 2; x < 1000; ++x) clog.SetCommitted(x);
+  Snapshot snap;
+  snap.xid = 900;
+  snap.xmax = 901;
+  snap.concurrent = {850, 870, 880};
+  TupleHeader h;
+  h.xmin = 500;
+  h.xmax = 860;  // concurrent invalidator: visible
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SiTupleVisible(h, snap, clog));
+  }
+}
+BENCHMARK(BM_SiVisibilityCheck);
+
+void BM_SiasVisibilityCheck(benchmark::State& state) {
+  Clog clog;
+  for (Xid x = 2; x < 1000; ++x) clog.SetCommitted(x);
+  Snapshot snap;
+  snap.xid = 900;
+  snap.xmax = 901;
+  snap.concurrent = {850, 870, 880};
+  TupleHeader h;
+  h.xmin = 500;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SiasVersionVisible(h, snap, clog));
+  }
+}
+BENCHMARK(BM_SiasVisibilityCheck);
+
+// ---------------------------------------------------------------------------
+// Tuple codec.
+// ---------------------------------------------------------------------------
+
+void BM_TupleEncodeDecode(benchmark::State& state) {
+  TupleHeader h;
+  h.xmin = 42;
+  h.vid = 1234;
+  std::string payload(state.range(0), 'p');
+  std::string encoded;
+  for (auto _ : state) {
+    EncodeTuple(h, Slice(payload), &encoded);
+    TupleHeader out;
+    benchmark::DoNotOptimize(DecodeTupleHeader(Slice(encoded), &out));
+  }
+}
+BENCHMARK(BM_TupleEncodeDecode)->Arg(64)->Arg(256)->Arg(1024);
+
+// ---------------------------------------------------------------------------
+// B+-tree.
+// ---------------------------------------------------------------------------
+
+struct BTreeFixture {
+  MemDevice device{1ull << 30};
+  DiskManager disk{&device};
+  BufferPool pool{&disk, 4096};
+  BTree tree{1, &pool};
+  VirtualClock clk;
+
+  explicit BTreeFixture(int n) {
+    SIAS_CHECK(disk.CreateRelation(1).ok());
+    SIAS_CHECK(tree.Create(&clk).ok());
+    Random rng(7);
+    for (int i = 0; i < n; ++i) {
+      SIAS_CHECK(tree.Insert(IntKey(rng.UniformInt(0, 1 << 24)), i, &clk).ok());
+    }
+  }
+};
+
+void BM_BTreeLookup(benchmark::State& state) {
+  BTreeFixture f(static_cast<int>(state.range(0)));
+  Random rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.tree.Lookup(IntKey(rng.UniformInt(0, 1 << 24)), &f.clk));
+  }
+}
+BENCHMARK(BM_BTreeLookup)->Arg(10000)->Arg(100000);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  BTreeFixture f(10000);
+  Random rng(3);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.tree.Insert(IntKey(rng.UniformInt(0, 1 << 28)), i++, &f.clk));
+  }
+}
+BENCHMARK(BM_BTreeInsert);
+
+// ---------------------------------------------------------------------------
+// ABL2: read cost vs version depth — Chains (pointer walk through heap
+// pages) vs SIAS-V (vector walk). The reader's snapshot predates all
+// updates, so every read walks the full depth.
+// ---------------------------------------------------------------------------
+
+struct SchemeDepthFixture {
+  MemDevice device{1ull << 30};
+  MemDevice wal{1ull << 30};
+  std::unique_ptr<Database> db;
+  Table* table = nullptr;
+  std::vector<Vid> vids;
+  std::unique_ptr<Transaction> old_snapshot;
+  VirtualClock clk;
+
+  SchemeDepthFixture(VersionScheme scheme, int items, int depth) {
+    DatabaseOptions opts;
+    opts.data_device = &device;
+    opts.wal_device = &wal;
+    opts.pool_frames = 65536;  // fully cached: isolates traversal CPU cost
+    auto d = Database::Open(opts);
+    SIAS_CHECK(d.ok());
+    db = std::move(*d);
+    auto t = db->CreateTable("t", Schema{{"v", ColumnType::kInt64}}, scheme);
+    SIAS_CHECK(t.ok());
+    table = *t;
+    for (int i = 0; i < items; ++i) {
+      auto txn = db->Begin(&clk);
+      auto vid = table->Insert(txn.get(), Row{{int64_t{i}}});
+      SIAS_CHECK(vid.ok());
+      vids.push_back(*vid);
+      SIAS_CHECK(db->Commit(txn.get()).ok());
+    }
+    old_snapshot = db->Begin(&clk);  // sees only version 0 of everything
+    for (int d2 = 1; d2 < depth; ++d2) {
+      for (Vid v : vids) {
+        auto txn = db->Begin(&clk);
+        SIAS_CHECK(table->Update(txn.get(), v, Row{{int64_t{d2}}}).ok());
+        SIAS_CHECK(db->Commit(txn.get()).ok());
+      }
+    }
+  }
+};
+
+void DepthReadLoop(benchmark::State& state, VersionScheme scheme) {
+  SchemeDepthFixture f(scheme, 512, static_cast<int>(state.range(0)));
+  Random rng(9);
+  for (auto _ : state) {
+    Vid v = f.vids[rng.Uniform(0, f.vids.size() - 1)];
+    auto row = f.table->Get(f.old_snapshot.get(), v);
+    benchmark::DoNotOptimize(row);
+  }
+}
+
+void BM_OldSnapshotRead_Chains(benchmark::State& state) {
+  DepthReadLoop(state, VersionScheme::kSiasChains);
+}
+BENCHMARK(BM_OldSnapshotRead_Chains)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_OldSnapshotRead_Vectors(benchmark::State& state) {
+  DepthReadLoop(state, VersionScheme::kSiasV);
+}
+BENCHMARK(BM_OldSnapshotRead_Vectors)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
+
+// ---------------------------------------------------------------------------
+// Device models.
+// ---------------------------------------------------------------------------
+
+void BM_FlashSsdWrite8k(benchmark::State& state) {
+  FlashConfig fc;
+  fc.capacity_bytes = 1ull << 30;
+  FlashSsd ssd(fc);
+  std::vector<uint8_t> page(kPageSize, 7);
+  VirtualClock clk;
+  uint64_t pages = fc.capacity_bytes / kPageSize;
+  Random rng(5);
+  for (auto _ : state) {
+    uint64_t p = rng.Uniform(0, pages - 1);
+    benchmark::DoNotOptimize(
+        ssd.Write(p * kPageSize, kPageSize, page.data(), &clk));
+  }
+}
+BENCHMARK(BM_FlashSsdWrite8k);
+
+void BM_LockAcquireRelease(benchmark::State& state) {
+  LockManager locks;
+  VirtualClock clk;
+  Random rng(5);
+  for (auto _ : state) {
+    Vid v = rng.Uniform(0, 1 << 20);
+    benchmark::DoNotOptimize(locks.AcquireExclusive(1, v, 42, &clk));
+    locks.Release(1, v, 42, 0);
+  }
+}
+BENCHMARK(BM_LockAcquireRelease);
+
+}  // namespace
+}  // namespace sias
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Flash endurance comparison (paper §6 "Flash Endurance").
+//
+// Runs the same update-heavy workload against the SI baseline and SIAS on
+// identical simulated SSDs and compares what reaches the flash: host write
+// volume, internal page programs, block erases, write amplification and
+// wear. "The I/O pattern, as created by SIAS, suggests an increased
+// endurance of the Flash memories."
+//
+//   build/examples/flash_endurance [rows] [updates]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/random.h"
+#include "device/flash_ssd.h"
+#include "device/mem_device.h"
+#include "engine/database.h"
+
+using namespace sias;
+
+namespace {
+
+struct Wear {
+  DeviceStats device;
+  WearStats wear;
+  double vtime_sec;
+};
+
+Wear RunChurn(VersionScheme scheme, int rows, int updates) {
+  FlashConfig flash;
+  flash.capacity_bytes = 32ull << 20;  // tiny SSD: wear shows quickly
+  FlashSsd ssd(flash);
+  MemDevice wal_device(4ull << 30);
+  DatabaseOptions options;
+  options.data_device = &ssd;
+  options.wal_device = &wal_device;
+  options.pool_frames = 256;  // small pool: pages reach the device
+  options.checkpoint_interval = 2 * kVSecond;
+  options.flush_policy = scheme == VersionScheme::kSi
+                             ? FlushPolicy::kT1BackgroundWriter
+                             : FlushPolicy::kT2Checkpoint;
+  auto db = Database::Open(options);
+  Table* table = *(*db)->CreateTable(
+      "kv", Schema{{"k", ColumnType::kInt64}, {"v", ColumnType::kString}},
+      scheme);
+
+  VirtualClock clock;
+  std::vector<Vid> vids;
+  std::string payload(200, 'v');
+  {
+    auto txn = (*db)->Begin(&clock);
+    for (int i = 0; i < rows; ++i) {
+      vids.push_back(*table->Insert(txn.get(), Row{{int64_t{i}, payload}}));
+    }
+    (void)(*db)->Commit(txn.get());
+  }
+  Random rng(17);
+  for (int i = 0; i < updates; ++i) {
+    auto txn = (*db)->Begin(&clock);
+    Vid v = vids[rng.Uniform(0, vids.size() - 1)];
+    (void)table->Update(txn.get(), v, Row{{int64_t{i}, payload}});
+    (void)(*db)->Commit(txn.get());
+    (void)(*db)->Tick(&clock);
+    // Periodic vacuum keeps the append region recycled, as a deployed
+    // system would.
+    if (i > 0 && i % 20000 == 0) (void)(*db)->Vacuum(&clock);
+  }
+  VirtualClock flush_clock(clock.now());
+  (void)(*db)->Checkpoint(&flush_clock);
+  return Wear{ssd.stats(), ssd.wear(),
+              static_cast<double>(clock.now()) / kVSecond};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int rows = argc > 1 ? atoi(argv[1]) : 5000;
+  int updates = argc > 2 ? atoi(argv[2]) : 60000;
+
+  printf("Endurance comparison: %d rows, %d random updates, identical "
+         "SSDs\n\n",
+         rows, updates);
+  for (VersionScheme scheme :
+       {VersionScheme::kSi, VersionScheme::kSiasChains}) {
+    Wear w = RunChurn(scheme, rows, updates);
+    printf("%-12s host writes: %6.1f MB   flash programs: %7llu   erases: "
+           "%5llu\n",
+           ToString(scheme),
+           static_cast<double>(w.device.bytes_written) / (1024 * 1024),
+           static_cast<unsigned long long>(w.device.flash_page_programs),
+           static_cast<unsigned long long>(w.device.flash_block_erases));
+    printf("             write amplification: %.2f   avg block erases: "
+           "%.2f   max: %llu   (%.1f virtual s)\n\n",
+           w.device.WriteAmplification(), w.wear.avg_block_erases,
+           static_cast<unsigned long long>(w.wear.max_block_erases),
+           w.vtime_sec);
+  }
+  printf("Fewer erases at equal work = longer device life: SIAS converts "
+         "scattered in-place invalidations into appends, so the FTL erases "
+         "far fewer blocks for the same logical workload.\n");
+  return 0;
+}

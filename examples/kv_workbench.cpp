@@ -1,0 +1,77 @@
+// Key-value workbench: run a YCSB-style mix of your choice against any of
+// the three version schemes and compare what reaches the flash.
+//
+//   build/examples/kv_workbench [read_pct] [records] [operations]
+//
+// e.g. `kv_workbench 50 20000 40000` = workload A on 20k records.
+#include <cstdio>
+#include <cstdlib>
+
+#include "device/flash_ssd.h"
+#include "device/mem_device.h"
+#include "workload/ycsb.h"
+
+using namespace sias;
+
+int main(int argc, char** argv) {
+  int read_pct = argc > 1 ? atoi(argv[1]) : 50;
+  uint64_t records = argc > 2 ? strtoull(argv[2], nullptr, 10) : 10000;
+  uint64_t operations = argc > 3 ? strtoull(argv[3], nullptr, 10) : 20000;
+
+  printf("YCSB %d%%/%d%% read/update, %llu records, %llu ops, zipfian\n\n",
+         read_pct, 100 - read_pct,
+         static_cast<unsigned long long>(records),
+         static_cast<unsigned long long>(operations));
+
+  for (VersionScheme scheme :
+       {VersionScheme::kSi, VersionScheme::kSiasChains,
+        VersionScheme::kSiasV}) {
+    FlashConfig fc;
+    fc.capacity_bytes = 4ull << 30;
+    FlashSsd ssd(fc);
+    MemDevice wal(4ull << 30, 20 * kVMicrosecond, 60 * kVMicrosecond);
+    DatabaseOptions opts;
+    opts.data_device = &ssd;
+    opts.wal_device = &wal;
+    opts.pool_frames = 1024;
+    opts.flush_policy = scheme == VersionScheme::kSi
+                            ? FlushPolicy::kT1BackgroundWriter
+                            : FlushPolicy::kT2Checkpoint;
+    auto db = Database::Open(opts);
+    if (!db.ok()) {
+      fprintf(stderr, "open failed: %s\n", db.status().ToString().c_str());
+      return 1;
+    }
+    auto table = ycsb::YcsbRunner::CreateTable(db->get(), scheme);
+    if (!table.ok()) {
+      fprintf(stderr, "create failed: %s\n",
+              table.status().ToString().c_str());
+      return 1;
+    }
+    ycsb::YcsbConfig cfg;
+    cfg.records = records;
+    cfg.operations = operations;
+    cfg.read_pct = read_pct;
+    cfg.update_pct = 100 - read_pct;
+    ycsb::YcsbRunner runner(db->get(), *table, cfg);
+    VirtualClock clk;
+    if (Status s = runner.Load(&clk); !s.ok()) {
+      fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    uint64_t written_before = ssd.stats().bytes_written;
+    auto result = runner.Run(clk.now());
+    if (!result.ok()) {
+      fprintf(stderr, "run failed: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    VirtualClock flush_clk(clk.now() + result->makespan);
+    (void)(*db)->Checkpoint(&flush_clk);
+    printf("%-12s %s\n", ToString(scheme), result->Summary().c_str());
+    printf("             flash writes during run: %.1f MB, %s\n\n",
+           static_cast<double>(ssd.stats().bytes_written - written_before) /
+               (1024.0 * 1024.0),
+           ssd.stats().ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Quickstart: open a siasdb database on a simulated Flash SSD, create a
+// SIAS-Chains table with an index, and run basic transactional operations.
+//
+//   build/examples/quickstart
+#include <cstdio>
+
+#include "device/flash_ssd.h"
+#include "device/mem_device.h"
+#include "engine/database.h"
+#include "index/key_codec.h"
+
+using namespace sias;
+
+int main() {
+  // 1) Devices: a 4 GB simulated SSD for data, a RAM device for the WAL.
+  FlashConfig flash;
+  flash.capacity_bytes = 4ull << 30;
+  FlashSsd ssd(flash);
+  MemDevice wal_device(1ull << 30);
+
+  // 2) Open the database.
+  DatabaseOptions options;
+  options.data_device = &ssd;
+  options.wal_device = &wal_device;
+  options.pool_frames = 1024;  // 8 MB buffer pool
+  auto db_result = Database::Open(options);
+  if (!db_result.ok()) {
+    fprintf(stderr, "open failed: %s\n",
+            db_result.status().ToString().c_str());
+    return 1;
+  }
+  Database* db = db_result->get();
+
+  // 3) A table using the paper's append-storage scheme, plus a B+-tree
+  //    index on the name column (a <key, VID> index under SIAS, §4.3).
+  auto table_result = db->CreateTable(
+      "users",
+      Schema{{"id", ColumnType::kInt64},
+             {"name", ColumnType::kString},
+             {"score", ColumnType::kDouble}},
+      VersionScheme::kSiasChains);
+  Table* users = *table_result;
+  (void)db->CreateIndex(users, "users_by_name", [](const Row& row) {
+    return KeyBuilder().AddString(Slice(row.GetString(1))).Take();
+  });
+
+  // 4) Insert a few rows transactionally.
+  VirtualClock clock;  // models I/O time against the simulated SSD
+  Vid ada_vid;
+  {
+    auto txn = db->Begin(&clock);
+    ada_vid = *users->Insert(txn.get(), Row{{int64_t{1},
+                                             std::string("ada"), 3.5}});
+    (void)users->Insert(txn.get(), Row{{int64_t{2},
+                                        std::string("grace"), 4.2}});
+    (void)db->Commit(txn.get());
+  }
+
+  // 5) Snapshot isolation in action: a reader that started before an
+  //    update keeps seeing the old version.
+  auto reader = db->Begin(&clock);
+  {
+    auto writer = db->Begin(&clock);
+    (void)users->Update(writer.get(), ada_vid,
+                        Row{{int64_t{1}, std::string("ada"), 9.9}});
+    (void)db->Commit(writer.get());
+  }
+  auto old_row = users->Get(reader.get(), ada_vid);
+  printf("reader (old snapshot) sees score %.1f\n",
+         (*old_row)->GetDouble(2));  // 3.5
+  (void)db->Commit(reader.get());
+
+  auto fresh = db->Begin(&clock);
+  auto new_row = users->Get(fresh.get(), ada_vid);
+  printf("new transaction sees score %.1f\n", (*new_row)->GetDouble(2));
+
+  // 6) Index lookup.
+  auto hits = users->IndexLookup(
+      fresh.get(), 0, Slice(KeyBuilder().AddString(Slice("grace")).Take()));
+  printf("index lookup 'grace' -> %zu row(s), id=%lld\n", hits->size(),
+         static_cast<long long>((*hits)[0].second.GetInt(0)));
+  (void)db->Commit(fresh.get());
+
+  // 7) What happened on the device? Flush everything and look: updates
+  //    were appends — the old version's page was never rewritten in place.
+  VirtualClock flush_clock(clock.now());
+  (void)db->Checkpoint(&flush_clock);
+  auto stats = db->stats();
+  printf("device: %s\n", stats.device.ToString().c_str());
+  printf("virtual time elapsed: %.3f ms\n",
+         static_cast<double>(clock.now()) / kVMillisecond);
+  return 0;
+}

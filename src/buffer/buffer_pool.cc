@@ -1,0 +1,239 @@
+#include "buffer/buffer_pool.h"
+
+#include "common/logging.h"
+
+namespace sias {
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    id_ = other.id_;
+    latch_mode_ = other.latch_mode_;
+    other.pool_ = nullptr;
+    other.latch_mode_ = 0;
+  }
+  return *this;
+}
+
+uint8_t* PageGuard::data() {
+  SIAS_CHECK(valid());
+  return pool_->frames_[frame_].data.get();
+}
+
+const uint8_t* PageGuard::data() const {
+  SIAS_CHECK(valid());
+  return pool_->frames_[frame_].data.get();
+}
+
+void PageGuard::MarkDirty(Lsn lsn) {
+  SIAS_CHECK(valid());
+  BufferPool::Frame& f = pool_->frames_[frame_];
+  f.dirty = true;
+  if (lsn != kInvalidLsn && lsn > f.lsn) {
+    f.lsn = lsn;
+    reinterpret_cast<PageHeader*>(f.data.get())->lsn = lsn;
+  }
+}
+
+void PageGuard::LatchShared() {
+  SIAS_CHECK(valid() && latch_mode_ == 0);
+  pool_->frames_[frame_].latch.lock_shared();
+  latch_mode_ = 1;
+}
+
+void PageGuard::LatchExclusive() {
+  SIAS_CHECK(valid() && latch_mode_ == 0);
+  pool_->frames_[frame_].latch.lock();
+  latch_mode_ = 2;
+}
+
+void PageGuard::Unlatch() {
+  SIAS_CHECK(valid());
+  if (latch_mode_ == 1) {
+    pool_->frames_[frame_].latch.unlock_shared();
+  } else if (latch_mode_ == 2) {
+    pool_->frames_[frame_].latch.unlock();
+  }
+  latch_mode_ = 0;
+}
+
+void PageGuard::Release() {
+  if (pool_ == nullptr) return;
+  Unlatch();
+  pool_->Unpin(frame_);
+  pool_ = nullptr;
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t num_frames,
+                       WalFlushHook wal_flush)
+    : disk_(disk), wal_flush_(std::move(wal_flush)), frames_(num_frames) {
+  SIAS_CHECK(num_frames >= 8);
+  for (auto& f : frames_) {
+    f.data = std::make_unique<uint8_t[]>(kPageSize);
+  }
+}
+
+BufferPool::~BufferPool() = default;
+
+void BufferPool::Unpin(size_t frame) {
+  frames_[frame].pins.fetch_sub(1, std::memory_order_release);
+}
+
+Status BufferPool::WriteFrame(Frame& f, VirtualClock* clk,
+                              FlushSource source) {
+  // WAL-before-data: the log must be durable up to the page's LSN.
+  if (wal_flush_ && f.lsn != kInvalidLsn) {
+    SIAS_RETURN_NOT_OK(wal_flush_(f.lsn, clk));
+  }
+  SlottedPage(f.data.get()).UpdateChecksum();
+  // Maintenance flushes are paced background I/O (see StorageDevice::Write);
+  // eviction writes sit on the transaction path and pay foreground time.
+  bool background = source == FlushSource::kBackgroundWriter ||
+                    source == FlushSource::kCheckpoint;
+  SIAS_RETURN_NOT_OK(disk_->WritePage(f.id.relation, f.id.page, f.data.get(),
+                                      clk, background));
+  f.dirty = false;
+  stats_.dirty_writebacks++;
+  stats_.flushes_by_source[static_cast<int>(source)]++;
+  return Status::OK();
+}
+
+Result<size_t> BufferPool::FindVictim(VirtualClock* clk) {
+  // Clock sweep with clean preference: the first rounds only take clean
+  // unreferenced frames (dirty pages are the flush policies' job — t1/t2
+  // and checkpoints decide when they reach the device); if the sweep finds
+  // no clean victim, it falls back to writing out a dirty one.
+  for (int phase = 0; phase < 2; ++phase) {
+    bool allow_dirty = phase == 1;
+    for (size_t step = 0; step < 2 * frames_.size(); ++step) {
+      Frame& f = frames_[clock_hand_];
+      size_t idx = clock_hand_;
+      clock_hand_ = (clock_hand_ + 1) % frames_.size();
+      if (!f.valid) return idx;
+      if (f.pins.load(std::memory_order_acquire) > 0 || f.sticky) continue;
+      if (f.referenced) {
+        f.referenced = false;
+        continue;
+      }
+      if (f.dirty) {
+        if (!allow_dirty) continue;
+        SIAS_RETURN_NOT_OK(WriteFrame(f, clk, FlushSource::kEviction));
+      }
+      table_.erase(f.id);
+      f.valid = false;
+      stats_.evictions++;
+      return idx;
+    }
+  }
+  return Status::OutOfSpace("buffer pool exhausted (all frames pinned)");
+}
+
+Result<PageGuard> BufferPool::FetchPage(PageId id, VirtualClock* clk) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    Frame& f = frames_[it->second];
+    f.pins.fetch_add(1, std::memory_order_acquire);
+    f.referenced = true;
+    stats_.hits++;
+    return PageGuard(this, it->second, id);
+  }
+  stats_.misses++;
+  SIAS_ASSIGN_OR_RETURN(size_t idx, FindVictim(clk));
+  Frame& f = frames_[idx];
+  SIAS_RETURN_NOT_OK(disk_->ReadPage(id.relation, id.page, f.data.get(), clk));
+  SlottedPage sp(f.data.get());
+  if (!sp.VerifyChecksum()) {
+    return Status::Corruption("page checksum mismatch " + id.ToString());
+  }
+  f.id = id;
+  f.valid = true;
+  f.dirty = false;
+  f.sticky = false;
+  f.referenced = true;
+  f.lsn = sp.header()->lsn;
+  f.pins.store(1, std::memory_order_release);
+  table_[id] = idx;
+  return PageGuard(this, idx, id);
+}
+
+Result<PageGuard> BufferPool::NewPage(RelationId relation, VirtualClock* clk,
+                                      uint32_t page_flags) {
+  std::unique_lock<std::mutex> lock(mu_);
+  SIAS_ASSIGN_OR_RETURN(PageNumber page_no, disk_->AllocatePage(relation));
+  SIAS_ASSIGN_OR_RETURN(size_t idx, FindVictim(clk));
+  Frame& f = frames_[idx];
+  SlottedPage sp(f.data.get());
+  sp.Init(relation, page_no, page_flags);
+  PageId id{relation, page_no};
+  f.id = id;
+  f.valid = true;
+  f.dirty = true;
+  f.sticky = false;
+  f.referenced = true;
+  f.lsn = kInvalidLsn;
+  f.pins.store(1, std::memory_order_release);
+  table_[id] = idx;
+  return PageGuard(this, idx, id);
+}
+
+Status BufferPool::FlushPage(PageId id, VirtualClock* clk,
+                             FlushSource source) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = table_.find(id);
+  if (it == table_.end()) return Status::OK();
+  Frame& f = frames_[it->second];
+  if (!f.dirty) return Status::OK();
+  return WriteFrame(f, clk, source);
+}
+
+Status BufferPool::FlushAll(VirtualClock* clk, FlushSource source) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (auto& f : frames_) {
+    if (f.valid && f.dirty) {
+      SIAS_RETURN_NOT_OK(WriteFrame(f, clk, source));
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::SetSticky(PageId id, bool sticky) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = table_.find(id);
+  if (it == table_.end()) return Status::NotFound("page not resident");
+  frames_[it->second].sticky = sticky;
+  return Status::OK();
+}
+
+std::vector<BufferPool::DirtyPageInfo> BufferPool::DirtyPagesWithFlags(
+    bool clear_referenced) {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::vector<DirtyPageInfo> out;
+  for (auto& f : frames_) {
+    if (f.valid && f.dirty) {
+      out.push_back(DirtyPageInfo{
+          f.id, reinterpret_cast<const PageHeader*>(f.data.get())->flags,
+          f.referenced, f.sticky});
+      if (clear_referenced) f.referenced = false;
+    }
+  }
+  return out;
+}
+
+std::vector<PageId> BufferPool::DirtyPages() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::vector<PageId> out;
+  for (const auto& f : frames_) {
+    if (f.valid && f.dirty) out.push_back(f.id);
+  }
+  return out;
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace sias

@@ -1,0 +1,178 @@
+// Buffer pool: fixed set of 8 KB frames with clock-sweep eviction.
+//
+// SIAS-specific feature (paper: "simplified buffer management"): frames can
+// be marked *sticky*. A sticky frame holds a SIAS append-region page that is
+// still being filled; it is exempt from eviction until the flush-threshold
+// policy (t1 background-writer pass or t2 checkpoint) releases it. Because
+// SIAS pages are immutable once flushed, a page is written to the device at
+// most once per fill — the buffer manager never writes the same SIAS heap
+// page twice.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/latch.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "common/vclock.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace sias {
+
+class BufferPool;
+
+/// Why a page got written to the device (Table 1 decomposition).
+enum class FlushSource : int {
+  kEviction = 0,
+  kBackgroundWriter = 1,
+  kCheckpoint = 2,
+  kExplicit = 3,
+};
+
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+  uint64_t flushes_by_source[4] = {0, 0, 0, 0};
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total)
+                 : 1.0;
+  }
+};
+
+/// RAII pin + latch over one buffered page. Movable, not copyable.
+/// Obtain via BufferPool::FetchPage / NewPage.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  ~PageGuard() { Release(); }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId id() const { return id_; }
+
+  /// Raw page bytes. Hold the appropriate latch mode.
+  uint8_t* data();
+  const uint8_t* data() const;
+  SlottedPage page() { return SlottedPage(data()); }
+
+  /// Marks the frame dirty and stamps the page LSN (WAL-before-data).
+  void MarkDirty(Lsn lsn = kInvalidLsn);
+
+  /// Latch management. A guard starts unlatched; callers latch around
+  /// critical sections. Lock ordering: always page latch before VidMap slot.
+  void LatchShared();
+  void LatchExclusive();
+  void Unlatch();
+
+  /// Drops pin + latch early (before destruction).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageGuard(BufferPool* pool, size_t frame, PageId id)
+      : pool_(pool), frame_(frame), id_(id) {}
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  PageId id_{};
+  int latch_mode_ = 0;  // 0 none, 1 shared, 2 exclusive
+};
+
+/// Thread-safe buffer pool over a DiskManager.
+class BufferPool {
+ public:
+  /// `wal_flush` is invoked with a page's LSN before that page is written to
+  /// the device, enforcing write-ahead logging. May be empty.
+  using WalFlushHook = std::function<Status(Lsn, VirtualClock*)>;
+
+  BufferPool(DiskManager* disk, size_t num_frames,
+             WalFlushHook wal_flush = {});
+  ~BufferPool();
+
+  /// Fetches an existing page, reading it from the device on a miss.
+  Result<PageGuard> FetchPage(PageId id, VirtualClock* clk);
+
+  /// Allocates a brand new page at the end of `relation` and returns it
+  /// initialized and dirty.
+  Result<PageGuard> NewPage(RelationId relation, VirtualClock* clk,
+                            uint32_t page_flags = 0);
+
+  /// Writes one dirty page out (no-op if clean or absent).
+  Status FlushPage(PageId id, VirtualClock* clk,
+                   FlushSource source = FlushSource::kExplicit);
+
+  /// Writes all dirty pages (checkpoint path).
+  Status FlushAll(VirtualClock* clk,
+                  FlushSource source = FlushSource::kCheckpoint);
+
+  /// Marks/unmarks a page sticky (exempt from eviction). The page must be
+  /// resident. Used for SIAS append-region pages being filled.
+  Status SetSticky(PageId id, bool sticky);
+
+  /// Returns ids of resident dirty pages (snapshot; for writer policies).
+  std::vector<PageId> DirtyPages() const;
+
+  /// Dirty pages with their on-page flags — lets the background writer
+  /// treat SIAS append-region pages according to the flush-threshold
+  /// policy (t1 flushes them, t2 leaves them for the checkpoint).
+  /// `referenced` reports whether the page was touched since the previous
+  /// sweep; when `clear_referenced` is set, the bit is consumed so the next
+  /// call reports fresh activity (the background writer's LRU test).
+  struct DirtyPageInfo {
+    PageId id;
+    uint32_t page_flags;
+    bool referenced;
+    bool sticky;  ///< open (still-filling) SIAS append page
+  };
+  std::vector<DirtyPageInfo> DirtyPagesWithFlags(bool clear_referenced = false);
+
+  BufferPoolStats stats() const;
+  size_t num_frames() const { return frames_.size(); }
+  DiskManager* disk() { return disk_; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    PageId id{};
+    bool valid = false;
+    bool dirty = false;
+    bool sticky = false;
+    bool referenced = false;
+    Lsn lsn = kInvalidLsn;
+    std::atomic<int> pins{0};
+    RwLatch latch;
+    std::unique_ptr<uint8_t[]> data;
+  };
+
+  // Requires mu_ held. Returns frame index or error if pool exhausted.
+  Result<size_t> FindVictim(VirtualClock* clk);
+  Status WriteFrame(Frame& f, VirtualClock* clk, FlushSource source);
+  void Unpin(size_t frame);
+
+  DiskManager* disk_;
+  WalFlushHook wal_flush_;
+
+  mutable std::mutex mu_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> table_;
+  size_t clock_hand_ = 0;
+  BufferPoolStats stats_;
+};
+
+}  // namespace sias

@@ -1,0 +1,56 @@
+// Little-endian fixed-width encode/decode helpers for page layouts, WAL
+// records and the row codec. All on-disk integers in siasdb are
+// little-endian fixed width; index keys use big-endian order-preserving
+// encoding (see index/key_codec.h).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace sias {
+
+inline void EncodeFixed16(uint8_t* dst, uint16_t v) { memcpy(dst, &v, 2); }
+inline void EncodeFixed32(uint8_t* dst, uint32_t v) { memcpy(dst, &v, 4); }
+inline void EncodeFixed64(uint8_t* dst, uint64_t v) { memcpy(dst, &v, 8); }
+
+inline uint16_t DecodeFixed16(const uint8_t* src) {
+  uint16_t v;
+  memcpy(&v, src, 2);
+  return v;
+}
+inline uint32_t DecodeFixed32(const uint8_t* src) {
+  uint32_t v;
+  memcpy(&v, src, 4);
+  return v;
+}
+inline uint64_t DecodeFixed64(const uint8_t* src) {
+  uint64_t v;
+  memcpy(&v, src, 8);
+  return v;
+}
+
+inline void PutFixed16(std::string* dst, uint16_t v) {
+  dst->append(reinterpret_cast<const char*>(&v), 2);
+}
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  dst->append(reinterpret_cast<const char*>(&v), 4);
+}
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  dst->append(reinterpret_cast<const char*>(&v), 8);
+}
+
+/// Big-endian (order-preserving) 64-bit encode for index keys.
+inline void EncodeBigEndian64(uint8_t* dst, uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    dst[i] = static_cast<uint8_t>(v & 0xff);
+    v >>= 8;
+  }
+}
+inline uint64_t DecodeBigEndian64(const uint8_t* src) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | src[i];
+  return v;
+}
+
+}  // namespace sias

@@ -1,0 +1,97 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace sias {
+
+Histogram::Histogram() {
+  // Geometric buckets: bound[i+1] = bound[i] * 1.04, from 1ns to > 1h.
+  VDuration b = 1;
+  while (b < 5000ull * kVSecond) {
+    bounds_.push_back(b);
+    VDuration next = static_cast<VDuration>(static_cast<double>(b) * 1.04) + 1;
+    b = next;
+  }
+  bounds_.push_back(~0ull);
+  buckets_.assign(bounds_.size(), 0);
+}
+
+size_t Histogram::BucketFor(VDuration v) const {
+  return static_cast<size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+}
+
+void Histogram::Record(VDuration v) {
+  size_t i = std::min(BucketFor(v), buckets_.size() - 1);
+  buckets_[i]++;
+  count_++;
+  sum_ += static_cast<double>(v);
+  if (count_ == 1 || v < min_) min_ = v;
+  if (v > max_) max_ = v;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+VDuration Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  uint64_t target = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (target == 0) target = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return i == 0 ? bounds_[0] : bounds_[i - 1];
+    }
+  }
+  return max_;
+}
+
+std::string FormatVDuration(VDuration v) {
+  char buf[64];
+  if (v >= kVSecond) {
+    snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(v) / kVSecond);
+  } else if (v >= kVMillisecond) {
+    snprintf(buf, sizeof(buf), "%.3fms",
+             static_cast<double>(v) / kVMillisecond);
+  } else if (v >= kVMicrosecond) {
+    snprintf(buf, sizeof(buf), "%.2fus",
+             static_cast<double>(v) / kVMicrosecond);
+  } else {
+    snprintf(buf, sizeof(buf), "%lluns", static_cast<unsigned long long>(v));
+  }
+  return buf;
+}
+
+std::string Histogram::Summary() const {
+  std::string s = "n=" + std::to_string(count_);
+  s += " mean=" + FormatVDuration(static_cast<VDuration>(Mean()));
+  s += " p50=" + FormatVDuration(Percentile(50));
+  s += " p90=" + FormatVDuration(Percentile(90));
+  s += " p99=" + FormatVDuration(Percentile(99));
+  s += " max=" + FormatVDuration(max_);
+  return s;
+}
+
+}  // namespace sias

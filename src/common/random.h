@@ -1,0 +1,64 @@
+// Deterministic, fast PRNG (xoshiro256**) used across tests, benches and the
+// TPC-C generator. Determinism keeps every experiment reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace sias {
+
+/// xoshiro256** by Blackman & Vigna; seeded via splitmix64.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x51A5D5EEDULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& s : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t Uniform(uint64_t lo, uint64_t hi) {
+    return lo + Next() % (hi - lo + 1);
+  }
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Next() % static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// TPC-C NURand non-uniform distribution (TPC-C spec §2.1.6).
+  int64_t NURand(int64_t a, int64_t x, int64_t y, int64_t c) {
+    return (((UniformInt(0, a) | UniformInt(x, y)) + c) % (y - x + 1)) + x;
+  }
+
+  bool OneIn(uint64_t n) { return n != 0 && Next() % n == 0; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+}  // namespace sias

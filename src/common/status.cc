@@ -1,0 +1,45 @@
+#include "common/status.h"
+
+namespace sias {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kOutOfSpace:
+      return "OutOfSpace";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kSerializationFailure:
+      return "SerializationFailure";
+    case StatusCode::kLockTimeout:
+      return "LockTimeout";
+    case StatusCode::kTxnInvalidState:
+      return "TxnInvalidState";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  if (!message().empty()) {
+    out += ": ";
+    out += message();
+  }
+  return out;
+}
+
+}  // namespace sias

@@ -1,0 +1,117 @@
+// Status / Result error handling in the Arrow/RocksDB idiom: no exceptions
+// on hot paths, every fallible public API returns Status or Result<T>.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace sias {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kCorruption,
+  kIoError,
+  kOutOfSpace,
+  kNotSupported,
+  /// Snapshot-Isolation write-write conflict: first-updater-wins aborted the
+  /// calling transaction (ERRCODE_T_R_SERIALIZATION_FAILURE in PostgreSQL).
+  kSerializationFailure,
+  /// Lock wait exceeded the deadlock timeout.
+  kLockTimeout,
+  /// Transaction is not in a state that allows the operation.
+  kTxnInvalidState,
+  kInternal,
+};
+
+const char* StatusCodeToString(StatusCode code);
+
+/// Cheap-to-copy status object. OK status carries no allocation.
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status OutOfSpace(std::string msg) {
+    return Status(StatusCode::kOutOfSpace, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status SerializationFailure(std::string msg) {
+    return Status(StatusCode::kSerializationFailure, std::move(msg));
+  }
+  static Status LockTimeout(std::string msg) {
+    return Status(StatusCode::kLockTimeout, std::move(msg));
+  }
+  static Status TxnInvalidState(std::string msg) {
+    return Status(StatusCode::kTxnInvalidState, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsSerializationFailure() const {
+    return code() == StatusCode::kSerializationFailure;
+  }
+  bool IsLockTimeout() const { return code() == StatusCode::kLockTimeout; }
+  /// True for the retryable TPC-C abort classes (conflict / lock timeout).
+  bool IsRetryable() const {
+    return IsSerializationFailure() || IsLockTimeout();
+  }
+
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  Status(StatusCode code, std::string msg)
+      : rep_(std::make_shared<Rep>(Rep{code, std::move(msg)})) {}
+
+  std::shared_ptr<Rep> rep_;  // null == OK
+};
+
+#define SIAS_RETURN_NOT_OK(expr)        \
+  do {                                  \
+    ::sias::Status _st = (expr);        \
+    if (!_st.ok()) return _st;          \
+  } while (0)
+
+#define SIAS_ASSIGN_OR_RETURN(lhs, expr)   \
+  auto SIAS_CONCAT_(_res_, __LINE__) = (expr);       \
+  if (!SIAS_CONCAT_(_res_, __LINE__).ok())           \
+    return SIAS_CONCAT_(_res_, __LINE__).status();   \
+  lhs = std::move(SIAS_CONCAT_(_res_, __LINE__)).ValueUnsafe()
+
+#define SIAS_CONCAT_IMPL_(a, b) a##b
+#define SIAS_CONCAT_(a, b) SIAS_CONCAT_IMPL_(a, b)
+
+}  // namespace sias

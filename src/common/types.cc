@@ -1,0 +1,17 @@
+#include "common/types.h"
+
+namespace sias {
+
+const char* ToString(VersionScheme scheme) {
+  switch (scheme) {
+    case VersionScheme::kSi:
+      return "SI";
+    case VersionScheme::kSiasChains:
+      return "SIAS-Chains";
+    case VersionScheme::kSiasV:
+      return "SIAS-V";
+  }
+  return "?";
+}
+
+}  // namespace sias

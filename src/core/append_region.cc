@@ -1,0 +1,104 @@
+#include "core/append_region.h"
+
+#include "common/logging.h"
+#include "storage/page.h"
+
+namespace sias {
+
+Status AppendRegion::OpenNewPageLocked(VirtualClock* clk) {
+  // Seal the previous page: it stays dirty in the pool but becomes
+  // eviction-eligible; the flush policy decides when it hits the device.
+  if (open_page_ != kInvalidPageNumber) {
+    (void)pool_->SetSticky(PageId{relation_, open_page_}, false);
+    stats_.pages_sealed++;
+  }
+  // The guard keeps the new open page pinned until it is marked sticky, so
+  // a concurrent eviction cannot snatch the frame in between.
+  PageGuard guard;
+  if (!free_pages_.empty()) {
+    // Recycle a GC-reclaimed page.
+    PageNumber page = free_pages_.front();
+    free_pages_.pop_front();
+    auto r = pool_->FetchPage(PageId{relation_, page}, clk);
+    if (!r.ok()) return r.status();
+    guard = std::move(*r);
+    guard.LatchExclusive();
+    guard.page().Init(relation_, page, kPageFlagAppendRegion);
+    guard.MarkDirty();
+    guard.Unlatch();
+    open_page_ = page;
+    stats_.pages_recycled++;
+  } else {
+    auto r = pool_->NewPage(relation_, clk, kPageFlagAppendRegion);
+    if (!r.ok()) return r.status();
+    guard = std::move(*r);
+    open_page_ = guard.id().page;
+  }
+  stats_.pages_opened++;
+  return pool_->SetSticky(PageId{relation_, open_page_}, true);
+}
+
+Result<Tid> AppendRegion::Append(Slice tuple, Xid xid, uint64_t aux,
+                                 VirtualClock* clk) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (open_page_ == kInvalidPageNumber) {
+      SIAS_RETURN_NOT_OK(OpenNewPageLocked(clk));
+    }
+    auto r = pool_->FetchPage(PageId{relation_, open_page_}, clk);
+    if (!r.ok()) return r.status();
+    PageGuard guard = std::move(*r);
+    guard.LatchExclusive();
+    SlottedPage page = guard.page();
+    uint16_t slot = page.InsertTuple(tuple);
+    if (slot == SlottedPage::kInvalidSlot) {
+      guard.Unlatch();
+      SIAS_RETURN_NOT_OK(OpenNewPageLocked(clk));
+      continue;  // retry on the fresh page
+    }
+    Tid tid{open_page_, slot};
+    Lsn lsn = kInvalidLsn;
+    if (wal_ != nullptr) {
+      WalRecord rec;
+      rec.type = WalRecordType::kHeapInsert;
+      rec.xid = xid;
+      rec.relation = relation_;
+      rec.tid = tid;
+      rec.aux = aux;
+      rec.body.assign(reinterpret_cast<const char*>(tuple.data()),
+                      tuple.size());
+      SIAS_ASSIGN_OR_RETURN(lsn, wal_->Append(rec));
+    }
+    guard.MarkDirty(lsn);
+    guard.Unlatch();
+    stats_.versions_appended++;
+    return tid;
+  }
+  return Status::Internal("tuple too large for an append page");
+}
+
+void AppendRegion::AddFreePage(PageNumber page) {
+  std::lock_guard<std::mutex> g(mu_);
+  free_pages_.push_back(page);
+}
+
+PageId AppendRegion::open_page() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return PageId{relation_, open_page_};
+}
+
+void AppendRegion::SealOpenPage() {
+  std::lock_guard<std::mutex> g(mu_);
+  if (open_page_ != kInvalidPageNumber) {
+    (void)pool_->SetSticky(PageId{relation_, open_page_}, false);
+    stats_.pages_sealed++;
+    open_page_ = kInvalidPageNumber;
+  }
+}
+
+AppendRegionStats AppendRegion::stats() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return stats_;
+}
+
+}  // namespace sias

@@ -1,0 +1,64 @@
+// Per-relation append region (the paper's LbSM in tuple granularity).
+//
+// Newly created tuple versions are appended to the relation's currently
+// open page, which sits *sticky* in the buffer pool while it fills. Once
+// full it is sealed (eviction-eligible, still dirty); a fresh page is
+// opened. When the page actually reaches the device is decided by the
+// flush-threshold policy (paper §5.2): t1 = background-writer pass,
+// t2 = checkpoint piggyback. Pages freed by SIAS garbage collection are
+// recycled before new pages are allocated.
+#pragma once
+
+#include <deque>
+#include <mutex>
+
+#include "buffer/buffer_pool.h"
+#include "common/result.h"
+#include "common/types.h"
+#include "txn/transaction.h"
+#include "wal/wal.h"
+
+namespace sias {
+
+struct AppendRegionStats {
+  uint64_t versions_appended = 0;
+  uint64_t pages_opened = 0;
+  uint64_t pages_sealed = 0;
+  uint64_t pages_recycled = 0;
+};
+
+/// Thread-safe tuple-version appender for one relation.
+class AppendRegion {
+ public:
+  AppendRegion(RelationId relation, BufferPool* pool, WalWriter* wal)
+      : relation_(relation), pool_(pool), wal_(wal) {}
+
+  /// Appends an encoded tuple version; returns its TID. Logs a
+  /// kHeapInsert WAL record with `aux` (the VID) when WAL is attached.
+  Result<Tid> Append(Slice tuple, Xid xid, uint64_t aux, VirtualClock* clk);
+
+  /// Hands a GC-reclaimed page back for reuse.
+  void AddFreePage(PageNumber page);
+
+  /// Currently open (filling) page, if any.
+  PageId open_page() const;
+
+  /// Seals the open page (used before clean shutdown).
+  void SealOpenPage();
+
+  AppendRegionStats stats() const;
+
+ private:
+  Status OpenNewPageLocked(VirtualClock* clk);
+
+  RelationId relation_;
+  BufferPool* pool_;
+  WalWriter* wal_;
+
+  mutable std::mutex mu_;
+  PageNumber open_page_ = kInvalidPageNumber;
+  std::deque<PageNumber> free_pages_;
+  AppendRegionStats stats_;
+};
+
+}  // namespace sias

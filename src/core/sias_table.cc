@@ -1,0 +1,822 @@
+#include "core/sias_table.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "mvcc/visibility.h"
+
+namespace sias {
+
+SiasTable::SiasTable(RelationId relation, TableEnv env, VersionScheme scheme)
+    : relation_(relation),
+      env_(env),
+      scheme_(scheme),
+      region_(relation, env.pool, env.wal) {
+  SIAS_CHECK(scheme == VersionScheme::kSiasChains ||
+             scheme == VersionScheme::kSiasV);
+}
+
+Tid SiasTable::Entrypoint(Vid vid) const {
+  return scheme_ == VersionScheme::kSiasChains ? map_.Get(vid)
+                                               : map_v_.Entrypoint(vid);
+}
+
+Status SiasTable::FetchVersion(Tid tid, VirtualClock* clk,
+                               TupleHeader* header, std::string* payload) {
+  auto r = env_.pool->FetchPage(PageId{relation_, tid.page}, clk);
+  if (!r.ok()) return r.status();
+  PageGuard guard = std::move(*r);
+  guard.LatchShared();
+  Slice tuple = guard.page().GetTuple(tid.slot);
+  if (tuple.empty() || !DecodeTupleHeader(tuple, header)) {
+    guard.Unlatch();
+    return Status::NotFound("version slot dead");
+  }
+  if (payload != nullptr) {
+    Slice p = TuplePayload(tuple);
+    payload->assign(reinterpret_cast<const char*>(p.data()), p.size());
+    if (clk != nullptr) clk->Cpu(kCpuTupleCopy);
+  }
+  guard.Unlatch();
+  return Status::OK();
+}
+
+Status SiasTable::GetVisible(Transaction* txn, Vid vid, bool* found,
+                             VersionRef* ref, std::string* payload) {
+  *found = false;
+  const Clog& clog = *env_.txns->clog();
+  const Snapshot& snap = txn->snapshot();
+  VirtualClock* clk = txn->clock();
+
+  for (int retry = 0; retry < 3; ++retry) {
+    if (clk != nullptr) clk->Cpu(kCpuVidMapProbe);
+    bool raced = false;
+    if (scheme_ == VersionScheme::kSiasChains) {
+      // Algorithm 1: start at the entrypoint, follow *ptr until visible.
+      Tid tid = map_.Get(vid);
+      bool first = true;
+      while (tid.valid()) {
+        TupleHeader h;
+        Status s = FetchVersion(tid, clk, &h, nullptr);
+        if (s.IsNotFound()) {
+          raced = true;  // GC relocated under us: restart from the map
+          break;
+        }
+        SIAS_RETURN_NOT_OK(s);
+        if (clk != nullptr) clk->Cpu(kCpuVisibilityCheck);
+        if (SiasVersionVisible(h, snap, clog)) {
+          ref->tid = tid;
+          ref->header = h;
+          if (payload != nullptr) {
+            SIAS_RETURN_NOT_OK(FetchVersion(tid, clk, &h, payload));
+          }
+          *found = true;
+          return Status::OK();
+        }
+        if (!first) {
+          std::lock_guard<std::mutex> g(stats_mu_);
+          stats_.version_hops++;
+        }
+        first = false;
+        tid = h.pred();
+      }
+      if (!raced) return Status::OK();  // chain exhausted: nothing visible
+    } else {
+      // SIAS-V: the map holds the version vector; walk it newest-first.
+      std::vector<Tid> versions = map_v_.Get(vid);
+      bool first = true;
+      raced = false;
+      for (Tid tid : versions) {
+        TupleHeader h;
+        Status s = FetchVersion(tid, clk, &h, nullptr);
+        if (s.IsNotFound()) {
+          raced = true;
+          break;
+        }
+        SIAS_RETURN_NOT_OK(s);
+        if (clk != nullptr) clk->Cpu(kCpuVisibilityCheck);
+        if (SiasVersionVisible(h, snap, clog)) {
+          ref->tid = tid;
+          ref->header = h;
+          if (payload != nullptr) {
+            SIAS_RETURN_NOT_OK(FetchVersion(tid, clk, &h, payload));
+          }
+          *found = true;
+          return Status::OK();
+        }
+        if (!first) {
+          std::lock_guard<std::mutex> g(stats_mu_);
+          stats_.version_hops++;
+        }
+        first = false;
+      }
+      if (!raced) return Status::OK();
+    }
+  }
+  return Status::Internal("version walk raced with GC repeatedly");
+}
+
+Result<Vid> SiasTable::Insert(Transaction* txn, Slice row, Tid* tid_out) {
+  Vid vid = scheme_ == VersionScheme::kSiasChains ? map_.AllocateVid()
+                                                  : map_v_.AllocateVid();
+  TupleHeader h;
+  h.xmin = txn->xid();
+  h.vid = vid;
+  // No older version: *ptr = NULL (Algorithm 2).
+  std::string encoded;
+  EncodeTuple(h, row, &encoded);
+  SIAS_ASSIGN_OR_RETURN(
+      Tid tid, region_.Append(Slice(encoded), txn->xid(), vid, txn->clock()));
+  if (scheme_ == VersionScheme::kSiasChains) {
+    map_.Set(vid, tid);
+    txn->AddUndo([this, vid, tid] { map_.CompareAndSet(vid, tid, Tid{}); });
+  } else {
+    SIAS_CHECK(map_v_.PushFront(vid, Tid{}, tid));
+    txn->AddUndo([this, vid, tid] { map_v_.PopFrontIf(vid, tid); });
+  }
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    stats_.inserts++;
+  }
+  if (tid_out != nullptr) *tid_out = tid;
+  return vid;
+}
+
+Result<SiasTable::VersionRef> SiasTable::ValidateForWrite(Transaction* txn,
+                                                          Vid vid) {
+  // Under the row lock: the entrypoint can only be an aborted leftover (a
+  // racing abort's undo runs before its lock release, so by the time we got
+  // the lock the map is restored), our own version, or a committed version.
+  const Clog& clog = *env_.txns->clog();
+  Tid tid = Entrypoint(vid);
+  if (!tid.valid()) return Status::NotFound("no such data item");
+  TupleHeader h;
+  Status s = FetchVersion(tid, txn->clock(), &h, nullptr);
+  if (s.IsNotFound()) return Status::NotFound("data item vanished");
+  SIAS_RETURN_NOT_OK(s);
+
+  if (h.xmin != txn->xid()) {
+    TxnStatus creator = clog.Get(h.xmin);
+    if (creator == TxnStatus::kInProgress) {
+      // Item being inserted by a concurrent transaction: not ours to see.
+      return Status::NotFound("data item not yet committed");
+    }
+    if (creator == TxnStatus::kAborted) {
+      return Status::NotFound("data item creation aborted");
+    }
+    // Committed: first-updater-wins (Algorithm 3 line 4): the entrypoint
+    // must be visible in our snapshot, otherwise a concurrent transaction
+    // committed a newer version after we started and we must roll back.
+    if (!txn->snapshot().Contains(h.xmin)) {
+      std::lock_guard<std::mutex> g(stats_mu_);
+      stats_.ww_conflicts++;
+      return Status::SerializationFailure(
+          "entrypoint updated by concurrent transaction");
+    }
+  }
+  if (h.is_tombstone()) {
+    return Status::NotFound("data item deleted");
+  }
+  return VersionRef{tid, h};
+}
+
+Result<Tid> SiasTable::AppendAndInstall(Transaction* txn, Vid vid,
+                                        const TupleHeader& header,
+                                        Slice payload, Tid expected_entry) {
+  std::string encoded;
+  EncodeTuple(header, payload, &encoded);
+  SIAS_ASSIGN_OR_RETURN(
+      Tid tid, region_.Append(Slice(encoded), txn->xid(), vid, txn->clock()));
+  if (scheme_ == VersionScheme::kSiasChains) {
+    if (!map_.CompareAndSet(vid, expected_entry, tid)) {
+      return Status::Internal("entrypoint CAS failed under row lock");
+    }
+    txn->AddUndo([this, vid, tid, expected_entry] {
+      map_.CompareAndSet(vid, tid, expected_entry);
+    });
+  } else {
+    if (!map_v_.PushFront(vid, expected_entry, tid)) {
+      return Status::Internal("vector push failed under row lock");
+    }
+    txn->AddUndo([this, vid, tid] { map_v_.PopFrontIf(vid, tid); });
+  }
+  return tid;
+}
+
+Status SiasTable::Update(Transaction* txn, Vid vid, Slice row, Tid* new_tid) {
+  // Algorithm 3: lock (first-updater-wins), validate entrypoint, append.
+  SIAS_RETURN_NOT_OK(env_.txns->locks()->AcquireExclusive(
+      relation_, vid, txn->xid(), txn->clock()));
+  txn->AddLock(relation_, vid);
+  SIAS_ASSIGN_OR_RETURN(VersionRef base, ValidateForWrite(txn, vid));
+
+  TupleHeader h;
+  h.xmin = txn->xid();
+  h.vid = vid;
+  if (scheme_ == VersionScheme::kSiasChains) {
+    h.set_pred(base.tid);  // *ptr -> old entrypoint (Algorithm 3 line 11)
+  }
+  auto r = AppendAndInstall(txn, vid, h, row, base.tid);
+  SIAS_RETURN_NOT_OK(r.status());
+  if (new_tid != nullptr) *new_tid = *r;
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    stats_.updates++;
+  }
+  return Status::OK();
+}
+
+Status SiasTable::Delete(Transaction* txn, Vid vid) {
+  // §4.2.2: deletion appends a tombstone version; older versions stay
+  // reachable for transactions that still need them.
+  SIAS_RETURN_NOT_OK(env_.txns->locks()->AcquireExclusive(
+      relation_, vid, txn->xid(), txn->clock()));
+  txn->AddLock(relation_, vid);
+  SIAS_ASSIGN_OR_RETURN(VersionRef base, ValidateForWrite(txn, vid));
+
+  TupleHeader h;
+  h.xmin = txn->xid();
+  h.vid = vid;
+  h.flags = kTupleFlagTombstone;
+  if (scheme_ == VersionScheme::kSiasChains) {
+    h.set_pred(base.tid);
+  }
+  auto r = AppendAndInstall(txn, vid, h, Slice(), base.tid);
+  SIAS_RETURN_NOT_OK(r.status());
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    stats_.deletes++;
+  }
+  return Status::OK();
+}
+
+Result<std::optional<std::string>> SiasTable::Read(Transaction* txn,
+                                                   Vid vid) {
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    stats_.reads++;
+  }
+  bool found = false;
+  VersionRef ref;
+  std::string payload;
+  SIAS_RETURN_NOT_OK(GetVisible(txn, vid, &found, &ref, &payload));
+  if (!found || ref.header.is_tombstone()) {
+    return std::optional<std::string>{};
+  }
+  return std::optional<std::string>{std::move(payload)};
+}
+
+Status SiasTable::Scan(Transaction* txn, const ScanCallback& cb) {
+  // Algorithm 1: iterate the VidMap; for each VID resolve the visible
+  // version. More selective I/O than reading the full relation.
+  Vid bound = vid_bound();
+  for (Vid v = 0; v < bound; ++v) {
+    bool found = false;
+    VersionRef ref;
+    std::string payload;
+    SIAS_RETURN_NOT_OK(GetVisible(txn, v, &found, &ref, &payload));
+    if (!found || ref.header.is_tombstone()) continue;
+    if (!cb(v, Slice(payload))) return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status SiasTable::FullRelationScan(Transaction* txn, const ScanCallback& cb) {
+  // The traditional scan path described in §4.2.1: fetch ALL tuple
+  // versions; each becomes a candidate whose visibility is decided by
+  // resolving its data item's visible version and comparing.
+  auto count = env_.pool->disk()->PageCount(relation_);
+  if (!count.ok()) return count.status();
+  for (PageNumber p = 0; p < *count; ++p) {
+    auto r = env_.pool->FetchPage(PageId{relation_, p}, txn->clock());
+    if (!r.ok()) return r.status();
+    PageGuard guard = std::move(*r);
+    guard.LatchShared();
+    SlottedPage page = guard.page();
+    struct Candidate {
+      Vid vid;
+      Tid tid;
+    };
+    std::vector<Candidate> candidates;
+    for (uint16_t s = 0; s < page.slot_count(); ++s) {
+      Slice tuple = page.GetTuple(s);
+      if (tuple.empty()) continue;
+      TupleHeader h;
+      if (!DecodeTupleHeader(tuple, &h)) continue;
+      candidates.push_back(Candidate{h.vid, Tid{p, s}});
+    }
+    guard.Unlatch();
+    for (const auto& c : candidates) {
+      bool found = false;
+      VersionRef ref;
+      std::string payload;
+      SIAS_RETURN_NOT_OK(GetVisible(txn, c.vid, &found, &ref, &payload));
+      if (!found || ref.header.is_tombstone()) continue;
+      if (ref.tid == c.tid) {  // this candidate IS the visible version
+        if (!cb(c.vid, Slice(payload))) return Status::OK();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status SiasTable::ScanWithTid(Transaction* txn,
+                              const VersionScanCallback& cb) {
+  Vid bound = vid_bound();
+  for (Vid v = 0; v < bound; ++v) {
+    bool found = false;
+    VersionRef ref;
+    std::string payload;
+    SIAS_RETURN_NOT_OK(GetVisible(txn, v, &found, &ref, &payload));
+    if (!found || ref.header.is_tombstone()) continue;
+    if (!cb(v, ref.tid, Slice(payload))) return Status::OK();
+  }
+  return Status::OK();
+}
+
+Vid SiasTable::vid_bound() const {
+  return scheme_ == VersionScheme::kSiasChains ? map_.bound()
+                                               : map_v_.bound();
+}
+
+Result<std::vector<Tid>> SiasTable::ChainOf(Vid vid, VirtualClock* clk) {
+  std::vector<Tid> chain;
+  if (scheme_ == VersionScheme::kSiasV) {
+    return map_v_.Get(vid);
+  }
+  Tid tid = map_.Get(vid);
+  while (tid.valid()) {
+    chain.push_back(tid);
+    TupleHeader h;
+    Status s = FetchVersion(tid, clk, &h, nullptr);
+    if (!s.ok()) break;
+    tid = h.pred();
+    if (chain.size() > 1u << 20) {
+      return Status::Corruption("version chain cycle");
+    }
+  }
+  return chain;
+}
+
+Status SiasTable::LiveVersions(Vid vid, Xid horizon, VirtualClock* clk,
+                               std::vector<VersionRef>* live,
+                               bool* whole_item_dead) {
+  live->clear();
+  *whole_item_dead = false;
+  const Clog& clog = *env_.txns->clog();
+
+  // Walk newest-to-oldest and STOP at the horizon anchor: the predecessor
+  // pointer of the anchor may dangle into a page reclaimed by an earlier GC
+  // cycle (by design — no live snapshot ever walks past its anchor), so the
+  // walk must never follow it.
+  if (scheme_ == VersionScheme::kSiasChains) {
+    Tid tid = map_.Get(vid);
+    if (!tid.valid()) {
+      *whole_item_dead = true;
+      return Status::OK();
+    }
+    while (tid.valid()) {
+      TupleHeader h;
+      Status s = FetchVersion(tid, clk, &h, nullptr);
+      if (s.IsNotFound()) break;  // dangling tail: rest already reclaimed
+      SIAS_RETURN_NOT_OK(s);
+      TxnStatus creator = clog.Get(h.xmin);
+      if (creator == TxnStatus::kAborted) {
+        tid = h.pred();  // unreachable leftover: skip it
+        continue;
+      }
+      live->push_back(VersionRef{tid, h});
+      // Anchor: first committed version below the horizon. Everything older
+      // is invisible to every live and future snapshot.
+      if (creator == TxnStatus::kCommitted && h.xmin < horizon) {
+        if (h.is_tombstone() && live->size() == 1) {
+          // The item is deleted and no snapshot can see pre-delete
+          // versions: even the tombstone can go.
+          live->clear();
+          *whole_item_dead = true;
+        }
+        return Status::OK();  // anchor reached: never follow its pred
+      }
+      tid = h.pred();
+    }
+    return Status::OK();
+  }
+
+  // SIAS-V: the map vector is kept in sync by GC, so it never dangles.
+  std::vector<Tid> order = map_v_.Get(vid);
+  if (order.empty()) {
+    *whole_item_dead = true;
+    return Status::OK();
+  }
+  for (Tid tid : order) {
+    TupleHeader h;
+    Status s = FetchVersion(tid, clk, &h, nullptr);
+    if (s.IsNotFound()) continue;
+    SIAS_RETURN_NOT_OK(s);
+    TxnStatus creator = clog.Get(h.xmin);
+    if (creator == TxnStatus::kAborted) continue;
+    live->push_back(VersionRef{tid, h});
+    if (creator == TxnStatus::kCommitted && h.xmin < horizon) {
+      if (h.is_tombstone() && live->size() == 1) {
+        live->clear();
+        *whole_item_dead = true;
+      }
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Status SiasTable::GarbageCollect(Xid horizon, VirtualClock* clk,
+                                 GcStats* stats) {
+  // §6 Space Reclamation: (i) pick victim pages, (ii) re-insert live
+  // versions, (iii) discard dead versions; reclaimed pages are recycled by
+  // the append region.
+  auto count = env_.pool->disk()->PageCount(relation_);
+  if (!count.ok()) return count.status();
+  // Seal the open append page so every page is GC-eligible; the next append
+  // opens a fresh (possibly recycled) page.
+  region_.SealOpenPage();
+  PageId open = region_.open_page();
+  LockManager* locks = env_.txns->locks();
+
+  for (PageNumber p = 0; p < *count; ++p) {
+    if (open.valid() && open.page == p) continue;  // still filling
+
+    // Pass 1: inventory of the page.
+    struct SlotInfo {
+      uint16_t slot;
+      Vid vid;
+    };
+    std::vector<SlotInfo> slots;
+    {
+      auto r = env_.pool->FetchPage(PageId{relation_, p}, clk);
+      if (!r.ok()) return r.status();
+      PageGuard guard = std::move(*r);
+      guard.LatchShared();
+      SlottedPage page = guard.page();
+      for (uint16_t s = 0; s < page.slot_count(); ++s) {
+        Slice tuple = page.GetTuple(s);
+        if (tuple.empty()) continue;
+        TupleHeader h;
+        if (!DecodeTupleHeader(tuple, &h)) continue;
+        slots.push_back(SlotInfo{s, h.vid});
+      }
+      guard.Unlatch();
+    }
+    if (stats != nullptr) stats->pages_examined++;
+    if (slots.empty()) continue;
+
+    // Lock every item referenced by the page; skip the page if any item is
+    // being written right now (retry on the next GC cycle).
+    std::unordered_set<Vid> vids;
+    for (const auto& s : slots) vids.insert(s.vid);
+    std::vector<Vid> locked;
+    bool all_locked = true;
+    for (Vid v : vids) {
+      if (locks->TryAcquireExclusive(relation_, v, kGcXid).ok()) {
+        locked.push_back(v);
+      } else {
+        all_locked = false;
+        break;
+      }
+    }
+    auto unlock_all = [&] {
+      for (Vid v : locked) locks->Release(relation_, v, kGcXid, 0);
+    };
+    if (!all_locked) {
+      unlock_all();
+      continue;
+    }
+
+    // Pass 2: classify versions via per-item live sets.
+    std::unordered_map<Vid, std::vector<VersionRef>> live_sets;
+    std::unordered_map<Vid, bool> item_dead;
+    Status ls_status = Status::OK();
+    for (Vid v : vids) {
+      std::vector<VersionRef> live;
+      bool dead = false;
+      ls_status = LiveVersions(v, horizon, clk, &live, &dead);
+      if (!ls_status.ok()) break;
+      live_sets[v] = std::move(live);
+      item_dead[v] = dead;
+    }
+    if (!ls_status.ok()) {
+      unlock_all();
+      return ls_status;
+    }
+
+    auto is_live_here = [&](Vid v, Tid tid) {
+      for (const auto& ref : live_sets[v]) {
+        if (ref.tid == tid) return true;
+      }
+      return false;
+    };
+    size_t live_on_page = 0;
+    for (const auto& s : slots) {
+      if (is_live_here(s.vid, Tid{p, s.slot})) live_on_page++;
+    }
+
+    // Policy: reclaim the whole page when its live share is small enough to
+    // be worth relocating; otherwise just prune dead slots in place.
+    bool relocate = live_on_page * 4 <= slots.size();
+
+    if (relocate) {
+      // Re-insert live versions (oldest-first per chain so predecessor
+      // pointers can be remapped) and fix their successors.
+      std::unordered_map<uint64_t, Tid> remap;  // old tid.Pack() -> new tid
+      for (Vid v : vids) {
+        auto& live = live_sets[v];
+        // live is newest-first; walk from the back (oldest).
+        for (auto it = live.rbegin(); it != live.rend(); ++it) {
+          if (it->tid.page != p) continue;
+          // Read the full tuple.
+          TupleHeader h;
+          std::string payload;
+          Status s = FetchVersion(it->tid, clk, &h, &payload);
+          if (!s.ok()) continue;
+          if (scheme_ == VersionScheme::kSiasChains) {
+            auto rm = remap.find(h.pred().Pack());
+            if (h.pred().valid() && rm != remap.end()) {
+              h.set_pred(rm->second);
+            }
+          }
+          std::string encoded;
+          EncodeTuple(h, Slice(payload), &encoded);
+          auto nr = region_.Append(Slice(encoded), h.xmin, v, clk);
+          if (!nr.ok()) {
+            unlock_all();
+            return nr.status();
+          }
+          Tid new_tid = *nr;
+          remap[it->tid.Pack()] = new_tid;
+          if (stats != nullptr) stats->versions_relocated++;
+
+          // Fix the reference to this version.
+          if (scheme_ == VersionScheme::kSiasV) {
+            map_v_.ReplaceTid(v, it->tid, new_tid);
+          } else {
+            // Successor is the next-newer live version, or the VidMap.
+            if (it + 1 == live.rend()) {
+              // This is the newest live version => entrypoint.
+              map_.CompareAndSet(v, it->tid, new_tid);
+            } else {
+              auto newer = it + 1;  // next reverse element = next newer
+              Tid succ = newer->tid;
+              Tid succ_now = succ;
+              auto rs = remap.find(succ.Pack());
+              if (rs != remap.end()) succ_now = rs->second;
+              // In-place pointer fix on the successor (maintenance write).
+              auto pr = env_.pool->FetchPage(
+                  PageId{relation_, succ_now.page}, clk);
+              if (!pr.ok()) {
+                unlock_all();
+                return pr.status();
+              }
+              PageGuard sg = std::move(*pr);
+              sg.LatchExclusive();
+              Slice stuple = sg.page().GetTuple(succ_now.slot);
+              TupleHeader sh;
+              if (!stuple.empty() && DecodeTupleHeader(stuple, &sh)) {
+                sh.set_pred(new_tid);
+                OverwriteTupleHeader(sh,
+                                     const_cast<uint8_t*>(stuple.data()));
+                Lsn lsn = kInvalidLsn;
+                if (env_.wal != nullptr) {
+                  WalRecord rec;
+                  rec.type = WalRecordType::kHeapOverwrite;
+                  rec.relation = relation_;
+                  rec.tid = succ_now;
+                  std::string body;
+                  EncodeTuple(sh, TuplePayload(stuple), &body);
+                  rec.body = std::move(body);
+                  auto lr = env_.wal->Append(rec);
+                  if (lr.ok()) lsn = *lr;
+                }
+                sg.MarkDirty(lsn);
+              }
+              sg.Unlatch();
+            }
+          }
+        }
+        if (item_dead[v]) {
+          if (scheme_ == VersionScheme::kSiasChains) {
+            Tid cur = map_.Get(v);
+            if (cur.valid() && cur.page == p) map_.Clear(v);
+          } else {
+            // Drop all vector entries that live on this page.
+            std::vector<Tid> vec = map_v_.Get(v);
+            std::vector<Tid> kept;
+            for (Tid t : vec) {
+              if (t.page != p) kept.push_back(t);
+            }
+            map_v_.Set(v, std::move(kept));
+          }
+        } else if (scheme_ == VersionScheme::kSiasV) {
+          // Truncate dead suffix (everything beyond the live set).
+          map_v_.TruncateAfter(v, live.size());
+        }
+      }
+      // Discard the page wholesale and recycle it.
+      {
+        auto r = env_.pool->FetchPage(PageId{relation_, p}, clk);
+        if (!r.ok()) {
+          unlock_all();
+          return r.status();
+        }
+        PageGuard guard = std::move(*r);
+        guard.LatchExclusive();
+        SlottedPage page = guard.page();
+        uint64_t discarded = 0;
+        for (uint16_t s = 0; s < page.slot_count(); ++s) {
+          if (!page.GetTuple(s).empty()) {
+            (void)page.DeleteTuple(s);
+            discarded++;
+          }
+        }
+        page.Init(relation_, p, kPageFlagAppendRegion);
+        guard.MarkDirty();
+        guard.Unlatch();
+        if (stats != nullptr) {
+          stats->versions_discarded += discarded - live_on_page;
+          stats->pages_reclaimed++;
+        }
+      }
+      // §6: GC is deterministic and engine-driven; hint the FTL that the
+      // old physical blocks are dead so device GC need not relocate them
+      // ("transfers yet more control over the Flash storage into the
+      // MV-DBMS").
+      auto offset = env_.pool->disk()->PageOffset(relation_, p);
+      if (offset.ok()) {
+        (void)env_.pool->disk()->device()->Trim(*offset, kPageSize);
+      }
+      region_.AddFreePage(p);
+    } else {
+      // In-place pruning of dead slots only.
+      auto r = env_.pool->FetchPage(PageId{relation_, p}, clk);
+      if (!r.ok()) {
+        unlock_all();
+        return r.status();
+      }
+      PageGuard guard = std::move(*r);
+      guard.LatchExclusive();
+      SlottedPage page = guard.page();
+      bool changed = false;
+      for (const auto& s : slots) {
+        if (is_live_here(s.vid, Tid{p, s.slot})) continue;
+        if (page.GetTuple(s.slot).empty()) continue;
+        (void)page.DeleteTuple(s.slot);
+        changed = true;
+        if (stats != nullptr) stats->versions_discarded++;
+        if (scheme_ == VersionScheme::kSiasChains && item_dead[s.vid]) {
+          // Whole item dead (tombstone below horizon): if this slot is the
+          // entrypoint being pruned, drop the mapping with it.
+          Tid cur = map_.Get(s.vid);
+          if (cur == Tid{p, s.slot}) map_.Clear(s.vid);
+        }
+        if (scheme_ == VersionScheme::kSiasV) {
+          // Keep the vector in sync.
+          std::vector<Tid> vec = map_v_.Get(s.vid);
+          std::vector<Tid> kept;
+          for (Tid t : vec) {
+            if (t != Tid{p, s.slot}) kept.push_back(t);
+          }
+          map_v_.Set(s.vid, std::move(kept));
+        }
+      }
+      if (changed) guard.MarkDirty();
+      guard.Unlatch();
+    }
+    unlock_all();
+  }
+  return Status::OK();
+}
+
+TableStats SiasTable::stats() const {
+  std::lock_guard<std::mutex> g(stats_mu_);
+  return stats_;
+}
+
+Status SiasTable::ApplyInsert(Tid tid, uint64_t vid_aux, Slice tuple,
+                              Lsn lsn) {
+  (void)vid_aux;
+  DiskManager* disk = env_.pool->disk();
+  auto count = disk->PageCount(relation_);
+  if (!count.ok()) return count.status();
+  while (*count <= tid.page) {
+    auto g = env_.pool->NewPage(relation_, nullptr, kPageFlagAppendRegion);
+    if (!g.ok()) return g.status();
+    count = disk->PageCount(relation_);
+  }
+  auto r = env_.pool->FetchPage(PageId{relation_, tid.page}, nullptr);
+  if (!r.ok()) return r.status();
+  PageGuard guard = std::move(*r);
+  guard.LatchExclusive();
+  SlottedPage page = guard.page();
+  if (page.header()->lsn >= lsn) {
+    guard.Unlatch();
+    return Status::OK();
+  }
+  Status result = Status::OK();
+  if (tid.slot < page.slot_count()) {
+    result = page.OverwriteTuple(tid.slot, tuple);
+  } else if (tid.slot == page.slot_count()) {
+    uint16_t slot = page.InsertTuple(tuple);
+    if (slot != tid.slot) result = Status::Corruption("redo slot mismatch");
+  } else {
+    result = Status::Corruption("redo slot gap");
+  }
+  if (result.ok()) guard.MarkDirty(lsn);
+  guard.Unlatch();
+  return result;
+}
+
+Status SiasTable::ApplyOverwrite(Tid tid, Slice tuple, Lsn lsn) {
+  auto r = env_.pool->FetchPage(PageId{relation_, tid.page}, nullptr);
+  if (!r.ok()) return r.status();
+  PageGuard guard = std::move(*r);
+  guard.LatchExclusive();
+  SlottedPage page = guard.page();
+  if (page.header()->lsn >= lsn) {
+    guard.Unlatch();
+    return Status::OK();
+  }
+  Status s = page.OverwriteTuple(tid.slot, tuple);
+  if (s.ok()) guard.MarkDirty(lsn);
+  guard.Unlatch();
+  return s;
+}
+
+Status SiasTable::ApplySlotDelete(Tid tid, Lsn lsn) {
+  auto r = env_.pool->FetchPage(PageId{relation_, tid.page}, nullptr);
+  if (!r.ok()) return r.status();
+  PageGuard guard = std::move(*r);
+  guard.LatchExclusive();
+  SlottedPage page = guard.page();
+  if (page.header()->lsn >= lsn) {
+    guard.Unlatch();
+    return Status::OK();
+  }
+  Status s = page.DeleteTuple(tid.slot);
+  if (s.ok() || s.IsNotFound()) guard.MarkDirty(lsn);
+  guard.Unlatch();
+  return s.IsNotFound() ? Status::OK() : s;
+}
+
+Status SiasTable::RebuildMap() {
+  const Clog& clog = *env_.txns->clog();
+  auto count = env_.pool->disk()->PageCount(relation_);
+  if (!count.ok()) return count.status();
+
+  // Collect committed versions per item, then order by xmin descending
+  // (version chains are chronological, so this reproduces them exactly).
+  struct V {
+    Tid tid;
+    Xid xmin;
+  };
+  std::unordered_map<Vid, std::vector<V>> items;
+  Vid max_vid = 0;
+  for (PageNumber p = 0; p < *count; ++p) {
+    auto r = env_.pool->FetchPage(PageId{relation_, p}, nullptr);
+    if (!r.ok()) return r.status();
+    PageGuard guard = std::move(*r);
+    guard.LatchShared();
+    SlottedPage page = guard.page();
+    for (uint16_t s = 0; s < page.slot_count(); ++s) {
+      Slice tuple = page.GetTuple(s);
+      if (tuple.empty()) continue;
+      TupleHeader h;
+      if (!DecodeTupleHeader(tuple, &h)) continue;
+      max_vid = std::max(max_vid, h.vid + 1);
+      if (!clog.IsCommitted(h.xmin)) continue;  // crashed/aborted: garbage
+      items[h.vid].push_back(V{Tid{p, s}, h.xmin});
+    }
+    guard.Unlatch();
+  }
+  for (auto& [vid, versions] : items) {
+    std::sort(versions.begin(), versions.end(),
+              [](const V& a, const V& b) { return a.xmin > b.xmin; });
+    if (scheme_ == VersionScheme::kSiasChains) {
+      map_.Set(vid, versions.front().tid);
+    } else {
+      std::vector<Tid> vec;
+      vec.reserve(versions.size());
+      for (const auto& v : versions) vec.push_back(v.tid);
+      map_v_.Set(vid, std::move(vec));
+    }
+  }
+  // Preserve the VID allocation high-water mark even for fully-aborted vids.
+  if (max_vid > 0) {
+    if (scheme_ == VersionScheme::kSiasChains) {
+      if (map_.bound() < max_vid) {
+        map_.Set(max_vid - 1, map_.Get(max_vid - 1));
+      }
+    } else if (map_v_.bound() < max_vid) {
+      map_v_.Set(max_vid - 1, map_v_.Get(max_vid - 1));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sias

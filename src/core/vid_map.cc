@@ -1,0 +1,108 @@
+#include "core/vid_map.h"
+
+#include <array>
+
+#include "common/logging.h"
+
+namespace sias {
+
+VidMap::Bucket* VidMap::EnsureBucket(Vid vid) {
+  size_t bucket = static_cast<size_t>(vid / kEntriesPerBucket);
+  if (bucket >= num_buckets_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> g(grow_mu_);
+    while (buckets_.size() <= bucket) {
+      auto b = std::make_unique<Bucket>();
+      for (auto& s : b->slots) s.store(kEmpty, std::memory_order_relaxed);
+      buckets_.push_back(std::move(b));
+    }
+    num_buckets_.store(buckets_.size(), std::memory_order_release);
+  }
+  return buckets_[bucket].get();
+}
+
+const VidMap::Bucket* VidMap::BucketFor(Vid vid) const {
+  size_t bucket = static_cast<size_t>(vid / kEntriesPerBucket);
+  if (bucket >= num_buckets_.load(std::memory_order_acquire)) return nullptr;
+  return buckets_[bucket].get();
+}
+
+Vid VidMap::AllocateVid() {
+  Vid vid = next_vid_.fetch_add(1, std::memory_order_acq_rel);
+  EnsureBucket(vid);
+  return vid;
+}
+
+Vid VidMap::AllocateVidBatch(uint64_t count) {
+  SIAS_CHECK(count > 0);
+  Vid first = next_vid_.fetch_add(count, std::memory_order_acq_rel);
+  EnsureBucket(first + count - 1);
+  return first;
+}
+
+Tid VidMap::Get(Vid vid) const {
+  const Bucket* b = BucketFor(vid);
+  if (b == nullptr) return kInvalidTid;
+  uint64_t v = b->slots[vid % kEntriesPerBucket].load(std::memory_order_acquire);
+  if (v == kEmpty) return kInvalidTid;
+  return Tid::Unpack(v);
+}
+
+void VidMap::Set(Vid vid, Tid tid) {
+  Bucket* b = EnsureBucket(vid);
+  b->slots[vid % kEntriesPerBucket].store(tid.Pack(),
+                                          std::memory_order_release);
+  // Recovery may Set beyond the allocation high-water mark; keep it in sync.
+  Vid cur = next_vid_.load(std::memory_order_relaxed);
+  while (cur <= vid && !next_vid_.compare_exchange_weak(
+                           cur, vid + 1, std::memory_order_acq_rel)) {
+  }
+}
+
+bool VidMap::CompareAndSet(Vid vid, Tid expected, Tid desired) {
+  Bucket* b = EnsureBucket(vid);
+  uint64_t exp = expected.valid() ? expected.Pack() : kEmpty;
+  uint64_t des = desired.valid() ? desired.Pack() : kEmpty;
+  return b->slots[vid % kEntriesPerBucket].compare_exchange_strong(
+      exp, des, std::memory_order_acq_rel);
+}
+
+void VidMap::Clear(Vid vid) {
+  Bucket* b = EnsureBucket(vid);
+  b->slots[vid % kEntriesPerBucket].store(kEmpty, std::memory_order_release);
+}
+
+size_t VidMap::bucket_count() const {
+  return num_buckets_.load(std::memory_order_acquire);
+}
+
+void VidMap::Serialize(std::string* out) const {
+  Vid bound = next_vid_.load(std::memory_order_acquire);
+  PutFixed64(out, bound);
+  for (Vid v = 0; v < bound; ++v) {
+    Tid t = Get(v);
+    PutFixed64(out, t.valid() ? t.Pack() : kEmpty);
+  }
+}
+
+Status VidMap::Deserialize(Slice in) {
+  if (in.size() < 8) return Status::Corruption("vidmap snapshot truncated");
+  Vid bound = DecodeFixed64(in.data());
+  if (in.size() < 8 + bound * 8) {
+    return Status::Corruption("vidmap snapshot truncated");
+  }
+  for (Vid v = 0; v < bound; ++v) {
+    uint64_t packed = DecodeFixed64(in.data() + 8 + v * 8);
+    if (packed == kEmpty) {
+      EnsureBucket(v);
+    } else {
+      Set(v, Tid::Unpack(packed));
+    }
+  }
+  Vid cur = next_vid_.load(std::memory_order_relaxed);
+  while (cur < bound && !next_vid_.compare_exchange_weak(
+                            cur, bound, std::memory_order_acq_rel)) {
+  }
+  return Status::OK();
+}
+
+}  // namespace sias

@@ -1,0 +1,162 @@
+#include "core/vid_map_v.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace sias {
+
+VidMapV::Bucket* VidMapV::EnsureBucket(Vid vid) {
+  size_t bucket = static_cast<size_t>(vid / kEntriesPerBucket);
+  if (bucket >= num_buckets_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> g(grow_mu_);
+    while (buckets_.size() <= bucket) {
+      buckets_.push_back(std::make_unique<Bucket>());
+    }
+    num_buckets_.store(buckets_.size(), std::memory_order_release);
+  }
+  return buckets_[bucket].get();
+}
+
+const VidMapV::Bucket* VidMapV::BucketFor(Vid vid) const {
+  size_t bucket = static_cast<size_t>(vid / kEntriesPerBucket);
+  if (bucket >= num_buckets_.load(std::memory_order_acquire)) return nullptr;
+  return buckets_[bucket].get();
+}
+
+Vid VidMapV::AllocateVid() {
+  Vid vid = next_vid_.fetch_add(1, std::memory_order_acq_rel);
+  EnsureBucket(vid);
+  return vid;
+}
+
+std::vector<Tid> VidMapV::Get(Vid vid) const {
+  const Bucket* b = BucketFor(vid);
+  if (b == nullptr) return {};
+  SpinLatchGuard g(b->latch);
+  return b->entries[vid % kEntriesPerBucket];
+}
+
+Tid VidMapV::Entrypoint(Vid vid) const {
+  const Bucket* b = BucketFor(vid);
+  if (b == nullptr) return kInvalidTid;
+  SpinLatchGuard g(b->latch);
+  const auto& vec = b->entries[vid % kEntriesPerBucket];
+  return vec.empty() ? kInvalidTid : vec.front();
+}
+
+bool VidMapV::PushFront(Vid vid, Tid expected_front, Tid tid) {
+  Bucket* b = EnsureBucket(vid);
+  SpinLatchGuard g(b->latch);
+  auto& vec = b->entries[vid % kEntriesPerBucket];
+  Tid front = vec.empty() ? kInvalidTid : vec.front();
+  if (front != expected_front) return false;
+  vec.insert(vec.begin(), tid);
+  return true;
+}
+
+bool VidMapV::PopFrontIf(Vid vid, Tid tid) {
+  Bucket* b = EnsureBucket(vid);
+  SpinLatchGuard g(b->latch);
+  auto& vec = b->entries[vid % kEntriesPerBucket];
+  if (vec.empty() || vec.front() != tid) return false;
+  vec.erase(vec.begin());
+  return true;
+}
+
+bool VidMapV::ReplaceTid(Vid vid, Tid old_tid, Tid new_tid) {
+  Bucket* b = EnsureBucket(vid);
+  SpinLatchGuard g(b->latch);
+  auto& vec = b->entries[vid % kEntriesPerBucket];
+  auto it = std::find(vec.begin(), vec.end(), old_tid);
+  if (it == vec.end()) return false;
+  *it = new_tid;
+  return true;
+}
+
+void VidMapV::TruncateAfter(Vid vid, size_t keep) {
+  Bucket* b = EnsureBucket(vid);
+  SpinLatchGuard g(b->latch);
+  auto& vec = b->entries[vid % kEntriesPerBucket];
+  if (vec.size() > keep) vec.resize(keep);
+}
+
+void VidMapV::Clear(Vid vid) {
+  Bucket* b = EnsureBucket(vid);
+  SpinLatchGuard g(b->latch);
+  b->entries[vid % kEntriesPerBucket].clear();
+}
+
+void VidMapV::Set(Vid vid, std::vector<Tid> versions) {
+  Bucket* b = EnsureBucket(vid);
+  {
+    SpinLatchGuard g(b->latch);
+    b->entries[vid % kEntriesPerBucket] = std::move(versions);
+  }
+  Vid cur = next_vid_.load(std::memory_order_relaxed);
+  while (cur <= vid && !next_vid_.compare_exchange_weak(
+                           cur, vid + 1, std::memory_order_acq_rel)) {
+  }
+}
+
+Vid VidMapV::bound() const {
+  return next_vid_.load(std::memory_order_acquire);
+}
+
+size_t VidMapV::bucket_count() const {
+  return num_buckets_.load(std::memory_order_acquire);
+}
+
+size_t VidMapV::memory_bytes() const {
+  size_t bytes = bucket_count() * sizeof(Bucket);
+  Vid n = bound();
+  for (Vid v = 0; v < n; ++v) {
+    const Bucket* b = BucketFor(v);
+    if (b != nullptr) {
+      bytes += b->entries[v % kEntriesPerBucket].capacity() * sizeof(Tid);
+    }
+  }
+  return bytes;
+}
+
+void VidMapV::Serialize(std::string* out) const {
+  Vid n = bound();
+  PutFixed64(out, n);
+  for (Vid v = 0; v < n; ++v) {
+    std::vector<Tid> vec = Get(v);
+    PutFixed32(out, static_cast<uint32_t>(vec.size()));
+    for (Tid t : vec) PutFixed64(out, t.Pack());
+  }
+}
+
+Status VidMapV::Deserialize(Slice in) {
+  if (in.size() < 8) return Status::Corruption("vidmapv snapshot truncated");
+  const uint8_t* p = in.data();
+  const uint8_t* end = in.data() + in.size();
+  Vid n = DecodeFixed64(p);
+  p += 8;
+  for (Vid v = 0; v < n; ++v) {
+    if (p + 4 > end) return Status::Corruption("vidmapv snapshot truncated");
+    uint32_t count = DecodeFixed32(p);
+    p += 4;
+    if (p + 8ull * count > end) {
+      return Status::Corruption("vidmapv snapshot truncated");
+    }
+    std::vector<Tid> vec;
+    vec.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      vec.push_back(Tid::Unpack(DecodeFixed64(p)));
+      p += 8;
+    }
+    Set(v, std::move(vec));
+  }
+  Vid cur = next_vid_.load(std::memory_order_relaxed);
+  while (cur < n && !next_vid_.compare_exchange_weak(
+                        cur, n, std::memory_order_acq_rel)) {
+  }
+  return Status::OK();
+}
+
+}  // namespace sias

@@ -1,0 +1,52 @@
+#include "device/device.h"
+
+#include <cstdio>
+
+namespace sias {
+
+double DeviceStats::WriteAmplification() const {
+  uint64_t host_pages = bytes_written / 4096;
+  if (host_pages == 0) return 1.0;
+  return static_cast<double>(flash_page_programs) /
+         static_cast<double>(host_pages);
+}
+
+DeviceStats& DeviceStats::operator+=(const DeviceStats& o) {
+  read_ops += o.read_ops;
+  write_ops += o.write_ops;
+  bytes_read += o.bytes_read;
+  bytes_written += o.bytes_written;
+  flash_page_reads += o.flash_page_reads;
+  flash_page_programs += o.flash_page_programs;
+  flash_block_erases += o.flash_block_erases;
+  gc_page_moves += o.gc_page_moves;
+  return *this;
+}
+
+std::string DeviceStats::ToString() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "r=%llu (%.1fMB) w=%llu (%.1fMB) programs=%llu erases=%llu "
+           "gc_moves=%llu WA=%.2f",
+           static_cast<unsigned long long>(read_ops),
+           static_cast<double>(bytes_read) / (1024.0 * 1024.0),
+           static_cast<unsigned long long>(write_ops),
+           static_cast<double>(bytes_written) / (1024.0 * 1024.0),
+           static_cast<unsigned long long>(flash_page_programs),
+           static_cast<unsigned long long>(flash_block_erases),
+           static_cast<unsigned long long>(gc_page_moves),
+           WriteAmplification());
+  return buf;
+}
+
+Status StorageDevice::CheckRange(uint64_t offset, size_t len) const {
+  if (len == 0 || (offset % 512) != 0 || (len % 512) != 0) {
+    return Status::InvalidArgument("unaligned device I/O");
+  }
+  if (offset + len > capacity_bytes()) {
+    return Status::InvalidArgument("I/O beyond device capacity");
+  }
+  return Status::OK();
+}
+
+}  // namespace sias

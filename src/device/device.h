@@ -1,0 +1,86 @@
+// Storage device abstraction.
+//
+// Devices store real bytes (RAM-backed) and model I/O *duration* in virtual
+// time: every Read/Write advances the caller's VirtualClock by the modelled
+// queueing + service time. Device channels keep "busy until" marks shared
+// across all callers, so concurrent terminals contend for the device exactly
+// as they would on hardware (see DESIGN.md §3.1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "common/vclock.h"
+
+namespace sias {
+
+class TraceRecorder;
+
+/// Cumulative device counters. Flash-specific fields stay zero on non-flash
+/// devices.
+struct DeviceStats {
+  uint64_t read_ops = 0;
+  uint64_t write_ops = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+
+  // Flash internals.
+  uint64_t flash_page_reads = 0;
+  uint64_t flash_page_programs = 0;
+  uint64_t flash_block_erases = 0;
+  uint64_t gc_page_moves = 0;
+
+  /// Host-write to flash-program amplification (1.0 = no amplification).
+  double WriteAmplification() const;
+
+  DeviceStats& operator+=(const DeviceStats& o);
+  std::string ToString() const;
+};
+
+/// Abstract simulated block device.
+///
+/// Offsets and lengths must be multiples of 512 bytes; the engine only ever
+/// issues whole 8 KB pages. All methods are thread-safe.
+class StorageDevice {
+ public:
+  virtual ~StorageDevice() = default;
+
+  /// Reads `len` bytes at `offset` into `out`, charging virtual time to
+  /// `clk` (pass nullptr to skip time accounting, e.g. during recovery).
+  virtual Status Read(uint64_t offset, size_t len, uint8_t* out,
+                      VirtualClock* clk) = 0;
+
+  /// Writes `len` bytes at `offset`, charging virtual time to `clk`.
+  /// `background` marks asynchronous maintenance I/O (background writer,
+  /// paced checkpointer): it OCCUPIES device time — later foreground
+  /// requests queue behind it — but the issuing clock does not wait for
+  /// completion. Foreground writes (evictions on the transaction path,
+  /// WAL) are synchronous.
+  virtual Status Write(uint64_t offset, size_t len, const uint8_t* data,
+                       VirtualClock* clk, bool background = false) = 0;
+
+  /// Hints that the range is dead (SSD TRIM). Default: no-op.
+  virtual Status Trim(uint64_t offset, size_t len) {
+    (void)offset;
+    (void)len;
+    return Status::OK();
+  }
+
+  virtual uint64_t capacity_bytes() const = 0;
+  virtual DeviceStats stats() const = 0;
+
+  /// Attaches a block-trace recorder (may be nullptr to detach). The
+  /// recorder sees every host-level I/O with its virtual start time.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+  TraceRecorder* trace() const { return trace_; }
+
+ protected:
+  Status CheckRange(uint64_t offset, size_t len) const;
+
+  TraceRecorder* trace_ = nullptr;
+};
+
+}  // namespace sias

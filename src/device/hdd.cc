@@ -1,0 +1,78 @@
+#include "device/hdd.h"
+
+#include <cmath>
+
+namespace sias {
+
+VTime Hdd::Service(uint64_t offset, size_t len, VTime now) {
+  // Positioning time from the head-distance model.
+  VDuration position;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (offset == head_pos_) {
+      position = 0;  // sequential continuation
+    } else {
+      uint64_t dist = offset > head_pos_ ? offset - head_pos_
+                                         : head_pos_ - offset;
+      double frac = static_cast<double>(dist) /
+                    static_cast<double>(config_.capacity_bytes);
+      // Seek time grows with the square root of distance (classic model).
+      position = config_.min_seek +
+                 static_cast<VDuration>(
+                     static_cast<double>(config_.max_seek - config_.min_seek) *
+                     std::sqrt(frac)) +
+                 config_.half_rotation;
+    }
+    head_pos_ = offset + len;
+  }
+  VDuration transfer = static_cast<VDuration>(
+      static_cast<double>(len) * kVSecond /
+      static_cast<double>(config_.transfer_bytes_per_sec));
+  VDuration service = position + transfer;
+  VTime start = busy_.Reserve(now, service);
+  return start + service;
+}
+
+Status Hdd::Read(uint64_t offset, size_t len, uint8_t* out,
+                 VirtualClock* clk) {
+  SIAS_RETURN_NOT_OK(CheckRange(offset, len));
+  VTime now = clk ? clk->now() : 0;
+  if (trace_ != nullptr) {
+    trace_->Record(now, offset, static_cast<uint32_t>(len), TraceOp::kRead);
+  }
+  store_.Read(offset, len, out);
+  VTime done = Service(offset, len, now);
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    stats_.read_ops++;
+    stats_.bytes_read += len;
+  }
+  if (clk != nullptr) clk->AdvanceTo(done);
+  return Status::OK();
+}
+
+Status Hdd::Write(uint64_t offset, size_t len, const uint8_t* data,
+                  VirtualClock* clk, bool background) {
+  SIAS_RETURN_NOT_OK(CheckRange(offset, len));
+  VTime now = clk ? clk->now() : 0;
+  if (trace_ != nullptr) {
+    trace_->Record(now, offset, static_cast<uint32_t>(len), TraceOp::kWrite);
+  }
+  store_.Write(offset, len, data);
+  // The head is busy either way; background callers just don't wait.
+  VTime done = Service(offset, len, now);
+  if (clk != nullptr && !background) clk->AdvanceTo(done);
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    stats_.write_ops++;
+    stats_.bytes_written += len;
+  }
+  return Status::OK();
+}
+
+DeviceStats Hdd::stats() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return stats_;
+}
+
+}  // namespace sias

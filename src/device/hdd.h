@@ -1,0 +1,49 @@
+// Rotating-disk simulator: symmetric, mechanically expensive random access.
+// Calibrated to the paper's Seagate ST3320613AS (7200 rpm) class drive.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "device/channel_calendar.h"
+#include "device/data_store.h"
+#include "device/device.h"
+#include "device/trace.h"
+
+namespace sias {
+
+struct HddConfig {
+  uint64_t capacity_bytes = 1ull << 32;            ///< 4 GB address space
+  VDuration min_seek = 500 * kVMicrosecond;        ///< track-to-track
+  VDuration max_seek = 8500 * kVMicrosecond;       ///< full stroke (avg-ish)
+  VDuration half_rotation = 4170 * kVMicrosecond;  ///< 7200 rpm / 2
+  uint64_t transfer_bytes_per_sec = 100ull << 20;  ///< 100 MB/s media rate
+};
+
+/// Single-actuator HDD: one request queue; a request seeks from the current
+/// head position, waits half a rotation (expected value), then transfers.
+/// Sequential continuation (offset == previous end) skips seek + rotation.
+class Hdd : public StorageDevice {
+ public:
+  explicit Hdd(const HddConfig& config) : config_(config) {}
+
+  Status Read(uint64_t offset, size_t len, uint8_t* out,
+              VirtualClock* clk) override;
+  Status Write(uint64_t offset, size_t len, const uint8_t* data,
+               VirtualClock* clk, bool background = false) override;
+
+  uint64_t capacity_bytes() const override { return config_.capacity_bytes; }
+  DeviceStats stats() const override;
+
+ private:
+  VTime Service(uint64_t offset, size_t len, VTime now);
+
+  HddConfig config_;
+  mutable std::mutex mu_;
+  ChannelCalendar busy_;
+  uint64_t head_pos_ = 0;  ///< byte position after last transfer
+  DataStore store_;
+  DeviceStats stats_;
+};
+
+}  // namespace sias

@@ -1,0 +1,92 @@
+#include "device/raid0.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "device/trace.h"
+
+namespace sias {
+
+Raid0::Raid0(std::vector<std::unique_ptr<StorageDevice>> members,
+             uint64_t stripe_bytes)
+    : members_(std::move(members)), stripe_(stripe_bytes) {
+  SIAS_CHECK(!members_.empty());
+  SIAS_CHECK(stripe_ % 512 == 0);
+  uint64_t min_cap = ~0ull;
+  for (const auto& m : members_) {
+    min_cap = std::min(min_cap, m->capacity_bytes());
+  }
+  capacity_ = min_cap * members_.size();
+}
+
+std::vector<Raid0::Segment> Raid0::Split(uint64_t offset, size_t len) const {
+  std::vector<Segment> segs;
+  uint64_t pos = offset;
+  size_t remaining = len;
+  while (remaining > 0) {
+    uint64_t stripe_no = pos / stripe_;
+    uint64_t in_stripe = pos % stripe_;
+    size_t n = static_cast<size_t>(
+        std::min<uint64_t>(remaining, stripe_ - in_stripe));
+    size_t member = static_cast<size_t>(stripe_no % members_.size());
+    uint64_t member_stripe = stripe_no / members_.size();
+    segs.push_back(Segment{member, member_stripe * stripe_ + in_stripe,
+                           pos - offset, n});
+    pos += n;
+    remaining -= n;
+  }
+  return segs;
+}
+
+Status Raid0::Read(uint64_t offset, size_t len, uint8_t* out,
+                   VirtualClock* clk) {
+  SIAS_RETURN_NOT_OK(CheckRange(offset, len));
+  VTime now = clk ? clk->now() : 0;
+  if (trace_ != nullptr) {
+    trace_->Record(now, offset, static_cast<uint32_t>(len), TraceOp::kRead);
+  }
+  VTime completion = now;
+  for (const auto& s : Split(offset, len)) {
+    VirtualClock sub(now);
+    SIAS_RETURN_NOT_OK(members_[s.member]->Read(
+        s.member_offset, s.len, out + s.host_offset, clk ? &sub : nullptr));
+    completion = std::max(completion, sub.now());
+  }
+  if (clk != nullptr) clk->AdvanceTo(completion);
+  return Status::OK();
+}
+
+Status Raid0::Write(uint64_t offset, size_t len, const uint8_t* data,
+                    VirtualClock* clk, bool background) {
+  SIAS_RETURN_NOT_OK(CheckRange(offset, len));
+  VTime now = clk ? clk->now() : 0;
+  if (trace_ != nullptr) {
+    trace_->Record(now, offset, static_cast<uint32_t>(len), TraceOp::kWrite);
+  }
+  VTime completion = now;
+  for (const auto& s : Split(offset, len)) {
+    VirtualClock sub(now);
+    SIAS_RETURN_NOT_OK(members_[s.member]->Write(
+        s.member_offset, s.len, data + s.host_offset, clk ? &sub : nullptr,
+        background));
+    completion = std::max(completion, sub.now());
+  }
+  if (clk != nullptr) clk->AdvanceTo(completion);
+  return Status::OK();
+}
+
+Status Raid0::Trim(uint64_t offset, size_t len) {
+  SIAS_RETURN_NOT_OK(CheckRange(offset, len));
+  for (const auto& s : Split(offset, len)) {
+    SIAS_RETURN_NOT_OK(members_[s.member]->Trim(s.member_offset, s.len));
+  }
+  return Status::OK();
+}
+
+DeviceStats Raid0::stats() const {
+  DeviceStats total;
+  for (const auto& m : members_) total += m->stats();
+  return total;
+}
+
+}  // namespace sias

@@ -1,0 +1,125 @@
+#include "device/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+#include "common/status.h"
+
+namespace sias {
+
+TraceRecorder::TraceRecorder(size_t max_events) : max_events_(max_events) {
+  events_.reserve(std::min<size_t>(max_events, 1u << 16));
+}
+
+void TraceRecorder::Record(VTime time, uint64_t offset, uint32_t length,
+                           TraceOp op) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (op == TraceOp::kWrite) {
+    bytes_written_ += length;
+  } else if (op == TraceOp::kRead) {
+    bytes_read_ += length;
+  }
+  if (events_.size() < max_events_) {
+    events_.push_back(TraceEvent{time, offset, length, op});
+  } else {
+    dropped_++;
+  }
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> g(mu_);
+  events_.clear();
+  bytes_written_ = bytes_read_ = dropped_ = 0;
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return events_;
+}
+
+uint64_t TraceRecorder::total_bytes_written() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return bytes_written_;
+}
+
+uint64_t TraceRecorder::total_bytes_read() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return bytes_read_;
+}
+
+uint64_t TraceRecorder::dropped_events() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return dropped_;
+}
+
+Status TraceRecorder::ToCsv(const std::string& path) const {
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  fprintf(f, "time_ms,offset_mb,len,op\n");
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    for (const auto& e : events_) {
+      fprintf(f, "%.3f,%.3f,%u,%c\n",
+              static_cast<double>(e.time) / kVMillisecond,
+              static_cast<double>(e.offset) / (1024.0 * 1024.0), e.length,
+              e.op == TraceOp::kWrite  ? 'W'
+              : e.op == TraceOp::kRead ? 'R'
+                                       : 'T');
+    }
+  }
+  fclose(f);
+  return Status::OK();
+}
+
+TraceAnalysis AnalyzeTrace(const std::vector<TraceEvent>& events) {
+  TraceAnalysis a;
+  std::unordered_set<uint64_t> wregions, rregions;
+  uint64_t next_expected_write = ~0ull;
+  uint64_t sequential_writes = 0;
+  // Events may interleave across terminals; sort by time so sequentiality is
+  // judged in issue order.
+  std::vector<TraceEvent> sorted = events;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TraceEvent& x, const TraceEvent& y) {
+                     return x.time < y.time;
+                   });
+  for (const auto& e : sorted) {
+    if (e.op == TraceOp::kWrite) {
+      a.write_ops++;
+      a.bytes_written += e.length;
+      if (e.offset == next_expected_write) sequential_writes++;
+      next_expected_write = e.offset + e.length;
+      wregions.insert(e.offset >> 20);
+    } else if (e.op == TraceOp::kRead) {
+      a.read_ops++;
+      a.bytes_read += e.length;
+      rregions.insert(e.offset >> 20);
+    }
+  }
+  a.write_sequentiality =
+      a.write_ops > 1
+          ? static_cast<double>(sequential_writes) /
+                static_cast<double>(a.write_ops - 1)
+          : 1.0;
+  a.write_regions_1mb = wregions.size();
+  a.read_regions_1mb = rregions.size();
+  return a;
+}
+
+std::string TraceAnalysis::ToString() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "reads=%llu (%.1f MB, %llu regions) writes=%llu (%.1f MB, %llu "
+           "regions, seq=%.2f)",
+           static_cast<unsigned long long>(read_ops),
+           static_cast<double>(bytes_read) / (1024.0 * 1024.0),
+           static_cast<unsigned long long>(read_regions_1mb),
+           static_cast<unsigned long long>(write_ops),
+           static_cast<double>(bytes_written) / (1024.0 * 1024.0),
+           static_cast<unsigned long long>(write_regions_1mb),
+           write_sequentiality);
+  return buf;
+}
+
+}  // namespace sias

@@ -1,0 +1,451 @@
+#include "engine/database.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+#include "common/logging.h"
+
+namespace sias {
+
+namespace {
+constexpr uint64_t kControlMagic = 0x534941534442ull;  // "SIASDB"
+}
+
+Database::Database(const DatabaseOptions& opts)
+    : opts_(opts), locks_(opts.lock_timeout_ms), txns_(&clog_, &locks_) {}
+
+Database::~Database() = default;
+
+Result<std::unique_ptr<Database>> Database::Open(const DatabaseOptions& opts) {
+  if (opts.data_device == nullptr) {
+    return Status::InvalidArgument("data device required");
+  }
+  std::unique_ptr<Database> db(new Database(opts));
+  db->disk_ = std::make_unique<DiskManager>(opts.data_device,
+                                            opts.control_region_bytes);
+  if (opts.wal_device != nullptr) {
+    db->wal_ = std::make_unique<WalWriter>(opts.wal_device, 0,
+                                           opts.wal_limit_bytes);
+  }
+  WalWriter* wal = db->wal_.get();
+  db->pool_ = std::make_unique<BufferPool>(
+      db->disk_.get(), opts.pool_frames,
+      wal != nullptr
+          ? BufferPool::WalFlushHook([wal](Lsn lsn, VirtualClock* clk) {
+              return wal->FlushTo(lsn, clk);
+            })
+          : BufferPool::WalFlushHook{});
+
+  // Commit hook: append the commit record and group-commit flush it —
+  // the transaction's durability point.
+  db->txns_.set_commit_hook([db = db.get()](Transaction* txn) {
+    if (db->wal_ == nullptr) return Status::OK();
+    WalRecord rec;
+    rec.type = WalRecordType::kTxnCommit;
+    rec.xid = txn->xid();
+    SIAS_ASSIGN_OR_RETURN(Lsn lsn, db->wal_->Append(rec));
+    return db->wal_->FlushTo(lsn, txn->clock());
+  });
+  db->txns_.set_abort_hook([db = db.get()](Transaction* txn) {
+    if (db->wal_ == nullptr) return Status::OK();
+    WalRecord rec;
+    rec.type = WalRecordType::kTxnAbort;
+    rec.xid = txn->xid();
+    return db->wal_->Append(rec).status();
+  });
+  return db;
+}
+
+Result<Table*> Database::CreateTable(const std::string& name, Schema schema,
+                                     VersionScheme scheme) {
+  std::lock_guard<std::mutex> g(catalog_mu_);
+  if (tables_.count(name) != 0) {
+    return Status::AlreadyExists("table exists: " + name);
+  }
+  RelationId relation = next_relation_++;
+  SIAS_RETURN_NOT_OK(disk_->CreateRelation(relation));
+  TableEnv env{pool_.get(), &txns_, wal_.get()};
+  std::unique_ptr<MvccTable> heap;
+  if (scheme == VersionScheme::kSi) {
+    heap = std::make_unique<SiHeap>(relation, env);
+  } else {
+    heap = std::make_unique<SiasTable>(relation, env, scheme);
+  }
+  auto table =
+      std::make_unique<Table>(name, std::move(schema), std::move(heap));
+  Table* ptr = table.get();
+  tables_[name] = std::move(table);
+  return ptr;
+}
+
+Table* Database::GetTable(const std::string& name) {
+  std::lock_guard<std::mutex> g(catalog_mu_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Status Database::CreateIndex(Table* table, const std::string& index_name,
+                             KeyExtractor extractor) {
+  std::lock_guard<std::mutex> g(catalog_mu_);
+  RelationId relation = next_relation_++;
+  SIAS_RETURN_NOT_OK(disk_->CreateRelation(relation));
+  auto tree = std::make_unique<BTree>(relation, pool_.get());
+  VirtualClock clk;
+  SIAS_RETURN_NOT_OK(tree->Create(&clk));
+  table->AttachIndex(index_name, std::move(tree), std::move(extractor));
+  return Status::OK();
+}
+
+std::unique_ptr<Transaction> Database::Begin(VirtualClock* clock) {
+  return txns_.Begin(clock);
+}
+
+Status Database::Commit(Transaction* txn) {
+  Status s = txns_.Commit(txn);
+  if (s.ok()) {
+    committed_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    aborted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (txn->clock() != nullptr) {
+    VTime now = txn->clock()->now();
+    VTime cur = makespan_.load(std::memory_order_relaxed);
+    while (cur < now && !makespan_.compare_exchange_weak(cur, now)) {
+    }
+  }
+  return s;
+}
+
+Status Database::Abort(Transaction* txn) {
+  aborted_.fetch_add(1, std::memory_order_relaxed);
+  return txns_.Abort(txn);
+}
+
+Status Database::Tick(VirtualClock* clk) {
+  VTime now = clk->now();
+  VTime cur = makespan_.load(std::memory_order_relaxed);
+  while (cur < now && !makespan_.compare_exchange_weak(cur, now)) {
+  }
+  // Claim-and-run each maintenance deadline at most once.
+  VTime bg = next_bgwriter_.load(std::memory_order_relaxed);
+  if (now >= bg &&
+      next_bgwriter_.compare_exchange_strong(bg, now +
+                                                     opts_.bgwriter_interval)) {
+    SIAS_RETURN_NOT_OK(BgWriterPass(clk));
+  }
+  VTime cp = next_checkpoint_.load(std::memory_order_relaxed);
+  if (now >= cp &&
+      next_checkpoint_.compare_exchange_strong(
+          cp, now + opts_.checkpoint_interval)) {
+    SIAS_RETURN_NOT_OK(StartPacedCheckpoint(clk));
+  }
+  return Status::OK();
+}
+
+Status Database::BgWriterPass(VirtualClock* clk) {
+  std::lock_guard<std::mutex> g(maintenance_mu_);
+  bgwriter_passes_.fetch_add(1, std::memory_order_relaxed);
+  SIAS_RETURN_NOT_OK(DrainCheckpointLocked(clk));
+
+  // Under t1, the bgwriter persists append pages on its cadence — which
+  // requires SEALING the (possibly sparsely filled) open page first, the
+  // very behaviour the paper blames for t1's wasted space and extra writes.
+  if (opts_.flush_policy == FlushPolicy::kT1BackgroundWriter) {
+    std::lock_guard<std::mutex> cg(catalog_mu_);
+    for (auto& [name, table] : tables_) {
+      if (table->scheme() != VersionScheme::kSi) {
+        static_cast<SiasTable*>(table->heap())->region().SealOpenPage();
+      }
+    }
+  }
+
+  size_t budget = opts_.bgwriter_pages_per_pass == 0
+                      ? ~size_t{0}
+                      : opts_.bgwriter_pages_per_pass;
+  for (const auto& info : pool_->DirtyPagesWithFlags(
+           /*clear_referenced=*/true)) {
+    bool append_page = (info.page_flags & kPageFlagAppendRegion) != 0;
+    if (append_page) {
+      // Sealed append pages are full and immutable: writing them now is the
+      // paper's optimal threshold ("maximum filling degree") and costs the
+      // same bytes as the checkpoint piggyback, so both policies drain them
+      // outside the bgwriter budget. The OPEN (sticky) page is where t1 and
+      // t2 differ: t1 sealed it above and writes it (possibly sparsely
+      // filled); t2 leaves it to keep filling until the checkpoint.
+      if (info.sticky && opts_.flush_policy == FlushPolicy::kT2Checkpoint) {
+        continue;
+      }
+    } else {
+      if (info.referenced) {
+        // PostgreSQL-style write-behind: pages still hot (e.g. the
+        // rightmost index leaf) wait for the checkpoint.
+        continue;
+      }
+      if (budget == 0) continue;
+      budget--;
+    }
+    SIAS_RETURN_NOT_OK(pool_->FlushPage(info.id, clk,
+                                        FlushSource::kBackgroundWriter));
+  }
+  return Status::OK();
+}
+
+Status Database::Checkpoint(VirtualClock* clk) {
+  std::lock_guard<std::mutex> g(maintenance_mu_);
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  // A sharp checkpoint subsumes any paced one in flight.
+  ckpt_queue_.clear();
+  ckpt_active_ = false;
+  Lsn checkpoint_lsn = wal_ != nullptr ? wal_->current_lsn() : 0;
+  SIAS_RETURN_NOT_OK(pool_->FlushAll(clk, FlushSource::kCheckpoint));
+  if (wal_ != nullptr) {
+    SIAS_RETURN_NOT_OK(wal_->FlushTo(wal_->current_lsn(), clk));
+  }
+  return WriteControlBlock(checkpoint_lsn, clk);
+}
+
+Status Database::StartPacedCheckpoint(VirtualClock* clk) {
+  std::lock_guard<std::mutex> g(maintenance_mu_);
+  if (ckpt_active_) return Status::OK();  // previous drain still running
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  pending_ckpt_lsn_ = wal_ != nullptr ? wal_->current_lsn() : 0;
+  ckpt_queue_.clear();
+  for (const auto& info : pool_->DirtyPagesWithFlags(false)) {
+    ckpt_queue_.push_back(info.id);
+  }
+  // Drain across the bgwriter passes of roughly half the interval.
+  uint64_t passes = std::max<uint64_t>(
+      1, opts_.checkpoint_interval / 2 / std::max<VDuration>(
+                                              1, opts_.bgwriter_interval));
+  ckpt_drain_per_pass_ =
+      std::max<size_t>(1, (ckpt_queue_.size() + passes - 1) / passes);
+  ckpt_active_ = true;
+  return DrainCheckpointLocked(clk);
+}
+
+Status Database::DrainCheckpointLocked(VirtualClock* clk) {
+  if (!ckpt_active_) return Status::OK();
+  size_t n = std::min(ckpt_drain_per_pass_, ckpt_queue_.size());
+  for (size_t i = 0; i < n; ++i) {
+    PageId id = ckpt_queue_.front();
+    ckpt_queue_.pop_front();
+    SIAS_RETURN_NOT_OK(
+        pool_->FlushPage(id, clk, FlushSource::kCheckpoint));
+  }
+  if (ckpt_queue_.empty()) {
+    ckpt_active_ = false;
+    if (wal_ != nullptr) {
+      SIAS_RETURN_NOT_OK(wal_->FlushTo(wal_->current_lsn(), clk));
+    }
+    SIAS_RETURN_NOT_OK(WriteControlBlock(pending_ckpt_lsn_, clk));
+  }
+  return Status::OK();
+}
+
+Status Database::WriteControlBlock(Lsn checkpoint_lsn, VirtualClock* clk) {
+  std::string blob;
+  PutFixed64(&blob, kControlMagic);
+  PutFixed64(&blob, checkpoint_lsn);
+  std::string dm;
+  disk_->Serialize(&dm);
+  PutFixed32(&blob, static_cast<uint32_t>(dm.size()));
+  blob += dm;
+  std::string cl;
+  clog_.Serialize(&cl);
+  PutFixed32(&blob, static_cast<uint32_t>(cl.size()));
+  blob += cl;
+  PutFixed64(&blob, txns_.NextXid());
+  PutFixed32(&blob, MaskCrc(Crc32c(blob.data(), blob.size())));
+  if (blob.size() > opts_.control_region_bytes) {
+    return Status::OutOfSpace("control block exceeds reserved region");
+  }
+  // Pad to whole pages and write at device offset 0.
+  size_t padded = (blob.size() + kPageSize - 1) / kPageSize * kPageSize;
+  std::vector<uint8_t> buf(padded, 0);
+  memcpy(buf.data(), blob.data(), blob.size());
+  return opts_.data_device->Write(0, padded, buf.data(), clk);
+}
+
+Result<Lsn> Database::ReadControlBlock() {
+  // Read the fixed header first to learn the blob size.
+  std::vector<uint8_t> head(kPageSize);
+  SIAS_RETURN_NOT_OK(opts_.data_device->Read(0, kPageSize, head.data(),
+                                             nullptr));
+  if (DecodeFixed64(head.data()) != kControlMagic) {
+    return Status::NotFound("no control block (fresh database)");
+  }
+  uint32_t dm_len = DecodeFixed32(head.data() + 16);
+  // Total = 8 magic + 8 lsn + 4 + dm + 4 + clog + 8 next_xid + 4 crc.
+  // Read enough pages to cover it; dm/clog lengths chain.
+  uint64_t need = 20ull + dm_len + 4;
+  std::vector<uint8_t> blob((need + kPageSize - 1) / kPageSize * kPageSize);
+  SIAS_RETURN_NOT_OK(
+      opts_.data_device->Read(0, blob.size(), blob.data(), nullptr));
+  uint32_t clog_len = DecodeFixed32(blob.data() + 20 + dm_len);
+  uint64_t total = 20ull + dm_len + 4 + clog_len + 8 + 4;
+  std::vector<uint8_t> full((total + kPageSize - 1) / kPageSize * kPageSize);
+  SIAS_RETURN_NOT_OK(
+      opts_.data_device->Read(0, full.size(), full.data(), nullptr));
+  uint32_t crc = DecodeFixed32(full.data() + total - 4);
+  if (MaskCrc(Crc32c(full.data(), total - 4)) != crc) {
+    return Status::Corruption("control block checksum mismatch");
+  }
+  // Restore state.
+  SIAS_RETURN_NOT_OK(
+      disk_->Deserialize(Slice(full.data() + 20, dm_len)));
+  SIAS_RETURN_NOT_OK(
+      clog_.Deserialize(Slice(full.data() + 24 + dm_len, clog_len)));
+  txns_.AdvanceNextXid(DecodeFixed64(full.data() + 24 + dm_len + clog_len));
+  return DecodeFixed64(full.data() + 8);  // checkpoint lsn
+}
+
+Status Database::Recover() {
+  if (opts_.wal_device == nullptr) {
+    return Status::NotSupported("recovery requires a WAL device");
+  }
+  // 1) Control block: disk map + clog snapshot + checkpoint LSN.
+  Lsn start_lsn = 0;
+  auto cb = ReadControlBlock();
+  if (cb.ok()) {
+    start_lsn = *cb;
+  } else if (cb.status().code() != StatusCode::kNotFound) {
+    return cb.status();
+  }
+
+  // Build relation -> heap routing from the catalog.
+  std::unordered_map<RelationId, MvccTable*> route;
+  {
+    std::lock_guard<std::mutex> g(catalog_mu_);
+    for (auto& [name, table] : tables_) {
+      route[table->heap()->relation()] = table->heap();
+    }
+  }
+
+  // 2) Redo pass.
+  WalReader reader(opts_.wal_device, 0, opts_.wal_limit_bytes, start_lsn);
+  Xid max_seen_xid = kFirstNormalXid;
+  for (;;) {
+    auto rec = reader.Next();
+    if (!rec.ok()) return rec.status();
+    if (!rec->has_value()) break;
+    const WalRecord& r = **rec;
+    if (r.xid != kInvalidXid) {
+      max_seen_xid = std::max(max_seen_xid, r.xid);
+      clog_.Extend(r.xid);
+    }
+    switch (r.type) {
+      case WalRecordType::kTxnCommit:
+        clog_.SetCommitted(r.xid);
+        break;
+      case WalRecordType::kTxnAbort:
+        clog_.SetAborted(r.xid);
+        break;
+      case WalRecordType::kHeapInsert: {
+        auto it = route.find(r.relation);
+        if (it == route.end()) break;  // dropped/undeclared relation
+        if (it->second->scheme() == VersionScheme::kSi) {
+          SIAS_RETURN_NOT_OK(static_cast<SiHeap*>(it->second)->ApplyInsert(
+              r.tid, Slice(r.body), reader.lsn()));
+        } else {
+          SIAS_RETURN_NOT_OK(static_cast<SiasTable*>(it->second)->ApplyInsert(
+              r.tid, r.aux, Slice(r.body), reader.lsn()));
+        }
+        break;
+      }
+      case WalRecordType::kHeapOverwrite: {
+        auto it = route.find(r.relation);
+        if (it == route.end()) break;
+        Status s;
+        if (it->second->scheme() == VersionScheme::kSi) {
+          s = static_cast<SiHeap*>(it->second)->ApplyOverwrite(
+              r.tid, Slice(r.body), reader.lsn());
+        } else {
+          s = static_cast<SiasTable*>(it->second)->ApplyOverwrite(
+              r.tid, Slice(r.body), reader.lsn());
+        }
+        if (!s.ok() && !s.IsNotFound()) return s;
+        break;
+      }
+      case WalRecordType::kHeapSlotDelete: {
+        auto it = route.find(r.relation);
+        if (it == route.end()) break;
+        Status s;
+        if (it->second->scheme() == VersionScheme::kSi) {
+          s = static_cast<SiHeap*>(it->second)->ApplySlotDelete(r.tid,
+                                                                reader.lsn());
+        } else {
+          s = static_cast<SiasTable*>(it->second)->ApplySlotDelete(
+              r.tid, reader.lsn());
+        }
+        if (!s.ok() && !s.IsNotFound()) return s;
+        break;
+      }
+      case WalRecordType::kCheckpoint:
+      case WalRecordType::kIndexInsert:
+        break;
+    }
+  }
+
+  // Resume the writer at the end of the valid log so new records extend it.
+  SIAS_RETURN_NOT_OK(wal_->Resume(reader.lsn()));
+
+  // 3) Crashed transactions never commit: every xid still marked
+  // in-progress (whether its records were replayed or flushed before the
+  // checkpoint) is aborted.
+  txns_.AdvanceNextXid(max_seen_xid + 1);
+  clog_.Extend(txns_.NextXid());
+  for (Xid x = kFirstNormalXid; x < txns_.NextXid(); ++x) {
+    if (clog_.Get(x) == TxnStatus::kInProgress) clog_.SetAborted(x);
+  }
+
+  // 4) Rebuild in-memory access structures from the heap ("all information
+  // required for a reconstruction is stored on each tuple version", §6).
+  VirtualClock clk;
+  auto recovery_txn = txns_.Begin(&clk);
+  {
+    std::lock_guard<std::mutex> g(catalog_mu_);
+    for (auto& [name, table] : tables_) {
+      if (table->scheme() == VersionScheme::kSi) {
+        SIAS_RETURN_NOT_OK(
+            static_cast<SiHeap*>(table->heap())->RebuildLocators());
+      } else {
+        SIAS_RETURN_NOT_OK(
+            static_cast<SiasTable*>(table->heap())->RebuildMap());
+      }
+      SIAS_RETURN_NOT_OK(table->RebuildIndexes(recovery_txn.get(), &clk));
+    }
+  }
+  return txns_.Commit(recovery_txn.get());
+}
+
+Status Database::Vacuum(VirtualClock* clk, GcStats* stats) {
+  Xid horizon = txns_.GcHorizon();
+  std::vector<Table*> tables;
+  {
+    std::lock_guard<std::mutex> g(catalog_mu_);
+    for (auto& [name, table] : tables_) tables.push_back(table.get());
+  }
+  for (Table* t : tables) {
+    SIAS_RETURN_NOT_OK(t->GarbageCollect(horizon, clk, stats));
+  }
+  return Status::OK();
+}
+
+DatabaseStats Database::stats() const {
+  DatabaseStats s;
+  s.device = opts_.data_device->stats();
+  s.pool = pool_->stats();
+  if (wal_ != nullptr) {
+    s.wal_appended_bytes = wal_->appended_bytes();
+    s.wal_written_bytes = wal_->written_bytes();
+  }
+  s.heap_allocated_bytes = disk_->allocated_bytes();
+  s.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+  s.bgwriter_passes = bgwriter_passes_.load(std::memory_order_relaxed);
+  s.committed = committed_.load(std::memory_order_relaxed);
+  s.aborted = aborted_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace sias

@@ -1,0 +1,165 @@
+// Database: the top-level engine facade wiring devices, disk manager,
+// buffer pool, WAL, transactions, tables and maintenance policies together.
+//
+// Flush thresholds (paper §5.2):
+//   kT1BackgroundWriter — the PostgreSQL background-writer default: every
+//     bgwriter pass writes out ALL dirty pages, including partially-filled
+//     SIAS append pages ("sparsely filled pages are persisted too
+//     frequently").
+//   kT2Checkpoint — append-region pages are only flushed when a checkpoint
+//     piggybacks them; they fill completely in memory first.
+//
+// Maintenance runs in *virtual* time: worker threads call Tick() and the
+// first thread to cross a deadline performs the pass, charging its own
+// clock (the bandwidth the bgwriter/checkpointer steals from transactions).
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "buffer/buffer_pool.h"
+#include "core/sias_table.h"
+#include "engine/table.h"
+#include "mvcc/si_heap.h"
+#include "storage/disk_manager.h"
+#include "txn/txn_manager.h"
+#include "wal/wal.h"
+
+namespace sias {
+
+/// When SIAS append pages reach the device (paper §5.2 thresholds).
+enum class FlushPolicy {
+  kT1BackgroundWriter,
+  kT2Checkpoint,
+};
+
+struct DatabaseOptions {
+  /// Data device (owned by caller; must outlive the Database).
+  StorageDevice* data_device = nullptr;
+  /// WAL device; if null the WAL is disabled (unlogged database).
+  StorageDevice* wal_device = nullptr;
+
+  size_t pool_frames = 4096;              ///< buffer pool size (8 KB frames)
+  FlushPolicy flush_policy = FlushPolicy::kT2Checkpoint;
+  VDuration bgwriter_interval = 200 * kVMillisecond;
+  VDuration checkpoint_interval = 30 * kVSecond;
+  /// Non-append dirty pages flushed per bgwriter pass (0 = all). The
+  /// PostgreSQL-era default budget is tiny — the bulk of write traffic
+  /// comes from checkpoints and dirty evictions, which is what the paper's
+  /// Table 1 measures. Append pages (SIAS) are exempt from the budget:
+  /// draining sealed pages is the flush-threshold policy itself.
+  size_t bgwriter_pages_per_pass = 16;
+  int lock_timeout_ms = 1000;
+  /// Reserved control region at the start of the data device.
+  uint64_t control_region_bytes = 4ull << 20;
+  uint64_t wal_limit_bytes = 4ull << 30;
+};
+
+struct DatabaseStats {
+  DeviceStats device;
+  BufferPoolStats pool;
+  uint64_t wal_appended_bytes = 0;
+  uint64_t wal_written_bytes = 0;
+  uint64_t heap_allocated_bytes = 0;
+  uint64_t checkpoints = 0;
+  uint64_t bgwriter_passes = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+};
+
+/// The engine. All public methods are thread-safe.
+class Database {
+ public:
+  static Result<std::unique_ptr<Database>> Open(const DatabaseOptions& opts);
+  ~Database();
+
+  /// Creates a table with the given version scheme. Relation ids are
+  /// assigned deterministically in creation order, so re-declaring the same
+  /// tables in the same order after a crash binds them to their data.
+  Result<Table*> CreateTable(const std::string& name, Schema schema,
+                             VersionScheme scheme);
+  Table* GetTable(const std::string& name);
+
+  /// Adds a B+-tree index on `table` (key,TID under SI; key,VID under SIAS).
+  Status CreateIndex(Table* table, const std::string& index_name,
+                     KeyExtractor extractor);
+
+  /// Transactions.
+  std::unique_ptr<Transaction> Begin(VirtualClock* clock);
+  Status Commit(Transaction* txn);
+  Status Abort(Transaction* txn);
+
+  /// Virtual-time maintenance hook; call frequently from worker threads.
+  Status Tick(VirtualClock* clk);
+
+  /// Sharp (synchronous) checkpoint: flush dirty pages + WAL, persist the
+  /// control block. Used at shutdown, after loading, and in tests.
+  Status Checkpoint(VirtualClock* clk);
+
+  /// Paced checkpoint, PostgreSQL-style (checkpoint_completion_target):
+  /// snapshots the dirty-page list; subsequent background-writer passes
+  /// drain it incrementally as async device writes, and the control block
+  /// is persisted when the drain completes. Triggered by Tick().
+  Status StartPacedCheckpoint(VirtualClock* clk);
+
+  /// One background-writer pass under the configured flush policy.
+  Status BgWriterPass(VirtualClock* clk);
+
+  /// Garbage-collects every table up to the current GC horizon.
+  Status Vacuum(VirtualClock* clk, GcStats* stats = nullptr);
+
+  /// Crash recovery: restores the control block, replays the WAL, aborts
+  /// in-flight transactions, rebuilds VidMaps/locators and indexes.
+  /// Call after re-declaring all tables and indexes (same creation order).
+  Status Recover();
+
+  TransactionManager* txns() { return &txns_; }
+  BufferPool* pool() { return pool_.get(); }
+  DiskManager* disk() { return disk_.get(); }
+  WalWriter* wal() { return wal_.get(); }
+  const DatabaseOptions& options() const { return opts_; }
+  DatabaseStats stats() const;
+
+  /// Makespan across all terminal clocks (advanced by Tick / Commit).
+  VTime max_vtime() const { return makespan_.load(); }
+
+ private:
+  explicit Database(const DatabaseOptions& opts);
+
+  Status WriteControlBlock(Lsn checkpoint_lsn, VirtualClock* clk);
+  Result<Lsn> ReadControlBlock();
+
+  DatabaseOptions opts_;
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<WalWriter> wal_;
+  Clog clog_;
+  LockManager locks_;
+  TransactionManager txns_;
+
+  std::mutex catalog_mu_;
+  RelationId next_relation_ = 1;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+
+  Status DrainCheckpointLocked(VirtualClock* clk);
+
+  std::atomic<VTime> next_bgwriter_{0};
+  std::atomic<VTime> next_checkpoint_{0};
+  // Paced-checkpoint state (guarded by maintenance_mu_).
+  std::deque<PageId> ckpt_queue_;
+  size_t ckpt_drain_per_pass_ = 0;
+  Lsn pending_ckpt_lsn_ = kInvalidLsn;
+  bool ckpt_active_ = false;
+  std::atomic<VTime> makespan_{0};
+  std::mutex maintenance_mu_;
+
+  std::atomic<uint64_t> checkpoints_{0};
+  std::atomic<uint64_t> bgwriter_passes_{0};
+  std::atomic<uint64_t> committed_{0};
+  std::atomic<uint64_t> aborted_{0};
+};
+
+}  // namespace sias

@@ -1,0 +1,187 @@
+#include "engine/table.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace sias {
+
+void Table::AttachIndex(std::string index_name, std::unique_ptr<BTree> tree,
+                        KeyExtractor extractor) {
+  indexes_.push_back(
+      IndexDef{std::move(index_name), std::move(tree), std::move(extractor)});
+}
+
+Result<Vid> Table::Insert(Transaction* txn, const Row& row) {
+  std::string encoded;
+  SIAS_RETURN_NOT_OK(row.Encode(schema_, &encoded));
+  Tid tid;
+  SIAS_ASSIGN_OR_RETURN(Vid vid, heap_->Insert(txn, Slice(encoded), &tid));
+  // Index maintenance: every index gets one entry for the new item/version.
+  for (auto& idx : indexes_) {
+    std::string key = idx.extractor(row);
+    uint64_t value =
+        scheme() == VersionScheme::kSi ? tid.Pack() : vid;
+    SIAS_RETURN_NOT_OK(idx.tree->Insert(Slice(key), value, txn->clock()));
+  }
+  return vid;
+}
+
+Status Table::Update(Transaction* txn, Vid vid, const Row& new_row) {
+  // Fetch the currently visible row first (needed for key-change detection).
+  SIAS_ASSIGN_OR_RETURN(std::optional<Row> old_row, Get(txn, vid));
+  if (!old_row.has_value()) return Status::NotFound("no visible row");
+
+  std::string encoded;
+  SIAS_RETURN_NOT_OK(new_row.Encode(schema_, &encoded));
+  Tid new_tid;
+  SIAS_RETURN_NOT_OK(heap_->Update(txn, vid, Slice(encoded), &new_tid));
+
+  for (auto& idx : indexes_) {
+    std::string new_key = idx.extractor(new_row);
+    if (scheme() == VersionScheme::kSi) {
+      // SI: one index entry per version — every update hits every index.
+      SIAS_RETURN_NOT_OK(
+          idx.tree->Insert(Slice(new_key), new_tid.Pack(), txn->clock()));
+    } else {
+      // SIAS (§4.3): the index references the VID; only a key-value change
+      // needs a new entry. The stale <old_key, VID> entry is filtered by
+      // the key recheck on lookup until GC removes it.
+      std::string old_key = idx.extractor(*old_row);
+      if (old_key != new_key) {
+        SIAS_RETURN_NOT_OK(idx.tree->Insert(Slice(new_key), vid,
+                                            txn->clock()));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Table::Delete(Transaction* txn, Vid vid) {
+  return heap_->Delete(txn, vid);
+  // Index entries are removed lazily (vacuum/lookup-time ghost cleanup).
+}
+
+Result<std::optional<Row>> Table::Get(Transaction* txn, Vid vid) {
+  SIAS_ASSIGN_OR_RETURN(std::optional<std::string> bytes,
+                        heap_->Read(txn, vid));
+  if (!bytes.has_value()) return std::optional<Row>{};
+  SIAS_ASSIGN_OR_RETURN(Row row, Row::Decode(schema_, Slice(*bytes)));
+  return std::optional<Row>{std::move(row)};
+}
+
+Status Table::Scan(Transaction* txn, const RowCallback& cb) {
+  Status decode_status;
+  Status s = heap_->Scan(txn, [&](Vid vid, Slice bytes) {
+    auto row = Row::Decode(schema_, bytes);
+    if (!row.ok()) {
+      decode_status = row.status();
+      return false;
+    }
+    return cb(vid, *row);
+  });
+  SIAS_RETURN_NOT_OK(decode_status);
+  return s;
+}
+
+Result<std::optional<std::pair<Vid, Row>>> Table::ResolveIndexHit(
+    Transaction* txn, uint64_t value, Slice key, const IndexDef& index) {
+  if (scheme() == VersionScheme::kSi) {
+    Tid tid = Tid::Unpack(value);
+    Vid vid = kInvalidVid;
+    SIAS_ASSIGN_OR_RETURN(std::optional<std::string> bytes,
+                          heap_->ReadAtTid(txn, tid, &vid));
+    if (!bytes.has_value()) return std::optional<std::pair<Vid, Row>>{};
+    SIAS_ASSIGN_OR_RETURN(Row row, Row::Decode(schema_, Slice(*bytes)));
+    return std::optional<std::pair<Vid, Row>>{{vid, std::move(row)}};
+  }
+  // SIAS: value is the VID; resolve through the VidMap, then recheck the
+  // key (the entry may predate a key-changing update).
+  Vid vid = value;
+  SIAS_ASSIGN_OR_RETURN(std::optional<std::string> bytes,
+                        heap_->Read(txn, vid));
+  if (!bytes.has_value()) return std::optional<std::pair<Vid, Row>>{};
+  SIAS_ASSIGN_OR_RETURN(Row row, Row::Decode(schema_, Slice(*bytes)));
+  if (Slice(index.extractor(row)) != key) {
+    return std::optional<std::pair<Vid, Row>>{};  // stale entry
+  }
+  return std::optional<std::pair<Vid, Row>>{{vid, std::move(row)}};
+}
+
+Result<std::vector<std::pair<Vid, Row>>> Table::IndexLookup(Transaction* txn,
+                                                            size_t index_id,
+                                                            Slice key) {
+  if (index_id >= indexes_.size()) {
+    return Status::InvalidArgument("no such index");
+  }
+  IndexDef& idx = indexes_[index_id];
+  SIAS_ASSIGN_OR_RETURN(std::vector<uint64_t> values,
+                        idx.tree->Lookup(key, txn->clock()));
+  std::vector<std::pair<Vid, Row>> out;
+  std::unordered_set<Vid> seen;
+  for (uint64_t v : values) {
+    SIAS_ASSIGN_OR_RETURN(auto hit, ResolveIndexHit(txn, v, key, idx));
+    if (hit.has_value() && seen.insert(hit->first).second) {
+      out.push_back(std::move(*hit));
+    }
+  }
+  return out;
+}
+
+Status Table::IndexRange(Transaction* txn, size_t index_id, Slice lo,
+                         Slice hi, const RowCallback& cb) {
+  if (index_id >= indexes_.size()) {
+    return Status::InvalidArgument("no such index");
+  }
+  IndexDef& idx = indexes_[index_id];
+  // Collect hits first (the tree latch must not be held while resolving
+  // rows, which fetches heap pages).
+  std::vector<std::pair<std::string, uint64_t>> hits;
+  SIAS_RETURN_NOT_OK(idx.tree->Range(lo, hi, txn->clock(),
+                                     [&](Slice key, uint64_t value) {
+                                       hits.emplace_back(key.ToString(),
+                                                         value);
+                                       return true;
+                                     }));
+  std::unordered_set<Vid> seen;
+  for (const auto& [key, value] : hits) {
+    SIAS_ASSIGN_OR_RETURN(auto hit,
+                          ResolveIndexHit(txn, value, Slice(key), idx));
+    if (hit.has_value() && seen.insert(hit->first).second) {
+      if (!cb(hit->first, hit->second)) return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Status Table::GarbageCollect(Xid horizon, VirtualClock* clk, GcStats* stats) {
+  return heap_->GarbageCollect(horizon, clk, stats);
+}
+
+Status Table::RebuildIndexes(Transaction* txn, VirtualClock* clk) {
+  // Used after crash recovery, under quiescence: re-create every tree and
+  // repopulate it from the visible version of each item. (No snapshot is
+  // older than the recovery point, so visible versions are sufficient.)
+  for (auto& idx : indexes_) {
+    SIAS_RETURN_NOT_OK(idx.tree->Create(clk));
+  }
+  Status inner;
+  Status s = heap_->ScanWithTid(txn, [&](Vid vid, Tid tid, Slice bytes) {
+    auto row = Row::Decode(schema_, bytes);
+    if (!row.ok()) {
+      inner = row.status();
+      return false;
+    }
+    for (auto& idx : indexes_) {
+      std::string key = idx.extractor(*row);
+      uint64_t value = scheme() == VersionScheme::kSi ? tid.Pack() : vid;
+      inner = idx.tree->Insert(Slice(key), value, clk);
+      if (!inner.ok()) return false;
+    }
+    return true;
+  });
+  SIAS_RETURN_NOT_OK(inner);
+  return s;
+}
+
+}  // namespace sias

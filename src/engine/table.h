@@ -1,0 +1,86 @@
+// Table: schema + multi-version heap + secondary indexes.
+//
+// Implements the paper's indexing scheme (§4.3): under SIAS, index records
+// are <key, VID> pairs — updates that do not change the key value require NO
+// index maintenance, and key updates add a single new entry while visibility
+// filters the stale one. Under classical SI, index records are <key, TID>
+// with one entry per tuple *version*, so every update inserts into every
+// index, exactly as a PostgreSQL non-HOT update would.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/schema.h"
+#include "index/btree.h"
+#include "mvcc/mvcc_table.h"
+
+namespace sias {
+
+/// Extracts the index key bytes from a row (see index/key_codec.h).
+using KeyExtractor = std::function<std::string(const Row&)>;
+
+/// A logical table with typed rows and optional secondary indexes.
+/// Thread-safe (delegates to thread-safe components).
+class Table {
+ public:
+  Table(std::string name, Schema schema, std::unique_ptr<MvccTable> heap)
+      : name_(std::move(name)), schema_(std::move(schema)),
+        heap_(std::move(heap)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  MvccTable* heap() { return heap_.get(); }
+  VersionScheme scheme() const { return heap_->scheme(); }
+
+  /// Attaches a created BTree as index `index_id` (dense, 0-based).
+  void AttachIndex(std::string index_name, std::unique_ptr<BTree> tree,
+                   KeyExtractor extractor);
+  size_t num_indexes() const { return indexes_.size(); }
+  BTree* index(size_t i) { return indexes_[i].tree.get(); }
+
+  Result<Vid> Insert(Transaction* txn, const Row& row);
+  Status Update(Transaction* txn, Vid vid, const Row& new_row);
+  Status Delete(Transaction* txn, Vid vid);
+  Result<std::optional<Row>> Get(Transaction* txn, Vid vid);
+
+  /// Visits all rows visible to txn.
+  using RowCallback = std::function<bool(Vid, const Row&)>;
+  Status Scan(Transaction* txn, const RowCallback& cb);
+
+  /// Equality lookup via index `index_id`; returns visible matches.
+  Result<std::vector<std::pair<Vid, Row>>> IndexLookup(Transaction* txn,
+                                                       size_t index_id,
+                                                       Slice key);
+
+  /// Range scan via index `index_id` over [lo, hi) in key order.
+  Status IndexRange(Transaction* txn, size_t index_id, Slice lo, Slice hi,
+                    const RowCallback& cb);
+
+  /// Garbage collection of the heap (indexes clean lazily on lookup).
+  Status GarbageCollect(Xid horizon, VirtualClock* clk, GcStats* stats);
+
+  /// Rebuilds all indexes from the heap (recovery path; caller provides
+  /// a quiescent transaction that sees all committed data).
+  Status RebuildIndexes(Transaction* txn, VirtualClock* clk);
+
+ private:
+  struct IndexDef {
+    std::string name;
+    std::unique_ptr<BTree> tree;
+    KeyExtractor extractor;
+  };
+
+  /// Resolves one index hit to a visible row (scheme-dependent).
+  Result<std::optional<std::pair<Vid, Row>>> ResolveIndexHit(
+      Transaction* txn, uint64_t value, Slice key, const IndexDef& index);
+
+  std::string name_;
+  Schema schema_;
+  std::unique_ptr<MvccTable> heap_;
+  std::vector<IndexDef> indexes_;
+};
+
+}  // namespace sias

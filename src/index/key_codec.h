@@ -1,0 +1,45 @@
+// Order-preserving key encoding for B+-tree indexes.
+//
+// Composite keys are encoded field-by-field into a byte string whose memcmp
+// order equals the tuple order of the fields: big-endian biased integers,
+// then raw bytes for text (padded comparison semantics).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/coding.h"
+#include "common/slice.h"
+
+namespace sias {
+
+/// Builder for order-preserving composite keys.
+class KeyBuilder {
+ public:
+  /// Signed 64-bit, order-preserving (bias by 2^63, big-endian).
+  KeyBuilder& AddInt(int64_t v) {
+    uint8_t buf[8];
+    EncodeBigEndian64(buf, static_cast<uint64_t>(v) + (1ull << 63));
+    key_.append(reinterpret_cast<char*>(buf), 8);
+    return *this;
+  }
+
+  /// Raw bytes terminated by 0x00 so that prefixes order before extensions
+  /// (text fields must not contain NUL).
+  KeyBuilder& AddString(Slice s) {
+    key_.append(reinterpret_cast<const char*>(s.data()), s.size());
+    key_.push_back('\0');
+    return *this;
+  }
+
+  const std::string& key() const { return key_; }
+  std::string Take() { return std::move(key_); }
+
+ private:
+  std::string key_;
+};
+
+/// Convenience: single-int key.
+inline std::string IntKey(int64_t v) { return KeyBuilder().AddInt(v).Take(); }
+
+}  // namespace sias

@@ -1,0 +1,117 @@
+// The uniform multi-version table interface implemented by the SI baseline
+// (mvcc/si_heap.h) and by the paper's SIAS-Chains / SIAS-V schemes
+// (core/sias_table.h). Benchmarks swap implementations behind this
+// interface, making every experiment a controlled comparison.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "buffer/buffer_pool.h"
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "txn/transaction.h"
+#include "txn/txn_manager.h"
+#include "wal/wal.h"
+
+namespace sias {
+
+/// Operation counters per table.
+struct TableStats {
+  uint64_t inserts = 0;
+  uint64_t updates = 0;
+  uint64_t deletes = 0;
+  uint64_t reads = 0;
+  /// Version-chain hops taken beyond the entrypoint during reads.
+  uint64_t version_hops = 0;
+  /// In-place invalidation page dirties (SI only).
+  uint64_t inplace_invalidations = 0;
+  /// Conflicts surfaced as serialization failures.
+  uint64_t ww_conflicts = 0;
+};
+
+/// Garbage-collection result counters.
+struct GcStats {
+  uint64_t pages_examined = 0;
+  uint64_t pages_reclaimed = 0;
+  uint64_t versions_discarded = 0;
+  uint64_t versions_relocated = 0;
+};
+
+/// Shared plumbing handed to each table implementation.
+struct TableEnv {
+  BufferPool* pool = nullptr;
+  TransactionManager* txns = nullptr;
+  WalWriter* wal = nullptr;  ///< may be nullptr (unlogged table)
+};
+
+/// CPU cost model (virtual ns) so cached workloads stay CPU-bound.
+inline constexpr VDuration kCpuVisibilityCheck = 50;
+inline constexpr VDuration kCpuVidMapProbe = 40;
+inline constexpr VDuration kCpuTupleCopy = 150;
+
+/// A logical table of data items addressed by VID, storing multiple tuple
+/// versions per item. All methods are thread-safe.
+class MvccTable {
+ public:
+  /// Scan callback: (vid, row payload). Return false to stop early.
+  using ScanCallback = std::function<bool(Vid, Slice)>;
+
+  virtual ~MvccTable() = default;
+
+  virtual VersionScheme scheme() const = 0;
+  virtual RelationId relation() const = 0;
+
+  /// Creates a new data item; returns its VID. `tid_out`, when non-null,
+  /// receives the physical location of the created version (the SI index
+  /// layer stores one entry per version).
+  virtual Result<Vid> Insert(Transaction* txn, Slice row,
+                             Tid* tid_out = nullptr) = 0;
+
+  /// Replaces the item's visible version with a new one (first-updater-wins
+  /// under write-write conflict: returns SerializationFailure).
+  virtual Status Update(Transaction* txn, Vid vid, Slice row,
+                        Tid* new_tid = nullptr) = 0;
+
+  /// Deletes the item (SI: xmax stamp; SIAS: tombstone version).
+  virtual Status Delete(Transaction* txn, Vid vid) = 0;
+
+  /// Returns the row visible in txn's snapshot, or nullopt if none.
+  virtual Result<std::optional<std::string>> Read(Transaction* txn,
+                                                  Vid vid) = 0;
+
+  /// Reads the version at a physical location if it is visible to txn
+  /// (the SI index path: index entries address tuple versions directly).
+  /// Schemes that do not address versions individually return NotSupported.
+  virtual Result<std::optional<std::string>> ReadAtTid(Transaction* txn,
+                                                       Tid tid,
+                                                       Vid* vid_out) {
+    (void)txn;
+    (void)tid;
+    (void)vid_out;
+    return Status::NotSupported("scheme does not address versions by TID");
+  }
+
+  /// Visits every data item visible in txn's snapshot.
+  virtual Status Scan(Transaction* txn, const ScanCallback& cb) = 0;
+
+  /// Like Scan but also yields the physical TID of the visible version
+  /// (used for index rebuilds after recovery).
+  using VersionScanCallback = std::function<bool(Vid, Tid, Slice)>;
+  virtual Status ScanWithTid(Transaction* txn,
+                             const VersionScanCallback& cb) = 0;
+
+  /// One past the largest VID ever assigned.
+  virtual Vid vid_bound() const = 0;
+
+  /// Reclaims versions invisible to every snapshot at or after `horizon`.
+  virtual Status GarbageCollect(Xid horizon, VirtualClock* clk,
+                                GcStats* stats) = 0;
+
+  virtual TableStats stats() const = 0;
+};
+
+}  // namespace sias

@@ -1,0 +1,550 @@
+#include "mvcc/si_heap.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "mvcc/visibility.h"
+
+namespace sias {
+
+SiHeap::SiHeap(RelationId relation, TableEnv env)
+    : relation_(relation), env_(env) {}
+
+Result<Tid> SiHeap::PlaceTuple(Slice tuple, Transaction* txn, Lsn* lsn_out) {
+  VirtualClock* clk = txn->clock();
+  size_t need = tuple.size() + SlottedPage::kSlotSize;
+  for (;;) {
+    PageNumber target = kInvalidPageNumber;
+    {
+      std::lock_guard<std::mutex> g(fsm_mu_);
+      // Rotating cursor: "SI writes the new version on any (arbitrary) page
+      // that contains enough free space" — placement scatters over the
+      // relation instead of clustering at the tail.
+      size_t n = fsm_.size();
+      for (size_t i = 0; i < n; ++i) {
+        size_t idx = (fsm_cursor_ + i) % n;
+        if (fsm_[idx] >= need) {
+          target = static_cast<PageNumber>(idx);
+          fsm_cursor_ = (idx + 1) % n;
+          break;
+        }
+      }
+    }
+    PageGuard guard;
+    if (target == kInvalidPageNumber) {
+      SIAS_ASSIGN_OR_RETURN(guard, env_.pool->NewPage(relation_, clk));
+      std::lock_guard<std::mutex> g(fsm_mu_);
+      if (fsm_.size() <= guard.id().page) fsm_.resize(guard.id().page + 1, 0);
+      target = guard.id().page;
+    } else {
+      auto r = env_.pool->FetchPage(PageId{relation_, target}, clk);
+      if (!r.ok()) return r.status();
+      guard = std::move(*r);
+    }
+    guard.LatchExclusive();
+    SlottedPage page = guard.page();
+    uint16_t slot = page.InsertTuple(tuple);
+    uint16_t free_now = static_cast<uint16_t>(
+        std::min<size_t>(page.FreeSpace(), 0xffff));
+    {
+      std::lock_guard<std::mutex> g(fsm_mu_);
+      fsm_[target] = free_now;
+    }
+    if (slot == SlottedPage::kInvalidSlot) {
+      guard.Unlatch();
+      continue;  // FSM was stale; try another page
+    }
+    Tid tid{target, slot};
+    Lsn lsn = kInvalidLsn;
+    if (env_.wal != nullptr) {
+      WalRecord rec;
+      rec.type = WalRecordType::kHeapInsert;
+      rec.xid = txn->xid();
+      rec.relation = relation_;
+      rec.tid = tid;
+      rec.body.assign(reinterpret_cast<const char*>(tuple.data()),
+                      tuple.size());
+      SIAS_ASSIGN_OR_RETURN(lsn, env_.wal->Append(rec));
+    }
+    guard.MarkDirty(lsn);
+    guard.Unlatch();
+    if (lsn_out != nullptr) *lsn_out = lsn;
+    return tid;
+  }
+}
+
+Result<Vid> SiHeap::Insert(Transaction* txn, Slice row, Tid* tid_out) {
+  Vid vid;
+  {
+    std::lock_guard<std::mutex> g(map_mu_);
+    vid = next_vid_++;
+  }
+  TupleHeader h;
+  h.xmin = txn->xid();
+  h.xmax = kInvalidXid;
+  h.vid = vid;
+  std::string encoded;
+  EncodeTuple(h, row, &encoded);
+  SIAS_ASSIGN_OR_RETURN(Tid tid, PlaceTuple(Slice(encoded), txn, nullptr));
+  {
+    std::lock_guard<std::mutex> g(map_mu_);
+    versions_[vid].push_back(tid);
+  }
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    stats_.inserts++;
+  }
+  if (tid_out != nullptr) *tid_out = tid;
+  return vid;
+}
+
+Status SiHeap::FetchVersion(Tid tid, VirtualClock* clk, TupleHeader* header,
+                            std::string* payload) {
+  auto r = env_.pool->FetchPage(PageId{relation_, tid.page}, clk);
+  if (!r.ok()) return r.status();
+  PageGuard guard = std::move(*r);
+  guard.LatchShared();
+  Slice tuple = guard.page().GetTuple(tid.slot);
+  if (tuple.empty() || !DecodeTupleHeader(tuple, header)) {
+    guard.Unlatch();
+    return Status::NotFound("version slot dead");
+  }
+  if (payload != nullptr) {
+    Slice p = TuplePayload(tuple);
+    payload->assign(reinterpret_cast<const char*>(p.data()), p.size());
+    if (clk != nullptr) clk->Cpu(kCpuTupleCopy);
+  }
+  guard.Unlatch();
+  return Status::OK();
+}
+
+Result<std::optional<std::string>> SiHeap::Read(Transaction* txn, Vid vid) {
+  std::vector<Tid> candidates;
+  {
+    std::lock_guard<std::mutex> g(map_mu_);
+    auto it = versions_.find(vid);
+    if (it == versions_.end()) return std::optional<std::string>{};
+    candidates = it->second;
+  }
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    stats_.reads++;
+  }
+  // Newest-first: mirrors an index scan returning the latest entry first.
+  for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+    TupleHeader h;
+    std::string payload;
+    Status s = FetchVersion(*it, txn->clock(), &h, &payload);
+    if (s.IsNotFound()) continue;  // vacuumed under us
+    SIAS_RETURN_NOT_OK(s);
+    txn->clock()->Cpu(kCpuVisibilityCheck);
+    if (SiTupleVisible(h, txn->snapshot(), *env_.txns->clog())) {
+      return std::optional<std::string>{std::move(payload)};
+    }
+    std::lock_guard<std::mutex> g(stats_mu_);
+    stats_.version_hops++;
+  }
+  return std::optional<std::string>{};
+}
+
+Result<std::optional<std::string>> SiHeap::ReadAtTid(Transaction* txn,
+                                                     Tid tid, Vid* vid_out) {
+  TupleHeader h;
+  std::string payload;
+  Status s = FetchVersion(tid, txn->clock(), &h, &payload);
+  if (s.IsNotFound()) return std::optional<std::string>{};  // vacuumed
+  SIAS_RETURN_NOT_OK(s);
+  txn->clock()->Cpu(kCpuVisibilityCheck);
+  if (vid_out != nullptr) *vid_out = h.vid;
+  if (!SiTupleVisible(h, txn->snapshot(), *env_.txns->clog())) {
+    return std::optional<std::string>{};
+  }
+  return std::optional<std::string>{std::move(payload)};
+}
+
+Result<Tid> SiHeap::ValidateForWrite(Transaction* txn, Vid vid) {
+  std::vector<Tid> candidates;
+  {
+    std::lock_guard<std::mutex> g(map_mu_);
+    auto it = versions_.find(vid);
+    if (it == versions_.end() || it->second.empty()) {
+      return Status::NotFound("no such data item");
+    }
+    candidates = it->second;
+  }
+  // Walk newest-first for the first version whose creator is decided.
+  for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+    TupleHeader h;
+    Status s = FetchVersion(*it, txn->clock(), &h, nullptr);
+    if (s.IsNotFound()) continue;
+    SIAS_RETURN_NOT_OK(s);
+    const Clog& clog = *env_.txns->clog();
+    TxnStatus creator = clog.Get(h.xmin);
+    if (creator == TxnStatus::kAborted) continue;  // dead branch
+    // We hold the row lock, so no in-progress creator other than us exists.
+    if (!SiTupleVisible(h, txn->snapshot(), clog)) {
+      if (h.xmin != txn->xid() && clog.IsCommitted(h.xmin) &&
+          txn->snapshot().Contains(h.xmin) && h.xmax != kInvalidXid &&
+          clog.IsCommitted(h.xmax) && txn->snapshot().Contains(h.xmax)) {
+        // Deleted before our snapshot: the item simply no longer exists.
+        return Status::NotFound("data item deleted");
+      }
+      // Otherwise a concurrent transaction created or invalidated the
+      // newest version after we started: first-updater-wins => we lose.
+      {
+        std::lock_guard<std::mutex> g(stats_mu_);
+        stats_.ww_conflicts++;
+      }
+      return Status::SerializationFailure(
+          "tuple updated by concurrent transaction");
+    }
+    if (h.xmax != kInvalidXid && h.xmax != txn->xid() &&
+        clog.Get(h.xmax) != TxnStatus::kAborted) {
+      std::lock_guard<std::mutex> g(stats_mu_);
+      stats_.ww_conflicts++;
+      return Status::SerializationFailure("tuple already invalidated");
+    }
+    return *it;
+  }
+  return Status::NotFound("no live version");
+}
+
+Status SiHeap::StampXmax(Transaction* txn, Tid tid, Xid xmax) {
+  auto r = env_.pool->FetchPage(PageId{relation_, tid.page}, txn->clock());
+  if (!r.ok()) return r.status();
+  PageGuard guard = std::move(*r);
+  guard.LatchExclusive();
+  SlottedPage page = guard.page();
+  Slice tuple = page.GetTuple(tid.slot);
+  if (tuple.empty()) {
+    guard.Unlatch();
+    return Status::NotFound("version vanished");
+  }
+  TupleHeader h;
+  SIAS_CHECK(DecodeTupleHeader(tuple, &h));
+  h.xmax = xmax;
+  std::string updated;
+  EncodeTuple(h, TuplePayload(tuple), &updated);
+  Lsn lsn = kInvalidLsn;
+  if (env_.wal != nullptr) {
+    WalRecord rec;
+    rec.type = WalRecordType::kHeapOverwrite;
+    rec.xid = txn->xid();
+    rec.relation = relation_;
+    rec.tid = tid;
+    rec.body = updated;
+    SIAS_ASSIGN_OR_RETURN(lsn, env_.wal->Append(rec));
+  }
+  // The in-place invalidation: only 8 header bytes change, but the whole
+  // page is now dirty and will be rewritten on the device.
+  OverwriteTupleHeader(h, const_cast<uint8_t*>(tuple.data()));
+  guard.MarkDirty(lsn);
+  guard.Unlatch();
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    stats_.inplace_invalidations++;
+  }
+  return Status::OK();
+}
+
+Status SiHeap::Update(Transaction* txn, Vid vid, Slice row, Tid* new_tid) {
+  SIAS_RETURN_NOT_OK(env_.txns->locks()->AcquireExclusive(
+      relation_, vid, txn->xid(), txn->clock()));
+  txn->AddLock(relation_, vid);
+  SIAS_ASSIGN_OR_RETURN(Tid old_tid, ValidateForWrite(txn, vid));
+  // 1) invalidate old version in place;
+  SIAS_RETURN_NOT_OK(StampXmax(txn, old_tid, txn->xid()));
+  // 2) create the new version on an arbitrary page.
+  TupleHeader h;
+  h.xmin = txn->xid();
+  h.xmax = kInvalidXid;
+  h.vid = vid;
+  h.set_pred(old_tid);
+  std::string encoded;
+  EncodeTuple(h, row, &encoded);
+  SIAS_ASSIGN_OR_RETURN(Tid tid, PlaceTuple(Slice(encoded), txn, nullptr));
+  {
+    std::lock_guard<std::mutex> g(map_mu_);
+    versions_[vid].push_back(tid);
+  }
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    stats_.updates++;
+  }
+  if (new_tid != nullptr) *new_tid = tid;
+  return Status::OK();
+}
+
+Status SiHeap::Delete(Transaction* txn, Vid vid) {
+  SIAS_RETURN_NOT_OK(env_.txns->locks()->AcquireExclusive(
+      relation_, vid, txn->xid(), txn->clock()));
+  txn->AddLock(relation_, vid);
+  SIAS_ASSIGN_OR_RETURN(Tid old_tid, ValidateForWrite(txn, vid));
+  SIAS_RETURN_NOT_OK(StampXmax(txn, old_tid, txn->xid()));
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    stats_.deletes++;
+  }
+  return Status::OK();
+}
+
+Status SiHeap::Scan(Transaction* txn, const ScanCallback& cb) {
+  // The "traditional scan" (paper §4.2.1): read the WHOLE relation, check
+  // every tuple version individually.
+  auto count = env_.pool->disk()->PageCount(relation_);
+  if (!count.ok()) return count.status();
+  for (PageNumber p = 0; p < *count; ++p) {
+    auto r = env_.pool->FetchPage(PageId{relation_, p}, txn->clock());
+    if (!r.ok()) return r.status();
+    PageGuard guard = std::move(*r);
+    guard.LatchShared();
+    SlottedPage page = guard.page();
+    for (uint16_t s = 0; s < page.slot_count(); ++s) {
+      Slice tuple = page.GetTuple(s);
+      if (tuple.empty()) continue;
+      TupleHeader h;
+      if (!DecodeTupleHeader(tuple, &h)) continue;
+      txn->clock()->Cpu(kCpuVisibilityCheck);
+      if (!SiTupleVisible(h, txn->snapshot(), *env_.txns->clog())) continue;
+      if (!cb(h.vid, TuplePayload(tuple))) {
+        guard.Unlatch();
+        return Status::OK();
+      }
+    }
+    guard.Unlatch();
+  }
+  return Status::OK();
+}
+
+Status SiHeap::ScanWithTid(Transaction* txn,
+                           const VersionScanCallback& cb) {
+  auto count = env_.pool->disk()->PageCount(relation_);
+  if (!count.ok()) return count.status();
+  for (PageNumber p = 0; p < *count; ++p) {
+    auto r = env_.pool->FetchPage(PageId{relation_, p}, txn->clock());
+    if (!r.ok()) return r.status();
+    PageGuard guard = std::move(*r);
+    guard.LatchShared();
+    SlottedPage page = guard.page();
+    for (uint16_t s = 0; s < page.slot_count(); ++s) {
+      Slice tuple = page.GetTuple(s);
+      if (tuple.empty()) continue;
+      TupleHeader h;
+      if (!DecodeTupleHeader(tuple, &h)) continue;
+      txn->clock()->Cpu(kCpuVisibilityCheck);
+      if (!SiTupleVisible(h, txn->snapshot(), *env_.txns->clog())) continue;
+      if (!cb(h.vid, Tid{p, s}, TuplePayload(tuple))) {
+        guard.Unlatch();
+        return Status::OK();
+      }
+    }
+    guard.Unlatch();
+  }
+  return Status::OK();
+}
+
+Vid SiHeap::vid_bound() const {
+  std::lock_guard<std::mutex> g(map_mu_);
+  return next_vid_;
+}
+
+Status SiHeap::GarbageCollect(Xid horizon, VirtualClock* clk,
+                              GcStats* stats) {
+  const Clog& clog = *env_.txns->clog();
+  auto count = env_.pool->disk()->PageCount(relation_);
+  if (!count.ok()) return count.status();
+  for (PageNumber p = 0; p < *count; ++p) {
+    auto r = env_.pool->FetchPage(PageId{relation_, p}, clk);
+    if (!r.ok()) return r.status();
+    PageGuard guard = std::move(*r);
+    guard.LatchExclusive();
+    SlottedPage page = guard.page();
+    if (stats != nullptr) stats->pages_examined++;
+    bool changed = false;
+    for (uint16_t s = 0; s < page.slot_count(); ++s) {
+      Slice tuple = page.GetTuple(s);
+      if (tuple.empty()) continue;
+      TupleHeader h;
+      if (!DecodeTupleHeader(tuple, &h)) continue;
+      bool dead = false;
+      if (clog.Get(h.xmin) == TxnStatus::kAborted) {
+        dead = true;  // never visible to anyone
+      } else if (h.xmax != kInvalidXid && h.xmax < horizon &&
+                 clog.IsCommitted(h.xmax)) {
+        dead = true;  // invalidated before every live snapshot
+      }
+      if (!dead) continue;
+      SIAS_CHECK(page.DeleteTuple(s).ok());
+      changed = true;
+      if (stats != nullptr) stats->versions_discarded++;
+      {
+        std::lock_guard<std::mutex> g(map_mu_);
+        auto it = versions_.find(h.vid);
+        if (it != versions_.end()) {
+          Tid t{p, s};
+          it->second.erase(
+              std::remove(it->second.begin(), it->second.end(), t),
+              it->second.end());
+          if (it->second.empty()) versions_.erase(it);
+        }
+      }
+      if (env_.wal != nullptr) {
+        WalRecord rec;
+        rec.type = WalRecordType::kHeapSlotDelete;
+        rec.relation = relation_;
+        rec.tid = Tid{p, s};
+        auto lr = env_.wal->Append(rec);
+        if (lr.ok()) guard.MarkDirty(*lr);
+      }
+    }
+    if (changed) {
+      page.Compact();
+      guard.MarkDirty();
+      uint16_t free_now = static_cast<uint16_t>(
+          std::min<size_t>(page.FreeSpace(), 0xffff));
+      std::lock_guard<std::mutex> g(fsm_mu_);
+      if (fsm_.size() <= p) fsm_.resize(p + 1, 0);
+      fsm_[p] = free_now;
+    }
+    guard.Unlatch();
+  }
+  return Status::OK();
+}
+
+TableStats SiHeap::stats() const {
+  std::lock_guard<std::mutex> g(stats_mu_);
+  return stats_;
+}
+
+Status SiHeap::ApplyInsert(Tid tid, Slice tuple, Lsn lsn) {
+  // Redo: ensure the relation is long enough, then re-place the tuple at
+  // the logged slot unless the page already reflects the change (LSN gate).
+  DiskManager* disk = env_.pool->disk();
+  auto count = disk->PageCount(relation_);
+  if (!count.ok()) return count.status();
+  while (*count <= tid.page) {
+    auto g = env_.pool->NewPage(relation_, nullptr);
+    if (!g.ok()) return g.status();
+    count = disk->PageCount(relation_);
+  }
+  auto r = env_.pool->FetchPage(PageId{relation_, tid.page}, nullptr);
+  if (!r.ok()) return r.status();
+  PageGuard guard = std::move(*r);
+  guard.LatchExclusive();
+  SlottedPage page = guard.page();
+  if (page.header()->lsn >= lsn) {
+    guard.Unlatch();
+    return Status::OK();  // already applied before the crash
+  }
+  if (tid.slot < page.slot_count()) {
+    // Slot exists (page flushed mid-sequence); overwrite is idempotent.
+    Status s = page.OverwriteTuple(tid.slot, tuple);
+    if (!s.ok()) {
+      guard.Unlatch();
+      return s;
+    }
+  } else if (tid.slot == page.slot_count()) {
+    uint16_t slot = page.InsertTuple(tuple);
+    if (slot != tid.slot) {
+      guard.Unlatch();
+      return Status::Corruption("redo slot mismatch");
+    }
+  } else {
+    guard.Unlatch();
+    return Status::Corruption("redo slot gap");
+  }
+  guard.MarkDirty(lsn);
+  guard.Unlatch();
+  TupleHeader h;
+  if (DecodeTupleHeader(tuple, &h)) {
+    std::lock_guard<std::mutex> g(map_mu_);
+    auto& vec = versions_[h.vid];
+    if (std::find(vec.begin(), vec.end(), tid) == vec.end()) {
+      vec.push_back(tid);
+    }
+    next_vid_ = std::max(next_vid_, h.vid + 1);
+  }
+  {
+    std::lock_guard<std::mutex> g(fsm_mu_);
+    if (fsm_.size() <= tid.page) fsm_.resize(tid.page + 1, 0);
+  }
+  return Status::OK();
+}
+
+Status SiHeap::ApplyOverwrite(Tid tid, Slice tuple, Lsn lsn) {
+  auto r = env_.pool->FetchPage(PageId{relation_, tid.page}, nullptr);
+  if (!r.ok()) return r.status();
+  PageGuard guard = std::move(*r);
+  guard.LatchExclusive();
+  SlottedPage page = guard.page();
+  if (page.header()->lsn >= lsn) {
+    guard.Unlatch();
+    return Status::OK();
+  }
+  Status s = page.OverwriteTuple(tid.slot, tuple);
+  if (s.ok()) guard.MarkDirty(lsn);
+  guard.Unlatch();
+  return s;
+}
+
+Status SiHeap::ApplySlotDelete(Tid tid, Lsn lsn) {
+  auto r = env_.pool->FetchPage(PageId{relation_, tid.page}, nullptr);
+  if (!r.ok()) return r.status();
+  PageGuard guard = std::move(*r);
+  guard.LatchExclusive();
+  SlottedPage page = guard.page();
+  if (page.header()->lsn >= lsn) {
+    guard.Unlatch();
+    return Status::OK();
+  }
+  Status s = page.DeleteTuple(tid.slot);
+  if (s.ok() || s.IsNotFound()) guard.MarkDirty(lsn);
+  guard.Unlatch();
+  return s.IsNotFound() ? Status::OK() : s;
+}
+
+Status SiHeap::RebuildLocators() {
+  std::lock_guard<std::mutex> g(map_mu_);
+  versions_.clear();
+  next_vid_ = 0;
+  auto count = env_.pool->disk()->PageCount(relation_);
+  if (!count.ok()) return count.status();
+  {
+    std::lock_guard<std::mutex> fg(fsm_mu_);
+    fsm_.assign(*count, 0);
+  }
+  for (PageNumber p = 0; p < *count; ++p) {
+    auto r = env_.pool->FetchPage(PageId{relation_, p}, nullptr);
+    if (!r.ok()) return r.status();
+    PageGuard guard = std::move(*r);
+    guard.LatchShared();
+    SlottedPage page = guard.page();
+    for (uint16_t s = 0; s < page.slot_count(); ++s) {
+      Slice tuple = page.GetTuple(s);
+      if (tuple.empty()) continue;
+      TupleHeader h;
+      if (!DecodeTupleHeader(tuple, &h)) continue;
+      versions_[h.vid].push_back(Tid{p, s});
+      next_vid_ = std::max(next_vid_, h.vid + 1);
+    }
+    uint16_t free_now = static_cast<uint16_t>(
+        std::min<size_t>(page.FreeSpace(), 0xffff));
+    guard.Unlatch();
+    std::lock_guard<std::mutex> fg(fsm_mu_);
+    fsm_[p] = free_now;
+  }
+  // Order each item's versions chronologically (xmin ascending) so that
+  // newest-first iteration remains correct after rebuild.
+  for (auto& [vid, tids] : versions_) {
+    std::sort(tids.begin(), tids.end(), [&](const Tid& a, const Tid& b) {
+      TupleHeader ha, hb;
+      Status sa = FetchVersion(a, nullptr, &ha, nullptr);
+      Status sb = FetchVersion(b, nullptr, &hb, nullptr);
+      if (!sa.ok() || !sb.ok()) return a.Pack() < b.Pack();
+      return ha.xmin < hb.xmin;
+    });
+  }
+  return Status::OK();
+}
+
+}  // namespace sias

@@ -1,0 +1,88 @@
+// Classical Snapshot Isolation heap — the paper's PostgreSQL baseline.
+//
+// The defining property (paper §3, Figure 1): an update stamps the
+// invalidation timestamp (xmax) on the OLD version *in place*, dirtying its
+// page, and writes the new version on any page with enough free space
+// ("arbitrary" placement via a rotating free-space cursor). Both behaviours
+// are exactly what produces SI's scattered small writes on Flash.
+//
+// Version location: like a PostgreSQL index, SiHeap keeps one locator entry
+// per *version*; a read fetches the candidates newest-first and applies
+// tuple visibility on each — every check costs a page access, as it does in
+// PostgreSQL.
+#pragma once
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "mvcc/mvcc_table.h"
+#include "mvcc/tuple.h"
+#include "txn/lock_manager.h"
+
+namespace sias {
+
+/// SI (xmin/xmax) multi-version heap table.
+class SiHeap : public MvccTable {
+ public:
+  SiHeap(RelationId relation, TableEnv env);
+
+  VersionScheme scheme() const override { return VersionScheme::kSi; }
+  RelationId relation() const override { return relation_; }
+
+  Result<Vid> Insert(Transaction* txn, Slice row,
+                     Tid* tid_out = nullptr) override;
+  Status Update(Transaction* txn, Vid vid, Slice row,
+                Tid* new_tid = nullptr) override;
+  Status Delete(Transaction* txn, Vid vid) override;
+  Result<std::optional<std::string>> Read(Transaction* txn, Vid vid) override;
+  Result<std::optional<std::string>> ReadAtTid(Transaction* txn, Tid tid,
+                                               Vid* vid_out) override;
+  Status Scan(Transaction* txn, const ScanCallback& cb) override;
+  Status ScanWithTid(Transaction* txn,
+                     const VersionScanCallback& cb) override;
+  Vid vid_bound() const override;
+  Status GarbageCollect(Xid horizon, VirtualClock* clk,
+                        GcStats* stats) override;
+  TableStats stats() const override;
+
+  /// Recovery: re-applies a logged tuple placement / overwrite (redo path).
+  Status ApplyInsert(Tid tid, Slice tuple, Lsn lsn);
+  Status ApplyOverwrite(Tid tid, Slice tuple, Lsn lsn);
+  Status ApplySlotDelete(Tid tid, Lsn lsn);
+
+  /// Recovery: rebuilds the in-memory version locators by scanning the heap.
+  Status RebuildLocators();
+
+ private:
+  /// Places an encoded tuple on some page with room; returns its TID.
+  /// Dirties the page with `lsn`.
+  Result<Tid> PlaceTuple(Slice tuple, Transaction* txn, Lsn* lsn_out);
+
+  /// Stamps xmax on the version at `tid` (the in-place invalidation).
+  Status StampXmax(Transaction* txn, Tid tid, Xid xmax);
+
+  /// Reads a version's header (+payload if wanted) at tid.
+  Status FetchVersion(Tid tid, VirtualClock* clk, TupleHeader* header,
+                      std::string* payload);
+
+  /// Validates the newest version for update/delete under the row lock and
+  /// returns its TID. Implements first-updater-wins.
+  Result<Tid> ValidateForWrite(Transaction* txn, Vid vid);
+
+  RelationId relation_;
+  TableEnv env_;
+
+  mutable std::mutex map_mu_;
+  std::unordered_map<Vid, std::vector<Tid>> versions_;  ///< oldest..newest
+  Vid next_vid_ = 0;
+
+  std::mutex fsm_mu_;
+  std::vector<uint16_t> fsm_;  ///< approximate free bytes per page
+  size_t fsm_cursor_ = 0;
+
+  mutable std::mutex stats_mu_;
+  TableStats stats_;
+};
+
+}  // namespace sias

@@ -1,0 +1,94 @@
+// On-tuple version header shared by all version schemes (paper §4.1.1).
+//
+// Every tuple version stored in a heap page is framed as:
+//   [TupleHeader (32 B)] [row payload bytes]
+//
+// SI uses xmin + xmax (in-place invalidation). SIAS uses xmin + VID +
+// predecessor pointer and keeps xmax permanently unset: "There is explicitly
+// no invalidation information stored on each tuple version" — invalidation
+// is coded by the chain structure.
+#pragma once
+
+#include <cstring>
+#include <string>
+
+#include "common/coding.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace sias {
+
+enum TupleFlags : uint16_t {
+  kTupleFlagNone = 0,
+  /// Deletion tombstone (paper §4.2.2): the data item is deleted as of the
+  /// creating transaction; older versions stay reachable for old snapshots.
+  kTupleFlagTombstone = 1u << 0,
+};
+
+/// Fixed-size tuple version header.
+struct TupleHeader {
+  Xid xmin = kInvalidXid;   ///< creation timestamp (inserting txn)
+  Xid xmax = kInvalidXid;   ///< SI only: invalidation timestamp; 0 = live
+  Vid vid = kInvalidVid;    ///< data-item id, equal across all versions
+  PageNumber pred_page = kInvalidPageNumber;  ///< *ptr to predecessor
+  uint16_t pred_slot = 0;
+  uint16_t flags = 0;
+
+  Tid pred() const { return Tid{pred_page, pred_slot}; }
+  void set_pred(Tid t) {
+    pred_page = t.page;
+    pred_slot = t.slot;
+  }
+  bool is_tombstone() const { return flags & kTupleFlagTombstone; }
+};
+
+inline constexpr size_t kTupleHeaderSize = 8 + 8 + 8 + 4 + 2 + 2;
+static_assert(kTupleHeaderSize == 32);
+
+/// Serializes header + payload into `out` (cleared first).
+inline void EncodeTuple(const TupleHeader& h, Slice payload,
+                        std::string* out) {
+  out->clear();
+  out->reserve(kTupleHeaderSize + payload.size());
+  PutFixed64(out, h.xmin);
+  PutFixed64(out, h.xmax);
+  PutFixed64(out, h.vid);
+  PutFixed32(out, h.pred_page);
+  PutFixed16(out, h.pred_slot);
+  PutFixed16(out, h.flags);
+  out->append(reinterpret_cast<const char*>(payload.data()), payload.size());
+}
+
+/// Parses the header of an encoded tuple; returns false if too short.
+inline bool DecodeTupleHeader(Slice tuple, TupleHeader* h) {
+  if (tuple.size() < kTupleHeaderSize) return false;
+  const uint8_t* p = tuple.data();
+  h->xmin = DecodeFixed64(p);
+  h->xmax = DecodeFixed64(p + 8);
+  h->vid = DecodeFixed64(p + 16);
+  h->pred_page = DecodeFixed32(p + 24);
+  h->pred_slot = DecodeFixed16(p + 28);
+  h->flags = DecodeFixed16(p + 30);
+  return true;
+}
+
+/// Row payload of an encoded tuple.
+inline Slice TuplePayload(Slice tuple) {
+  return Slice(tuple.data() + kTupleHeaderSize,
+               tuple.size() - kTupleHeaderSize);
+}
+
+/// Re-encodes just the header in place over an existing encoded tuple
+/// buffer; used by SI's in-place invalidation (the tuple length and payload
+/// stay untouched — only the 32 header bytes change).
+inline void OverwriteTupleHeader(const TupleHeader& h, uint8_t* tuple_bytes) {
+  EncodeFixed64(tuple_bytes, h.xmin);
+  EncodeFixed64(tuple_bytes + 8, h.xmax);
+  EncodeFixed64(tuple_bytes + 16, h.vid);
+  EncodeFixed32(tuple_bytes + 24, h.pred_page);
+  EncodeFixed16(tuple_bytes + 28, h.pred_slot);
+  EncodeFixed16(tuple_bytes + 30, h.flags);
+}
+
+}  // namespace sias

@@ -1,0 +1,33 @@
+// Visibility kernels for both version schemes.
+#pragma once
+
+#include "common/types.h"
+#include "mvcc/tuple.h"
+#include "txn/clog.h"
+#include "txn/snapshot.h"
+
+namespace sias {
+
+/// Classical SI visibility over an (xmin, xmax)-stamped tuple version:
+/// the creator must be in-snapshot and committed, and the invalidator (if
+/// any) must NOT be — exactly PostgreSQL's HeapTupleSatisfiesMVCC shape.
+inline bool SiTupleVisible(const TupleHeader& h, const Snapshot& snap,
+                           const Clog& clog) {
+  if (!snap.CreatorVisible(h.xmin, clog)) return false;
+  if (h.xmax == kInvalidXid) return true;
+  if (h.xmax == snap.xid) return false;  // deleted/updated by self
+  // Invalidator effective only if committed within our snapshot.
+  if (snap.Contains(h.xmax) && clog.IsCommitted(h.xmax)) return false;
+  return true;
+}
+
+/// SIAS visibility of one version (paper Algorithm 1, ISVISIBLE): the
+/// creating transaction committed before we started. There is no xmax; the
+/// *first* version satisfying this along the newest-to-oldest chain is the
+/// visible one (its successor's creation implicitly invalidated it).
+inline bool SiasVersionVisible(const TupleHeader& h, const Snapshot& snap,
+                               const Clog& clog) {
+  return snap.CreatorVisible(h.xmin, clog);
+}
+
+}  // namespace sias

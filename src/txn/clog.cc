@@ -1,0 +1,80 @@
+#include "txn/clog.h"
+
+#include <array>
+
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace sias {
+
+Clog::Clog() { Extend(kFirstNormalXid); }
+
+void Clog::Extend(Xid xid) {
+  size_t chunk = static_cast<size_t>(xid >> kChunkBits);
+  if (chunk < num_chunks_.load(std::memory_order_acquire)) {
+    // Already large enough; just bump max_xid_.
+  } else {
+    std::lock_guard<std::mutex> g(grow_mu_);
+    while (chunks_.size() <= chunk) {
+      auto c = std::make_unique<Chunk>();
+      for (auto& a : *c) a.store(0, std::memory_order_relaxed);
+      chunks_.push_back(std::move(c));
+    }
+    num_chunks_.store(chunks_.size(), std::memory_order_release);
+  }
+  Xid cur = max_xid_.load(std::memory_order_relaxed);
+  while (cur < xid &&
+         !max_xid_.compare_exchange_weak(cur, xid, std::memory_order_acq_rel)) {
+  }
+}
+
+TxnStatus Clog::Get(Xid xid) const {
+  if (xid == kFrozenXid) return TxnStatus::kCommitted;
+  if (xid == kInvalidXid) return TxnStatus::kAborted;
+  size_t chunk = static_cast<size_t>(xid >> kChunkBits);
+  if (chunk >= num_chunks_.load(std::memory_order_acquire)) {
+    return TxnStatus::kInProgress;
+  }
+  return static_cast<TxnStatus>(
+      (*chunks_[chunk])[xid & (kChunkSize - 1)].load(
+          std::memory_order_acquire));
+}
+
+void Clog::Set(Xid xid, TxnStatus status) {
+  SIAS_CHECK(xid >= kFirstNormalXid);
+  Extend(xid);
+  size_t chunk = static_cast<size_t>(xid >> kChunkBits);
+  (*chunks_[chunk])[xid & (kChunkSize - 1)].store(
+      static_cast<uint8_t>(status), std::memory_order_release);
+}
+
+void Clog::SetCommitted(Xid xid) { Set(xid, TxnStatus::kCommitted); }
+void Clog::SetAborted(Xid xid) { Set(xid, TxnStatus::kAborted); }
+
+void Clog::Serialize(std::string* out) const {
+  Xid max = max_xid_.load(std::memory_order_acquire);
+  PutFixed64(out, max);
+  for (Xid x = 0; x <= max; ++x) {
+    out->push_back(static_cast<char>(Get(x)));
+  }
+}
+
+Status Clog::Deserialize(Slice in) {
+  if (in.size() < 8) return Status::Corruption("clog snapshot truncated");
+  Xid max = DecodeFixed64(in.data());
+  if (in.size() < 8 + max + 1) {
+    return Status::Corruption("clog snapshot truncated");
+  }
+  for (Xid x = kFirstNormalXid; x <= max; ++x) {
+    auto st = static_cast<TxnStatus>(in.data()[8 + x]);
+    if (st == TxnStatus::kCommitted) {
+      SetCommitted(x);
+    } else if (st == TxnStatus::kAborted) {
+      SetAborted(x);
+    }
+  }
+  Extend(max);
+  return Status::OK();
+}
+
+}  // namespace sias

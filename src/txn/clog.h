@@ -1,0 +1,56 @@
+// Commit log (clog): transaction status lookup, PostgreSQL-style.
+// Two bits per xid: in-progress / committed / aborted.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace sias {
+
+enum class TxnStatus : uint8_t {
+  kInProgress = 0,
+  kCommitted = 1,
+  kAborted = 2,
+};
+
+/// Lock-free growing array of per-xid statuses.
+class Clog {
+ public:
+  Clog();
+
+  /// Ensures capacity for `xid`; call from the xid allocator.
+  void Extend(Xid xid);
+
+  TxnStatus Get(Xid xid) const;
+  void SetCommitted(Xid xid);
+  void SetAborted(Xid xid);
+
+  bool IsCommitted(Xid xid) const { return Get(xid) == TxnStatus::kCommitted; }
+
+  /// Serialization for checkpoints.
+  void Serialize(std::string* out) const;
+  Status Deserialize(Slice in);
+
+ private:
+  static constexpr size_t kChunkBits = 16;
+  static constexpr size_t kChunkSize = 1u << kChunkBits;  // xids per chunk
+
+  using Chunk = std::array<std::atomic<uint8_t>, kChunkSize>;
+
+  void Set(Xid xid, TxnStatus status);
+
+  mutable std::mutex grow_mu_;
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::atomic<size_t> num_chunks_{0};
+  std::atomic<Xid> max_xid_{0};
+};
+
+}  // namespace sias

@@ -1,0 +1,74 @@
+#include "txn/lock_manager.h"
+
+#include <chrono>
+
+namespace sias {
+
+Status LockManager::AcquireExclusive(RelationId relation, Vid vid, Xid xid,
+                                     VirtualClock* clk) {
+  Key key{relation, vid};
+  std::unique_lock<std::mutex> lock(mu_);
+  LockState& state = locks_[key];
+  if (state.holder == xid) return Status::OK();  // re-entrant
+  if (state.holder == kInvalidXid) {
+    state.holder = xid;
+    return Status::OK();
+  }
+  state.waiters++;
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms_);
+  bool got = cv_.wait_until(lock, deadline, [&] {
+    return locks_[key].holder == kInvalidXid;
+  });
+  LockState& st = locks_[key];
+  st.waiters--;
+  if (!got) {
+    if (st.holder == kInvalidXid && st.waiters == 0) locks_.erase(key);
+    return Status::LockTimeout("row lock wait timed out");
+  }
+  st.holder = xid;
+  // Model the wait in virtual time: the lock was freed at last_release_vtime.
+  if (clk != nullptr) clk->AdvanceTo(st.last_release_vtime);
+  return Status::OK();
+}
+
+Status LockManager::TryAcquireExclusive(RelationId relation, Vid vid,
+                                        Xid xid) {
+  Key key{relation, vid};
+  std::unique_lock<std::mutex> lock(mu_);
+  LockState& state = locks_[key];
+  if (state.holder == xid) return Status::OK();
+  if (state.holder == kInvalidXid) {
+    state.holder = xid;
+    return Status::OK();
+  }
+  if (state.waiters == 0 && state.holder == kInvalidXid) locks_.erase(key);
+  return Status::SerializationFailure("row locked by concurrent transaction");
+}
+
+void LockManager::Release(RelationId relation, Vid vid, Xid xid,
+                          VTime release_vtime) {
+  Key key{relation, vid};
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = locks_.find(key);
+  if (it == locks_.end() || it->second.holder != xid) return;
+  it->second.holder = kInvalidXid;
+  it->second.last_release_vtime =
+      std::max(it->second.last_release_vtime, release_vtime);
+  if (it->second.waiters == 0) {
+    locks_.erase(it);
+  } else {
+    cv_.notify_all();
+  }
+}
+
+size_t LockManager::HeldCount() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [k, v] : locks_) {
+    if (v.holder != kInvalidXid) n++;
+  }
+  return n;
+}
+
+}  // namespace sias

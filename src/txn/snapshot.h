@@ -1,0 +1,44 @@
+// Transaction snapshots for Snapshot Isolation.
+//
+// A snapshot captures which transactions were concurrent with (or later
+// than) the owner at start time. The paper's visibility rule (Algorithm 1,
+// line 19):   visible(Xv)  :=  Xv.create <= tx_id  AND
+//                              Xv.create NOT IN tx_concurrent
+// together with "the transaction committed" is expressed here in the
+// PostgreSQL formulation: an xid is in-snapshot iff it is below the
+// snapshot horizon, not in the concurrent set, and committed in the clog.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.h"
+#include "txn/clog.h"
+
+namespace sias {
+
+/// Immutable view of the transaction landscape at snapshot time.
+struct Snapshot {
+  Xid xid = kInvalidXid;  ///< owner (its own writes are always visible)
+  Xid xmax = kInvalidXid; ///< first xid NOT visible (next to be assigned)
+  std::vector<Xid> concurrent;  ///< sorted: in-progress xids at start
+
+  /// True if `other`'s effects are contained in this snapshot provided the
+  /// clog reports it committed.
+  bool Contains(Xid other) const {
+    if (other == xid) return true;        // own writes
+    if (other == kFrozenXid) return true; // bootstrap data
+    if (other == kInvalidXid) return false;
+    if (other >= xmax) return false;      // started after us
+    return !std::binary_search(concurrent.begin(), concurrent.end(), other);
+  }
+
+  /// Full visibility-of-creator check: in-snapshot AND committed.
+  /// (Own in-progress writes are visible to self.)
+  bool CreatorVisible(Xid creator, const Clog& clog) const {
+    if (creator == xid) return true;
+    return Contains(creator) && clog.IsCommitted(creator);
+  }
+};
+
+}  // namespace sias

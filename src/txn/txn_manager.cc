@@ -1,0 +1,101 @@
+#include "txn/txn_manager.h"
+
+#include "common/logging.h"
+
+namespace sias {
+
+std::unique_ptr<Transaction> TransactionManager::Begin(VirtualClock* clock) {
+  std::lock_guard<std::mutex> g(mu_);
+  Xid xid = next_xid_++;
+  clog_->Extend(xid);
+  Snapshot snap;
+  snap.xid = xid;
+  snap.xmax = next_xid_;
+  snap.concurrent.reserve(active_.size());
+  for (const auto& [axid, _] : active_) snap.concurrent.push_back(axid);
+  Xid snap_min = snap.concurrent.empty() ? xid : snap.concurrent.front();
+  active_.emplace(xid, snap_min);
+  return std::make_unique<Transaction>(xid, std::move(snap), clock);
+}
+
+void TransactionManager::Finish(Transaction* txn) {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    active_.erase(txn->xid());
+  }
+  VTime now = txn->clock() ? txn->clock()->now() : 0;
+  for (const auto& [relation, vid] : txn->locks_) {
+    locks_->Release(relation, vid, txn->xid(), now);
+  }
+  txn->locks_.clear();
+  txn->undo_.clear();
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  if (txn->state() != TxnState::kActive) {
+    return Status::TxnInvalidState("commit of finished transaction");
+  }
+  if (commit_hook_) {
+    Status s = commit_hook_(txn);
+    if (!s.ok()) {
+      // Commit could not be made durable: the transaction aborts.
+      Status abort_status = Abort(txn);
+      (void)abort_status;
+      return s;
+    }
+  }
+  clog_->SetCommitted(txn->xid());
+  txn->state_ = TxnState::kCommitted;
+  Finish(txn);
+  return Status::OK();
+}
+
+Status TransactionManager::Abort(Transaction* txn) {
+  if (txn->state() != TxnState::kActive) {
+    return Status::TxnInvalidState("abort of finished transaction");
+  }
+  // Undo in reverse registration order (e.g. restore VidMap entrypoints).
+  for (auto it = txn->undo_.rbegin(); it != txn->undo_.rend(); ++it) {
+    (*it)();
+  }
+  if (abort_hook_) {
+    Status s = abort_hook_(txn);
+    (void)s;  // abort records are advisory; status flip is authoritative
+  }
+  clog_->SetAborted(txn->xid());
+  txn->state_ = TxnState::kAborted;
+  Finish(txn);
+  return Status::OK();
+}
+
+Xid TransactionManager::OldestActiveXid() const {
+  std::lock_guard<std::mutex> g(mu_);
+  if (active_.empty()) return next_xid_;
+  return active_.begin()->first;
+}
+
+Xid TransactionManager::GcHorizon() const {
+  std::lock_guard<std::mutex> g(mu_);
+  Xid horizon = next_xid_;
+  for (const auto& [xid, snap_min] : active_) {
+    horizon = std::min(horizon, snap_min);
+  }
+  return horizon;
+}
+
+Xid TransactionManager::NextXid() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return next_xid_;
+}
+
+void TransactionManager::AdvanceNextXid(Xid next) {
+  std::lock_guard<std::mutex> g(mu_);
+  next_xid_ = std::max(next_xid_, next);
+}
+
+size_t TransactionManager::ActiveCount() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return active_.size();
+}
+
+}  // namespace sias

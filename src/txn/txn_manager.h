@@ -1,0 +1,80 @@
+// Transaction lifecycle: xid allocation, snapshot construction, commit and
+// abort processing.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "common/vclock.h"
+#include "txn/clog.h"
+#include "txn/lock_manager.h"
+#include "txn/transaction.h"
+
+namespace sias {
+
+/// Thread-safe transaction manager shared by all terminals.
+class TransactionManager {
+ public:
+  /// Hook invoked during Commit *before* the clog flips to committed —
+  /// the Database uses it to append + flush the WAL commit record
+  /// (durability point), charging the committing terminal's clock.
+  using CommitHook = std::function<Status(Transaction*)>;
+  /// Hook invoked during Abort before status flips (WAL abort record;
+  /// need not be flushed).
+  using AbortHook = std::function<Status(Transaction*)>;
+
+  TransactionManager(Clog* clog, LockManager* locks)
+      : clog_(clog), locks_(locks) {}
+
+  void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
+  void set_abort_hook(AbortHook hook) { abort_hook_ = std::move(hook); }
+
+  /// Starts a transaction bound to the terminal's virtual clock.
+  std::unique_ptr<Transaction> Begin(VirtualClock* clock);
+
+  /// Commits: WAL hook, clog flip, lock release, active-set removal.
+  Status Commit(Transaction* txn);
+
+  /// Aborts: undo actions (reverse order), clog flip, lock release.
+  Status Abort(Transaction* txn);
+
+  /// Oldest xid that might still be running: versions superseded before this
+  /// horizon are invisible to every current and future snapshot (GC bound).
+  Xid OldestActiveXid() const;
+
+  /// Safe GC horizon: the oldest xid any *active snapshot* still considers
+  /// in-progress. A version invalidated by a committed xid below this
+  /// horizon is invisible to every current and future snapshot.
+  Xid GcHorizon() const;
+
+  /// Next xid to be assigned (tests / metrics).
+  Xid NextXid() const;
+
+  /// Raises the xid allocator to at least `next` (crash recovery: replayed
+  /// xids must never be reissued).
+  void AdvanceNextXid(Xid next);
+
+  size_t ActiveCount() const;
+
+  Clog* clog() { return clog_; }
+  LockManager* locks() { return locks_; }
+
+ private:
+  void Finish(Transaction* txn);
+
+  Clog* clog_;
+  LockManager* locks_;
+  CommitHook commit_hook_;
+  AbortHook abort_hook_;
+
+  mutable std::mutex mu_;
+  Xid next_xid_ = kFirstNormalXid;
+  /// Active xid -> the oldest xid its snapshot considers in-progress.
+  std::map<Xid, Xid> active_;
+};
+
+}  // namespace sias

@@ -1,0 +1,195 @@
+#include "wal/wal.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+#include "common/logging.h"
+
+namespace sias {
+
+namespace {
+// Record frame: [total_len u32][crc u32][type u8][xid u64][relation u32]
+//               [page u32][slot u16][aux u64][body ...]
+constexpr size_t kFrameHeader = 4 + 4;
+constexpr size_t kFixedFields = 1 + 8 + 4 + 4 + 2 + 8;
+}  // namespace
+
+void EncodeWalRecord(const WalRecord& record, std::string* out) {
+  uint32_t total =
+      static_cast<uint32_t>(kFrameHeader + kFixedFields + record.body.size());
+  std::string payload;
+  payload.reserve(kFixedFields + record.body.size());
+  payload.push_back(static_cast<char>(record.type));
+  PutFixed64(&payload, record.xid);
+  PutFixed32(&payload, record.relation);
+  PutFixed32(&payload, record.tid.page);
+  PutFixed16(&payload, record.tid.slot);
+  PutFixed64(&payload, record.aux);
+  payload += record.body;
+
+  PutFixed32(out, total);
+  PutFixed32(out, MaskCrc(Crc32c(payload.data(), payload.size())));
+  *out += payload;
+}
+
+WalWriter::WalWriter(StorageDevice* device, uint64_t base_offset,
+                     uint64_t limit_bytes)
+    : device_(device), base_(base_offset), limit_(limit_bytes) {}
+
+Result<Lsn> WalWriter::Append(const WalRecord& record) {
+  std::string encoded;
+  EncodeWalRecord(record, &encoded);
+  std::lock_guard<std::mutex> g(mu_);
+  if (next_lsn_ + encoded.size() > limit_) {
+    return Status::OutOfSpace("WAL region full");
+  }
+  tail_.insert(tail_.end(), encoded.begin(), encoded.end());
+  next_lsn_ += encoded.size();
+  return next_lsn_;
+}
+
+Status WalWriter::Resume(Lsn lsn) {
+  std::lock_guard<std::mutex> g(mu_);
+  Lsn block_start = lsn / kPageSize * kPageSize;
+  tail_.assign(kPageSize, 0);
+  if (lsn > block_start) {
+    SIAS_RETURN_NOT_OK(
+        device_->Read(base_ + block_start, kPageSize, tail_.data(), nullptr));
+  }
+  tail_.resize(static_cast<size_t>(lsn - block_start));
+  tail_start_ = block_start;
+  next_lsn_ = lsn;
+  flushed_lsn_ = lsn;
+  return Status::OK();
+}
+
+Status WalWriter::FlushTo(Lsn lsn, VirtualClock* clk) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (lsn <= flushed_lsn_) return Status::OK();
+  lsn = std::min<Lsn>(lsn, next_lsn_);
+  // Write whole blocks from tail_start_ up to the block containing `lsn`.
+  Lsn write_end = (lsn + kPageSize - 1) / kPageSize * kPageSize;
+  Lsn write_begin = tail_start_ / kPageSize * kPageSize;
+  SIAS_CHECK(write_begin == tail_start_);  // tail always starts block-aligned
+  std::vector<uint8_t> block(kPageSize, 0);
+  for (Lsn pos = write_begin; pos < write_end; pos += kPageSize) {
+    size_t off = static_cast<size_t>(pos - tail_start_);
+    size_t n = std::min<size_t>(kPageSize, tail_.size() - off);
+    memcpy(block.data(), tail_.data() + off, n);
+    if (n < kPageSize) memset(block.data() + n, 0, kPageSize - n);
+    SIAS_RETURN_NOT_OK(
+        device_->Write(base_ + pos, kPageSize, block.data(), clk));
+    written_bytes_ += kPageSize;
+  }
+  flushed_lsn_ = lsn;
+  // Retain the partially-filled last block in the tail; drop full blocks.
+  Lsn new_tail_start = write_end;
+  if (new_tail_start > next_lsn_) {
+    // lsn landed inside the final (partial) block: keep that block buffered
+    // so the next flush can rewrite it with more records appended.
+    new_tail_start = write_end - kPageSize;
+  }
+  if (new_tail_start > tail_start_) {
+    size_t drop = static_cast<size_t>(new_tail_start - tail_start_);
+    tail_.erase(tail_.begin(), tail_.begin() + drop);
+    tail_start_ = new_tail_start;
+  }
+  return Status::OK();
+}
+
+Lsn WalWriter::current_lsn() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return next_lsn_;
+}
+
+Lsn WalWriter::flushed_lsn() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return flushed_lsn_;
+}
+
+uint64_t WalWriter::appended_bytes() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return next_lsn_;
+}
+
+uint64_t WalWriter::written_bytes() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return written_bytes_;
+}
+
+WalReader::WalReader(StorageDevice* device, uint64_t base_offset,
+                     uint64_t limit_bytes, Lsn start_lsn)
+    : device_(device), base_(base_offset), limit_(limit_bytes),
+      lsn_(start_lsn) {
+  buf_start_ = start_lsn;
+}
+
+Status WalReader::Refill(size_t need) {
+  // Ensure buf_ holds [lsn_, lsn_ + need).
+  size_t have_off = static_cast<size_t>(lsn_ - buf_start_);
+  size_t have = buf_.size() > have_off ? buf_.size() - have_off : 0;
+  if (have >= need) return Status::OK();
+  // Read forward in 64 KB chunks.
+  Lsn read_from = buf_start_ + buf_.size();
+  size_t want = std::max<size_t>(need - have, 64 * 1024);
+  // Align the device read.
+  Lsn aligned_from = read_from / kPageSize * kPageSize;
+  size_t lead = static_cast<size_t>(read_from - aligned_from);
+  size_t aligned_len = (lead + want + kPageSize - 1) / kPageSize * kPageSize;
+  if (base_ + aligned_from + aligned_len > base_ + limit_) {
+    if (aligned_from >= limit_) return Status::OK();  // at end
+    aligned_len = static_cast<size_t>(limit_ - aligned_from);
+  }
+  if (aligned_len == 0) return Status::OK();
+  std::vector<uint8_t> chunk(aligned_len);
+  SIAS_RETURN_NOT_OK(
+      device_->Read(base_ + aligned_from, aligned_len, chunk.data(), nullptr));
+  buf_.insert(buf_.end(), chunk.begin() + lead, chunk.end());
+  return Status::OK();
+}
+
+Result<std::optional<WalRecord>> WalReader::Next() {
+  SIAS_RETURN_NOT_OK(Refill(kFrameHeader));
+  size_t off = static_cast<size_t>(lsn_ - buf_start_);
+  if (buf_.size() < off + kFrameHeader) return std::optional<WalRecord>{};
+  uint32_t total = DecodeFixed32(buf_.data() + off);
+  if (total < kFrameHeader + kFixedFields || total > 1u << 24) {
+    return std::optional<WalRecord>{};  // zeroed/garbage tail: end of log
+  }
+  SIAS_RETURN_NOT_OK(Refill(total));
+  off = static_cast<size_t>(lsn_ - buf_start_);
+  if (buf_.size() < off + total) return std::optional<WalRecord>{};
+  uint32_t crc = DecodeFixed32(buf_.data() + off + 4);
+  const uint8_t* payload = buf_.data() + off + kFrameHeader;
+  size_t payload_len = total - kFrameHeader;
+  if (MaskCrc(Crc32c(payload, payload_len)) != crc) {
+    return std::optional<WalRecord>{};  // torn record: end of valid log
+  }
+  WalRecord rec;
+  const uint8_t* p = payload;
+  rec.type = static_cast<WalRecordType>(*p);
+  p += 1;
+  rec.xid = DecodeFixed64(p);
+  p += 8;
+  rec.relation = DecodeFixed32(p);
+  p += 4;
+  rec.tid.page = DecodeFixed32(p);
+  p += 4;
+  rec.tid.slot = DecodeFixed16(p);
+  p += 2;
+  rec.aux = DecodeFixed64(p);
+  p += 8;
+  rec.body.assign(reinterpret_cast<const char*>(p),
+                  payload_len - kFixedFields);
+  lsn_ += total;
+  // Trim consumed prefix occasionally to bound memory.
+  if (lsn_ - buf_start_ > (1u << 20)) {
+    size_t drop = static_cast<size_t>(lsn_ - buf_start_);
+    buf_.erase(buf_.begin(), buf_.begin() + drop);
+    buf_start_ = lsn_;
+  }
+  return std::optional<WalRecord>{std::move(rec)};
+}
+
+}  // namespace sias

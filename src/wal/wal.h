@@ -1,0 +1,118 @@
+// Write-ahead log: append-only record stream with CRC-framed records,
+// group-committed flushing in 8 KB blocks, and sequential read-back for
+// redo recovery.
+//
+// The paper (§6 Recovery) notes that SIAS does not impinge on the WAL-based
+// recovery of the MV-DBMS: the flush threshold only delays *data* pages; the
+// log is flushed at commit as usual. This module serves both SI and SIAS
+// tables identically.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "device/device.h"
+
+namespace sias {
+
+enum class WalRecordType : uint8_t {
+  kTxnCommit = 1,
+  kTxnAbort = 2,
+  /// A tuple version placed at `tid` of `relation` (insert or new version of
+  /// an update; the tuple header inside `body` carries xmin/VID/pointer).
+  kHeapInsert = 3,
+  /// In-place overwrite of the tuple at `tid` (SI invalidation stamping).
+  kHeapOverwrite = 4,
+  /// Tombstone of a dead slot (vacuum / GC).
+  kHeapSlotDelete = 5,
+  /// Checkpoint: body holds the engine metadata snapshot.
+  kCheckpoint = 6,
+  /// Index insert: body = key bytes, value in tid/aux.
+  kIndexInsert = 7,
+};
+
+/// One logical WAL record.
+struct WalRecord {
+  WalRecordType type;
+  Xid xid = kInvalidXid;
+  RelationId relation = kInvalidRelation;
+  Tid tid{};
+  uint64_t aux = 0;  ///< type-specific (e.g. VID)
+  std::string body;
+};
+
+/// Appends records to an in-memory tail and flushes them to a device in
+/// whole 8 KB blocks. LSN = byte offset of the record start + record size,
+/// i.e. the LSN returned by Append is the position *after* the record
+/// (flush-to-LSN makes the record durable).
+class WalWriter {
+ public:
+  /// Log occupies `[base_offset, base_offset + limit_bytes)` on `device`.
+  WalWriter(StorageDevice* device, uint64_t base_offset, uint64_t limit_bytes);
+
+  /// Appends a record; returns its end LSN. Thread-safe.
+  Result<Lsn> Append(const WalRecord& record);
+
+  /// Positions the writer at `lsn` (the end of the valid log found by
+  /// recovery) so new records extend the existing stream instead of
+  /// overwriting it. Re-reads the partial tail block from the device.
+  Status Resume(Lsn lsn);
+
+  /// Makes the log durable up to `lsn` (group commit: a single flush covers
+  /// every record appended before it). Charges `clk` for the device writes.
+  Status FlushTo(Lsn lsn, VirtualClock* clk);
+
+  Lsn current_lsn() const;
+  Lsn flushed_lsn() const;
+
+  /// Total bytes of WAL appended (logical) and written (physical, including
+  /// partial-block rewrite amplification).
+  uint64_t appended_bytes() const;
+  uint64_t written_bytes() const;
+
+ private:
+  StorageDevice* device_;
+  uint64_t base_;
+  uint64_t limit_;
+
+  mutable std::mutex mu_;
+  Lsn next_lsn_ = 0;           ///< logical byte position of the next record
+  Lsn flushed_lsn_ = 0;
+  uint64_t written_bytes_ = 0;
+  std::vector<uint8_t> tail_;  ///< bytes in [flushed_block_start_, next_lsn_)
+  Lsn tail_start_ = 0;         ///< logical offset of tail_[0]
+};
+
+/// Sequential reader over the log region; stops at the first invalid record
+/// (torn tail after a crash).
+class WalReader {
+ public:
+  WalReader(StorageDevice* device, uint64_t base_offset, uint64_t limit_bytes,
+            Lsn start_lsn = 0);
+
+  /// Returns the next record, or std::nullopt at end-of-log.
+  Result<std::optional<WalRecord>> Next();
+
+  /// LSN after the last successfully read record.
+  Lsn lsn() const { return lsn_; }
+
+ private:
+  Status Refill(size_t need);
+
+  StorageDevice* device_;
+  uint64_t base_;
+  uint64_t limit_;
+  Lsn lsn_;
+  std::vector<uint8_t> buf_;
+  Lsn buf_start_ = 0;
+};
+
+/// Encodes `record` into `out` (exposed for tests).
+void EncodeWalRecord(const WalRecord& record, std::string* out);
+
+}  // namespace sias

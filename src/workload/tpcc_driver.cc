@@ -1,0 +1,160 @@
+#include "workload/tpcc_driver.h"
+
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace sias {
+namespace tpcc {
+
+double TpccResult::Notpm() const {
+  if (makespan <= start_time) return 0;
+  double minutes =
+      static_cast<double>(makespan - start_time) / (60.0 * kVSecond);
+  return static_cast<double>(
+             committed[static_cast<int>(TxnType::kNewOrder)]) /
+         minutes;
+}
+
+double TpccResult::NewOrderResponseSec() const {
+  return response[static_cast<int>(TxnType::kNewOrder)].Mean() / kVSecond;
+}
+
+double TpccResult::P90ResponseSec() const {
+  return static_cast<double>(
+             response[static_cast<int>(TxnType::kNewOrder)].Percentile(90)) /
+         kVSecond;
+}
+
+uint64_t TpccResult::TotalCommitted() const {
+  uint64_t total = 0;
+  for (uint64_t c : committed) total += c;
+  return total;
+}
+
+std::string TpccResult::Summary() const {
+  char buf[512];
+  uint64_t conflicts = 0;
+  for (uint64_t c : conflict_aborts) conflicts += c;
+  snprintf(buf, sizeof(buf),
+           "NOTPM=%.0f committed=%llu conflicts=%llu user_aborts=%llu "
+           "errors=%llu resp(NO)=%.3fs p90=%.3fs makespan=%.1fs",
+           Notpm(), static_cast<unsigned long long>(TotalCommitted()),
+           static_cast<unsigned long long>(conflicts),
+           static_cast<unsigned long long>(user_aborts),
+           static_cast<unsigned long long>(errors), NewOrderResponseSec(),
+           P90ResponseSec(),
+           static_cast<double>(makespan - start_time) / kVSecond);
+  return buf;
+}
+
+Result<TpccResult> TpccDriver::Run() {
+  struct Terminal {
+    VirtualClock clock;
+    Random rng{0};
+    int64_t w_id = 1;
+    bool done = false;
+  };
+  const int warehouses = exec_->config().warehouses;
+  std::vector<Terminal> terminals(cfg_.terminals);
+  for (int i = 0; i < cfg_.terminals; ++i) {
+    terminals[i].clock.AdvanceTo(cfg_.start_time);
+    terminals[i].rng.Seed(cfg_.seed * 7919 + i);
+    terminals[i].w_id = (i % warehouses) + 1;
+  }
+  const VTime deadline = cfg_.start_time + cfg_.duration;
+
+  std::mutex result_mu;
+  TpccResult result;
+  int threads = std::max(1, cfg_.threads);
+  std::vector<std::thread> workers;
+
+  for (int tworker = 0; tworker < threads; ++tworker) {
+    workers.emplace_back([&, tworker] {
+      TpccResult local;
+      // Terminals are partitioned across threads; each thread round-robins
+      // its set one transaction at a time so virtual clocks stay loosely
+      // synchronized (the queueing model sees interleaved arrivals).
+      bool any_active = true;
+      while (any_active) {
+        any_active = false;
+        for (int i = tworker; i < cfg_.terminals; i += threads) {
+          Terminal& term = terminals[i];
+          if (term.done) continue;
+          if (term.clock.now() >= deadline) {
+            term.done = true;
+            continue;
+          }
+          any_active = true;
+          TxnType type = exec_->PickType(term.rng);
+          VTime start = term.clock.now();
+          TxnOutcome outcome = TxnOutcome::kConflictAbort;
+          Status error;
+          for (int attempt = 0;
+               attempt <= cfg_.max_retries &&
+               outcome == TxnOutcome::kConflictAbort;
+               ++attempt) {
+            outcome = exec_->Run(type, term.w_id, term.rng, &term.clock,
+                                 &error);
+            if (outcome == TxnOutcome::kConflictAbort) {
+              local.conflict_aborts[static_cast<int>(type)]++;
+              // Back off a little in virtual time before retrying.
+              term.clock.Advance(kVMillisecond);
+            }
+          }
+          switch (outcome) {
+            case TxnOutcome::kCommitted:
+              local.committed[static_cast<int>(type)]++;
+              local.response[static_cast<int>(type)].Record(
+                  term.clock.now() - start);
+              break;
+            case TxnOutcome::kUserAbort:
+              local.user_aborts++;
+              break;
+            case TxnOutcome::kConflictAbort:
+              break;  // retries exhausted; already counted
+            case TxnOutcome::kError:
+              local.errors++;
+              if (local.first_error.ok()) local.first_error = error;
+              break;
+          }
+          // Virtual-time maintenance (bgwriter / checkpoint deadlines).
+          Status ts = db_->Tick(&term.clock);
+          if (!ts.ok() && local.first_error.ok()) {
+            local.errors++;
+            local.first_error = ts;
+          }
+        }
+      }
+      std::lock_guard<std::mutex> g(result_mu);
+      for (int t = 0; t < kNumTxnTypes; ++t) {
+        result.committed[t] += local.committed[t];
+        result.conflict_aborts[t] += local.conflict_aborts[t];
+        result.response[t].Merge(local.response[t]);
+      }
+      result.user_aborts += local.user_aborts;
+      result.errors += local.errors;
+      if (result.first_error.ok() && !local.first_error.ok()) {
+        result.first_error = local.first_error;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  result.start_time = cfg_.start_time;
+  for (const auto& term : terminals) {
+    result.makespan = std::max(result.makespan, term.clock.now());
+  }
+  if (result.errors > 0) {
+    SIAS_WARN("TPC-C run had %llu errors, first: %s",
+              static_cast<unsigned long long>(result.errors),
+              result.first_error.ToString().c_str());
+  }
+  return result;
+}
+
+}  // namespace tpcc
+}  // namespace sias

@@ -1,0 +1,61 @@
+// TPC-C terminal driver: multiplexes virtual terminals over worker threads,
+// runs the standard mix for a fixed *virtual* duration and reports NOTPM
+// (new-order transactions per minute) and response times — the metrics of
+// the paper's Figures 5/6 and Table 2.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/histogram.h"
+#include "workload/tpcc_txn.h"
+
+namespace sias {
+namespace tpcc {
+
+struct DriverConfig {
+  int terminals = 1;       ///< virtual terminals (paper: scales with WH)
+  int threads = 4;         ///< real worker threads multiplexing terminals
+  VDuration duration = 30 * kVSecond;  ///< virtual measurement window
+  /// Virtual instant terminals start at. Must be at or after the load
+  /// phase's end so measurement I/O does not queue behind loading I/O.
+  VTime start_time = 0;
+  uint64_t seed = 42;
+  int max_retries = 5;     ///< conflict-abort retries per transaction
+};
+
+struct TpccResult {
+  std::array<uint64_t, kNumTxnTypes> committed{};
+  std::array<uint64_t, kNumTxnTypes> conflict_aborts{};
+  std::array<Histogram, kNumTxnTypes> response;
+  uint64_t user_aborts = 0;
+  uint64_t errors = 0;
+  Status first_error;
+  VTime start_time = 0;  ///< measurement window start
+  VTime makespan = 0;    ///< latest terminal clock at end
+
+  /// New-order transactions per virtual minute.
+  double Notpm() const;
+  /// Mean New-Order response time in virtual seconds.
+  double NewOrderResponseSec() const;
+  double P90ResponseSec() const;
+  uint64_t TotalCommitted() const;
+  std::string Summary() const;
+};
+
+/// Runs the workload. Terminals are assigned home warehouses round-robin.
+class TpccDriver {
+ public:
+  TpccDriver(Database* db, TpccExecutor* executor, DriverConfig config)
+      : db_(db), exec_(executor), cfg_(config) {}
+
+  Result<TpccResult> Run();
+
+ private:
+  Database* db_;
+  TpccExecutor* exec_;
+  DriverConfig cfg_;
+};
+
+}  // namespace tpcc
+}  // namespace sias

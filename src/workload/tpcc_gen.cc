@@ -1,0 +1,182 @@
+#include "workload/tpcc_gen.h"
+
+#include "common/logging.h"
+
+namespace sias {
+namespace tpcc {
+
+std::string LastName(int64_t num) {
+  static const char* kSyllables[] = {"BAR", "OUGHT", "ABLE", "PRI", "PRES",
+                                     "ESE", "ANTI", "CALLY", "ATION", "EING"};
+  return std::string(kSyllables[(num / 100) % 10]) +
+         kSyllables[(num / 10) % 10] + kSyllables[num % 10];
+}
+
+std::string RandString(Random& rng, int lo, int hi) {
+  int len = static_cast<int>(rng.Uniform(lo, hi));
+  std::string s(len, 'x');
+  for (auto& c : s) {
+    c = static_cast<char>('a' + rng.Uniform(0, 25));
+  }
+  return s;
+}
+
+namespace {
+
+/// Commits the running transaction every `batch` inserts to bound txn size.
+class BatchLoader {
+ public:
+  BatchLoader(Database* db, VirtualClock* clk, int batch = 200)
+      : db_(db), clk_(clk), batch_(batch) {}
+
+  ~BatchLoader() {
+    if (txn_ != nullptr) {
+      (void)db_->Abort(txn_.get());
+    }
+  }
+
+  Result<Transaction*> txn() {
+    if (txn_ == nullptr) txn_ = db_->Begin(clk_);
+    return txn_.get();
+  }
+
+  Status Tally() {
+    if (++count_ % batch_ == 0 && txn_ != nullptr) {
+      SIAS_RETURN_NOT_OK(db_->Commit(txn_.get()));
+      txn_.reset();
+    }
+    return Status::OK();
+  }
+
+  Status Finish() {
+    if (txn_ != nullptr) {
+      SIAS_RETURN_NOT_OK(db_->Commit(txn_.get()));
+      txn_.reset();
+    }
+    return Status::OK();
+  }
+
+ private:
+  Database* db_;
+  VirtualClock* clk_;
+  int batch_;
+  int count_ = 0;
+  std::unique_ptr<Transaction> txn_;
+};
+
+}  // namespace
+
+Status LoadTpcc(Database* db, const TpccTables& t, const TpccScale& scale,
+                int warehouses, Random& rng, VirtualClock* clk) {
+  BatchLoader loader(db, clk);
+
+  // ITEM (global).
+  for (int i = 1; i <= scale.items; ++i) {
+    SIAS_ASSIGN_OR_RETURN(Transaction * txn, loader.txn());
+    Row item{{int64_t{i}, static_cast<int64_t>(rng.Uniform(1, 10000)),
+              RandString(rng, 14, 24),
+              static_cast<double>(rng.Uniform(100, 10000)) / 100.0,
+              RandString(rng, scale.item_data_len / 2,
+                         scale.item_data_len)}};
+    SIAS_RETURN_NOT_OK(t.item->Insert(txn, item).status());
+    SIAS_RETURN_NOT_OK(loader.Tally());
+  }
+
+  for (int w = 1; w <= warehouses; ++w) {
+    {
+      SIAS_ASSIGN_OR_RETURN(Transaction * txn, loader.txn());
+      Row wh{{int64_t{w}, RandString(rng, 6, 10), RandString(rng, 10, 20),
+              RandString(rng, 10, 20), RandString(rng, 2, 2),
+              RandString(rng, 9, 9),
+              static_cast<double>(rng.Uniform(0, 2000)) / 10000.0, 300000.0}};
+      SIAS_RETURN_NOT_OK(t.warehouse->Insert(txn, wh).status());
+      SIAS_RETURN_NOT_OK(loader.Tally());
+    }
+
+    // STOCK: one row per item per warehouse (spec §4.3.3.1).
+    for (int i = 1; i <= scale.items; ++i) {
+      SIAS_ASSIGN_OR_RETURN(Transaction * txn, loader.txn());
+      int64_t item_id = i;
+      Row stock{{int64_t{w}, item_id,
+                 static_cast<int64_t>(rng.Uniform(10, 100)),
+                 RandString(rng, 24, 24), int64_t{0}, int64_t{0}, int64_t{0},
+                 RandString(rng, scale.stock_data_len / 2,
+                            scale.stock_data_len)}};
+      SIAS_RETURN_NOT_OK(t.stock->Insert(txn, stock).status());
+      SIAS_RETURN_NOT_OK(loader.Tally());
+    }
+
+    for (int d = 1; d <= scale.districts_per_wh; ++d) {
+      {
+        SIAS_ASSIGN_OR_RETURN(Transaction * txn, loader.txn());
+        Row dist{{int64_t{w}, int64_t{d}, RandString(rng, 6, 10),
+                  RandString(rng, 10, 20), RandString(rng, 10, 20),
+                  RandString(rng, 2, 2), RandString(rng, 9, 9),
+                  static_cast<double>(rng.Uniform(0, 2000)) / 10000.0,
+                  30000.0,
+                  static_cast<int64_t>(scale.orders_per_district + 1)}};
+        SIAS_RETURN_NOT_OK(t.district->Insert(txn, dist).status());
+        SIAS_RETURN_NOT_OK(loader.Tally());
+      }
+
+      // CUSTOMER + 1 HISTORY row each.
+      for (int c = 1; c <= scale.customers_per_district; ++c) {
+        SIAS_ASSIGN_OR_RETURN(Transaction * txn, loader.txn());
+        std::string last =
+            c <= scale.customers_per_district * 2 / 3
+                ? LastName(rng.NURand(255, 0, 999, 173) %
+                           (scale.customers_per_district * 3))
+                : LastName(c);
+        Row cust{{int64_t{w}, int64_t{d}, int64_t{c},
+                  RandString(rng, 8, 16), std::string("OE"), last,
+                  RandString(rng, 10, 20), RandString(rng, 10, 20),
+                  RandString(rng, 2, 2), RandString(rng, 9, 9),
+                  RandString(rng, 16, 16), int64_t{0},
+                  std::string(rng.OneIn(10) ? "BC" : "GC"), 50000.0,
+                  static_cast<double>(rng.Uniform(0, 5000)) / 10000.0,
+                  -10.0, 10.0, int64_t{1}, int64_t{0},
+                  RandString(rng, scale.customer_data_len / 2,
+                             scale.customer_data_len)}};
+        SIAS_RETURN_NOT_OK(t.customer->Insert(txn, cust).status());
+        Row hist{{int64_t{w}, int64_t{d}, int64_t{c}, int64_t{w}, int64_t{d},
+                  int64_t{0}, 10.0, RandString(rng, 12, 24)}};
+        SIAS_RETURN_NOT_OK(t.history->Insert(txn, hist).status());
+        SIAS_RETURN_NOT_OK(loader.Tally());
+      }
+
+      // ORDERS + ORDER_LINE (+ NEW_ORDER for the newest third).
+      for (int o = 1; o <= scale.orders_per_district; ++o) {
+        SIAS_ASSIGN_OR_RETURN(Transaction * txn, loader.txn());
+        int64_t c_id = 1 + (o - 1) % scale.customers_per_district;
+        int64_t ol_cnt = static_cast<int64_t>(rng.Uniform(5, 15));
+        bool delivered = o <= scale.orders_per_district * 2 / 3;
+        Row order{{int64_t{w}, int64_t{d}, int64_t{o}, c_id, int64_t{o},
+                   delivered ? static_cast<int64_t>(rng.Uniform(1, 10))
+                             : int64_t{0},
+                   ol_cnt, int64_t{1}}};
+        SIAS_RETURN_NOT_OK(t.orders->Insert(txn, order).status());
+        for (int64_t ol = 1; ol <= ol_cnt; ++ol) {
+          Row line{{int64_t{w}, int64_t{d}, int64_t{o}, ol,
+                    static_cast<int64_t>(rng.Uniform(1, scale.items)),
+                    int64_t{w}, delivered ? int64_t{o} : int64_t{0},
+                    int64_t{5},
+                    delivered
+                        ? 0.0
+                        : static_cast<double>(rng.Uniform(1, 999999)) /
+                              100.0,
+                    RandString(rng, 24, 24)}};
+          SIAS_RETURN_NOT_OK(t.order_line->Insert(txn, line).status());
+        }
+        if (!delivered) {
+          Row no{{int64_t{w}, int64_t{d}, int64_t{o}}};
+          SIAS_RETURN_NOT_OK(t.new_order->Insert(txn, no).status());
+        }
+        SIAS_RETURN_NOT_OK(loader.Tally());
+      }
+    }
+  }
+  return loader.Finish();
+}
+
+}  // namespace tpcc
+}  // namespace sias

@@ -1,0 +1,22 @@
+// TPC-C initial database population (spec §4.3, scaled by TpccScale).
+#pragma once
+
+#include "common/random.h"
+#include "workload/tpcc_schema.h"
+
+namespace sias {
+namespace tpcc {
+
+/// TPC-C last-name generator (spec §4.3.2.3).
+std::string LastName(int64_t num);
+
+/// Random alphanumeric string in [lo, hi] characters.
+std::string RandString(Random& rng, int lo, int hi);
+
+/// Loads `warehouses` warehouses worth of data into the TPC-C tables.
+/// Commits in batches; charges `clk`.
+Status LoadTpcc(Database* db, const TpccTables& tables, const TpccScale& scale,
+                int warehouses, Random& rng, VirtualClock* clk);
+
+}  // namespace tpcc
+}  // namespace sias

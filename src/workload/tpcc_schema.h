@@ -1,0 +1,104 @@
+// TPC-C schema (DBT2-style) over the siasdb engine.
+//
+// All nine TPC-C relations with their standard access paths. Cardinalities
+// are scaled by TpccScale so that multi-hundred-warehouse sweeps fit an
+// in-RAM simulated device while preserving the dataset-size : buffer-pool
+// ratio that drives the paper's throughput curves (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+
+#include "engine/database.h"
+#include "index/key_codec.h"
+
+namespace sias {
+namespace tpcc {
+
+/// Scaled-down cardinalities (spec values in comments).
+struct TpccScale {
+  int districts_per_wh = 10;     ///< spec: 10
+  int customers_per_district = 30;   ///< spec: 3000
+  int items = 500;               ///< spec: 100000 (stock = one row/item/WH)
+  int orders_per_district = 30;  ///< spec: 3000
+  /// Payload padding sizes (bytes) — keep tuples realistically sized.
+  int customer_data_len = 250;   ///< spec: 300-500
+  int item_data_len = 40;        ///< spec: 26-50
+  int stock_data_len = 30;       ///< spec: 26-50
+};
+
+// Column indexes (schema positions) used by the transaction profiles.
+namespace wcol {
+enum { kId = 0, kName, kStreet, kCity, kState, kZip, kTax, kYtd };
+}
+namespace dcol {
+enum { kWid = 0, kId, kName, kStreet, kCity, kState, kZip, kTax, kYtd,
+       kNextOid };
+}
+namespace ccol {
+enum { kWid = 0, kDid, kId, kFirst, kMiddle, kLast, kStreet, kCity, kState,
+       kZip, kPhone, kSince, kCredit, kCreditLim, kDiscount, kBalance,
+       kYtdPayment, kPaymentCnt, kDeliveryCnt, kData };
+}
+namespace hcol {
+enum { kCwid = 0, kCdid, kCid, kWid, kDid, kDate, kAmount, kData };
+}
+namespace nocol {
+enum { kWid = 0, kDid, kOid };
+}
+namespace ocol {
+enum { kWid = 0, kDid, kId, kCid, kEntryD, kCarrierId, kOlCnt, kAllLocal };
+}
+namespace olcol {
+enum { kWid = 0, kDid, kOid, kNumber, kIid, kSupplyWid, kDeliveryD,
+       kQuantity, kAmount, kDistInfo };
+}
+namespace icol {
+enum { kId = 0, kImId, kName, kPrice, kData };
+}
+namespace scol {
+enum { kWid = 0, kIid, kQuantity, kDist, kYtd, kOrderCnt, kRemoteCnt, kData };
+}
+
+/// Handles to the nine tables (owned by the Database).
+struct TpccTables {
+  Table* warehouse = nullptr;
+  Table* district = nullptr;
+  Table* customer = nullptr;
+  Table* history = nullptr;
+  Table* new_order = nullptr;
+  Table* orders = nullptr;
+  Table* order_line = nullptr;
+  Table* item = nullptr;
+  Table* stock = nullptr;
+
+  // Index positions within each table.
+  static constexpr size_t kWarehousePk = 0;
+  static constexpr size_t kDistrictPk = 0;
+  static constexpr size_t kCustomerPk = 0;
+  static constexpr size_t kCustomerByName = 1;
+  static constexpr size_t kNewOrderPk = 0;
+  static constexpr size_t kOrdersPk = 0;
+  static constexpr size_t kOrdersByCustomer = 1;
+  static constexpr size_t kOrderLinePk = 0;
+  static constexpr size_t kItemPk = 0;
+  static constexpr size_t kStockPk = 0;
+};
+
+// Key builders for the standard access paths.
+std::string WarehouseKey(int64_t w);
+std::string DistrictKey(int64_t w, int64_t d);
+std::string CustomerKey(int64_t w, int64_t d, int64_t c);
+std::string CustomerNameKey(int64_t w, int64_t d, const std::string& last);
+std::string NewOrderKey(int64_t w, int64_t d, int64_t o);
+std::string OrderKey(int64_t w, int64_t d, int64_t o);
+std::string OrderByCustomerKey(int64_t w, int64_t d, int64_t c, int64_t o);
+std::string OrderLineKey(int64_t w, int64_t d, int64_t o, int64_t ol);
+std::string ItemKey(int64_t i);
+std::string StockKey(int64_t w, int64_t i);
+
+/// Creates the nine tables + indexes in `db` with the given version scheme.
+/// Must be invoked in identical order when re-declaring for recovery.
+Result<TpccTables> CreateTpccTables(Database* db, VersionScheme scheme);
+
+}  // namespace tpcc
+}  // namespace sias

@@ -1,0 +1,93 @@
+// The five TPC-C transaction profiles (spec §2.4-§2.8), implemented against
+// the engine's index/table API exactly as DBT2 drives PostgreSQL.
+#pragma once
+
+#include "common/random.h"
+#include "workload/tpcc_schema.h"
+
+namespace sias {
+namespace tpcc {
+
+enum class TxnType {
+  kNewOrder = 0,
+  kPayment = 1,
+  kOrderStatus = 2,
+  kDelivery = 3,
+  kStockLevel = 4,
+};
+inline constexpr int kNumTxnTypes = 5;
+const char* ToString(TxnType t);
+
+/// Per-transaction CPU cost model (virtual time): parsing, planning and
+/// executor work a PostgreSQL-era server spends per profile, so that fully
+/// cached terminals produce realistic transaction rates instead of running
+/// at buffer-probe speed.
+inline constexpr VDuration kCpuCostByType[kNumTxnTypes] = {
+    700 * kVMicrosecond,   // NewOrder (~25 statements)
+    350 * kVMicrosecond,   // Payment
+    250 * kVMicrosecond,   // OrderStatus
+    1200 * kVMicrosecond,  // Delivery (10 districts)
+    600 * kVMicrosecond,   // StockLevel (range scan + aggregation)
+};
+
+struct TpccConfig {
+  int warehouses = 1;
+  TpccScale scale;
+  // Standard mix (percent).
+  int pct_new_order = 45;
+  int pct_payment = 43;
+  int pct_order_status = 4;
+  int pct_delivery = 4;
+  int pct_stock_level = 4;
+  int remote_payment_pct = 15;  ///< spec: 15% remote customer payments
+  int remote_stock_pct = 1;     ///< spec: 1% remote stock lines
+};
+
+/// How one transaction attempt ended.
+enum class TxnOutcome {
+  kCommitted,
+  /// Intentional rollback (1% of New-Order uses an invalid item, spec
+  /// §2.4.1.4); counted separately, not an error.
+  kUserAbort,
+  /// Serialization failure / lock timeout: retryable.
+  kConflictAbort,
+  kError,
+};
+
+/// Stateless executor for TPC-C transactions; safe to share across
+/// terminals (all state lives in the engine).
+class TpccExecutor {
+ public:
+  TpccExecutor(Database* db, const TpccTables& tables, TpccConfig config)
+      : db_(db), t_(tables), cfg_(std::move(config)) {}
+
+  /// Draws a transaction type according to the configured mix.
+  TxnType PickType(Random& rng) const;
+
+  /// Executes one transaction of `type` for home warehouse `w_id`.
+  /// Begins/commits/aborts internally; returns the outcome and, on kError,
+  /// the underlying status.
+  TxnOutcome Run(TxnType type, int64_t w_id, Random& rng, VirtualClock* clk,
+                 Status* error = nullptr);
+
+  const TpccConfig& config() const { return cfg_; }
+
+ private:
+  Status NewOrder(Transaction* txn, int64_t w_id, Random& rng,
+                  bool* user_abort);
+  Status Payment(Transaction* txn, int64_t w_id, Random& rng);
+  Status OrderStatus(Transaction* txn, int64_t w_id, Random& rng);
+  Status Delivery(Transaction* txn, int64_t w_id, Random& rng);
+  Status StockLevel(Transaction* txn, int64_t w_id, Random& rng);
+
+  /// Customer selection helper: 60% by last name (median row), 40% by id.
+  Result<std::pair<Vid, Row>> PickCustomer(Transaction* txn, int64_t w,
+                                           int64_t d, Random& rng);
+
+  Database* db_;
+  TpccTables t_;
+  TpccConfig cfg_;
+};
+
+}  // namespace tpcc
+}  // namespace sias

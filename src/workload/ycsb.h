@@ -1,0 +1,93 @@
+// YCSB-style key-value workload (Cooper et al.) over the engine: a second,
+// simpler workload besides TPC-C, used to sweep the read/update mix — the
+// knob that directly controls how much invalidation work each scheme does.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "engine/database.h"
+
+namespace sias {
+namespace ycsb {
+
+/// Standard YCSB Zipfian generator (theta = 0.99 by default), producing
+/// skewed item popularity as in the original benchmark.
+class ZipfianGenerator {
+ public:
+  explicit ZipfianGenerator(uint64_t n, double theta = 0.99);
+
+  uint64_t Next(Random& rng);
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2_;
+};
+
+enum class OpType { kRead = 0, kUpdate = 1, kInsert = 2, kScan = 3 };
+inline constexpr int kNumOpTypes = 4;
+const char* ToString(OpType t);
+
+struct YcsbConfig {
+  uint64_t records = 10000;  ///< preloaded keys
+  size_t value_size = 200;
+  // Mix in percent (must sum to 100). Defaults = workload A (50/50).
+  int read_pct = 50;
+  int update_pct = 50;
+  int insert_pct = 0;
+  int scan_pct = 0;
+  int max_scan_len = 50;
+  double zipf_theta = 0.99;
+  uint64_t operations = 20000;
+  int threads = 4;
+  uint64_t seed = 7;
+};
+
+struct YcsbResult {
+  std::array<uint64_t, kNumOpTypes> completed{};
+  std::array<Histogram, kNumOpTypes> latency;
+  uint64_t conflicts = 0;
+  uint64_t errors = 0;
+  Status first_error;
+  VTime makespan = 0;
+
+  double OpsPerVSecond() const;
+  std::string Summary() const;
+};
+
+/// Loads `config.records` rows into `table` (schema: int64 key + string
+/// value; index 0 must be the key index) and runs the mix.
+class YcsbRunner {
+ public:
+  YcsbRunner(Database* db, Table* table, YcsbConfig config);
+
+  /// Populates the table; call once before Run.
+  Status Load(VirtualClock* clk);
+
+  /// Executes the operation mix on `config.threads` threads. Each thread's
+  /// clock starts at `start_time`.
+  Result<YcsbResult> Run(VTime start_time);
+
+  /// Creates the canonical YCSB table ("usertable") with its key index.
+  static Result<Table*> CreateTable(Database* db, VersionScheme scheme);
+
+ private:
+  OpType PickOp(Random& rng) const;
+
+  Database* db_;
+  Table* table_;
+  YcsbConfig cfg_;
+  std::vector<Vid> vids_;  ///< loaded keys' VIDs (index = key)
+  std::mutex insert_mu_;
+};
+
+}  // namespace ycsb
+}  // namespace sias

@@ -1,0 +1,274 @@
+// Unit tests for src/common: Status/Result, Slice, Random, CRC32C,
+// Histogram, virtual clocks and core ID types.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+#include "common/histogram.h"
+#include "common/latch.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "common/vclock.h"
+
+namespace sias {
+namespace {
+
+TEST(StatusTest, OkIsDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing tuple");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing tuple");
+  EXPECT_EQ(s.ToString(), "NotFound: missing tuple");
+}
+
+TEST(StatusTest, RetryableClassification) {
+  EXPECT_TRUE(Status::SerializationFailure("x").IsRetryable());
+  EXPECT_TRUE(Status::LockTimeout("x").IsRetryable());
+  EXPECT_FALSE(Status::Corruption("x").IsRetryable());
+  EXPECT_FALSE(Status::OK().IsRetryable());
+}
+
+TEST(StatusTest, CopyIsCheapAndShared) {
+  Status a = Status::IoError("disk gone");
+  Status b = a;
+  EXPECT_EQ(b.message(), "disk gone");
+  EXPECT_EQ(b.code(), StatusCode::kIoError);
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+TEST(ResultTest, ValueAndError) {
+  auto good = ParsePositive(7);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 7);
+
+  auto bad = ParsePositive(-1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.ValueOr(42), 42);
+}
+
+TEST(SliceTest, CompareIsMemcmpOrder) {
+  EXPECT_LT(Slice("abc").Compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abcd").Compare(Slice("abc")), 0);
+  EXPECT_EQ(Slice("abc").Compare(Slice("abc")), 0);
+  EXPECT_TRUE(Slice("") < Slice("a"));
+}
+
+TEST(SliceTest, Views) {
+  std::string s = "hello";
+  Slice sl(s);
+  EXPECT_EQ(sl.size(), 5u);
+  EXPECT_EQ(sl.ToString(), "hello");
+  EXPECT_EQ(sl.View(), std::string_view("hello"));
+}
+
+TEST(TidTest, PackRoundTrip) {
+  Tid t{123456, 789};
+  Tid u = Tid::Unpack(t.Pack());
+  EXPECT_EQ(t, u);
+  EXPECT_TRUE(t.valid());
+  EXPECT_FALSE(kInvalidTid.valid());
+}
+
+TEST(PageIdTest, HashSpreads) {
+  std::set<size_t> hashes;
+  for (uint32_t r = 1; r < 5; ++r) {
+    for (uint32_t p = 0; p < 100; ++p) {
+      hashes.insert(std::hash<PageId>{}(PageId{r, p}));
+    }
+  }
+  EXPECT_GT(hashes.size(), 390u);  // near-zero collisions expected
+}
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(42), b(42), c(43);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random r(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = r.Uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(RandomTest, NURandInRange) {
+  Random r(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.NURand(255, 0, 999, 123);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 999);
+  }
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random r(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Crc32cTest, KnownVector) {
+  // CRC32C("123456789") == 0xE3069283 (iSCSI test vector).
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+}
+
+TEST(Crc32cTest, DetectsBitFlip) {
+  std::string data(1024, 'x');
+  uint32_t base = Crc32c(data.data(), data.size());
+  data[100] ^= 1;
+  EXPECT_NE(base, Crc32c(data.data(), data.size()));
+}
+
+TEST(Crc32cTest, MaskRoundTrip) {
+  uint32_t crc = Crc32c("siasdb", 6);
+  EXPECT_EQ(UnmaskCrc(MaskCrc(crc)), crc);
+  EXPECT_NE(MaskCrc(crc), crc);
+}
+
+TEST(CodingTest, FixedRoundTrip) {
+  uint8_t buf[8];
+  EncodeFixed64(buf, 0x0123456789abcdefull);
+  EXPECT_EQ(DecodeFixed64(buf), 0x0123456789abcdefull);
+  EncodeFixed32(buf, 0xdeadbeefu);
+  EXPECT_EQ(DecodeFixed32(buf), 0xdeadbeefu);
+  EncodeFixed16(buf, 0xbeefu);
+  EXPECT_EQ(DecodeFixed16(buf), 0xbeefu);
+}
+
+TEST(CodingTest, BigEndianPreservesOrder) {
+  uint8_t a[8], b[8];
+  EncodeBigEndian64(a, 100);
+  EncodeBigEndian64(b, 200);
+  EXPECT_LT(memcmp(a, b, 8), 0);
+  EXPECT_EQ(DecodeBigEndian64(a), 100u);
+}
+
+TEST(VClockTest, AdvanceSemantics) {
+  VirtualClock c(100);
+  c.Advance(50);
+  EXPECT_EQ(c.now(), 150u);
+  c.AdvanceTo(120);  // never goes backwards
+  EXPECT_EQ(c.now(), 150u);
+  c.AdvanceTo(300);
+  EXPECT_EQ(c.now(), 300u);
+}
+
+TEST(AtomicVTimeTest, ReserveQueues) {
+  AtomicVTime busy(0);
+  // Two back-to-back reservations at t=0 must serialize.
+  VTime s1 = busy.Reserve(0, 100);
+  VTime s2 = busy.Reserve(0, 100);
+  EXPECT_EQ(s1, 0u);
+  EXPECT_EQ(s2, 100u);
+  // A late arrival starts at its own arrival time.
+  VTime s3 = busy.Reserve(1000, 10);
+  EXPECT_EQ(s3, 1000u);
+}
+
+TEST(AtomicVTimeTest, ConcurrentReservationsNeverOverlap) {
+  AtomicVTime busy(0);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::vector<VTime>> starts(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        starts[t].push_back(busy.Reserve(0, 7));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::set<VTime> all;
+  for (auto& v : starts) all.insert(v.begin(), v.end());
+  EXPECT_EQ(all.size(), static_cast<size_t>(kThreads * kPerThread));
+  // Intervals are length 7 and disjoint: consecutive starts differ by >= 7.
+  VTime prev = ~0ull;
+  for (VTime s : all) {
+    if (prev != ~0ull) EXPECT_GE(s, prev + 7);
+    prev = s;
+  }
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(i * kVMillisecond);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.Mean(), 50.5 * kVMillisecond, 2.0 * kVMillisecond);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 50.0 * kVMillisecond,
+              5.0 * kVMillisecond);
+  EXPECT_GE(h.Max(), 100 * kVMillisecond);
+  EXPECT_LE(h.Min(), 1 * kVMillisecond + kVMillisecond / 10);
+}
+
+TEST(HistogramTest, MergeAddsUp) {
+  Histogram a, b;
+  a.Record(10 * kVMicrosecond);
+  b.Record(30 * kVMicrosecond);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_NEAR(a.Mean(), 20.0 * kVMicrosecond, kVMicrosecond);
+}
+
+TEST(HistogramTest, EmptyIsSane) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(99), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(LatchTest, SpinLatchMutualExclusion) {
+  SpinLatch latch;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        SpinLatchGuard g(latch);
+        counter++;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(FormatTest, VDuration) {
+  EXPECT_EQ(FormatVDuration(5 * kVSecond), "5.000s");
+  EXPECT_EQ(FormatVDuration(2 * kVMillisecond), "2.000ms");
+  EXPECT_EQ(FormatVDuration(3 * kVMicrosecond), "3.00us");
+  EXPECT_EQ(FormatVDuration(42), "42ns");
+}
+
+TEST(VersionSchemeTest, Names) {
+  EXPECT_STREQ(ToString(VersionScheme::kSi), "SI");
+  EXPECT_STREQ(ToString(VersionScheme::kSiasChains), "SIAS-Chains");
+  EXPECT_STREQ(ToString(VersionScheme::kSiasV), "SIAS-V");
+}
+
+}  // namespace
+}  // namespace sias

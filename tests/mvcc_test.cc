@@ -1,0 +1,671 @@
+// Scheme-parameterized MVCC tests: the same battery runs against the SI
+// baseline, SIAS-Chains and SIAS-V, checking that all three provide
+// identical Snapshot Isolation semantics while differing in their physical
+// behaviour (verified by the scheme-specific tests at the bottom).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "mvcc/visibility.h"
+#include "tests/test_env.h"
+
+namespace sias {
+namespace {
+
+class MvccSchemeTest : public ::testing::TestWithParam<VersionScheme> {
+ protected:
+  void SetUp() override {
+    env_ = std::make_unique<TestEnv>();
+    table_ = env_->MakeTable(GetParam(), /*relation=*/1);
+  }
+
+  std::unique_ptr<Transaction> Begin() { return env_->txns_.Begin(&clk_); }
+  Status Commit(Transaction* t) { return env_->txns_.Commit(t); }
+  Status Abort(Transaction* t) { return env_->txns_.Abort(t); }
+
+  /// Insert + commit helper; returns the VID.
+  Vid InsertCommitted(const std::string& row) {
+    auto t = Begin();
+    auto vid = table_->Insert(t.get(), Slice(row));
+    EXPECT_TRUE(vid.ok());
+    EXPECT_TRUE(Commit(t.get()).ok());
+    return *vid;
+  }
+
+  std::optional<std::string> ReadIn(Transaction* t, Vid vid) {
+    auto r = table_->Read(t, vid);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return *r;
+  }
+
+  std::unique_ptr<TestEnv> env_;
+  std::unique_ptr<MvccTable> table_;
+  VirtualClock clk_;
+};
+
+TEST_P(MvccSchemeTest, InsertReadBack) {
+  Vid vid = InsertCommitted("row-zero");
+  auto t = Begin();
+  auto row = ReadIn(t.get(), vid);
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(*row, "row-zero");
+  ASSERT_TRUE(Commit(t.get()).ok());
+}
+
+TEST_P(MvccSchemeTest, OwnUncommittedWritesVisibleToSelfOnly) {
+  auto t1 = Begin();
+  auto vid = table_->Insert(t1.get(), Slice("mine"));
+  ASSERT_TRUE(vid.ok());
+  EXPECT_EQ(ReadIn(t1.get(), *vid).value_or(""), "mine");
+
+  auto t2 = Begin();
+  EXPECT_FALSE(ReadIn(t2.get(), *vid).has_value());
+  ASSERT_TRUE(Commit(t1.get()).ok());
+  // t2's snapshot predates the commit: still invisible.
+  EXPECT_FALSE(ReadIn(t2.get(), *vid).has_value());
+  ASSERT_TRUE(Commit(t2.get()).ok());
+
+  auto t3 = Begin();
+  EXPECT_TRUE(ReadIn(t3.get(), *vid).has_value());
+  ASSERT_TRUE(Commit(t3.get()).ok());
+}
+
+TEST_P(MvccSchemeTest, UpdateCreatesNewVisibleVersion) {
+  Vid vid = InsertCommitted("v0");
+  auto t = Begin();
+  ASSERT_TRUE(table_->Update(t.get(), vid, Slice("v1")).ok());
+  EXPECT_EQ(ReadIn(t.get(), vid).value_or(""), "v1");  // own write
+  ASSERT_TRUE(Commit(t.get()).ok());
+
+  auto t2 = Begin();
+  EXPECT_EQ(ReadIn(t2.get(), vid).value_or(""), "v1");
+  ASSERT_TRUE(Commit(t2.get()).ok());
+}
+
+TEST_P(MvccSchemeTest, SnapshotReadersSeeOldVersionDuringUpdate) {
+  Vid vid = InsertCommitted("old");
+  auto reader = Begin();  // snapshot taken now
+
+  auto writer = Begin();
+  ASSERT_TRUE(table_->Update(writer.get(), vid, Slice("new")).ok());
+  ASSERT_TRUE(Commit(writer.get()).ok());
+
+  // Reader started before the update committed: sees the old version.
+  EXPECT_EQ(ReadIn(reader.get(), vid).value_or(""), "old");
+  ASSERT_TRUE(Commit(reader.get()).ok());
+
+  auto later = Begin();
+  EXPECT_EQ(ReadIn(later.get(), vid).value_or(""), "new");
+  ASSERT_TRUE(Commit(later.get()).ok());
+}
+
+TEST_P(MvccSchemeTest, LongVersionHistoryEachSnapshotSeesItsVersion) {
+  Vid vid = InsertCommitted("v0");
+  std::vector<std::unique_ptr<Transaction>> readers;
+  for (int i = 1; i <= 5; ++i) {
+    readers.push_back(Begin());  // snapshot before update i
+    auto t = Begin();
+    ASSERT_TRUE(
+        table_->Update(t.get(), vid, Slice("v" + std::to_string(i))).ok());
+    ASSERT_TRUE(Commit(t.get()).ok());
+  }
+  // Reader i (0-based) was started when version v{i} was newest.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(ReadIn(readers[i].get(), vid).value_or(""),
+              "v" + std::to_string(i));
+  }
+  for (auto& r : readers) ASSERT_TRUE(Commit(r.get()).ok());
+}
+
+TEST_P(MvccSchemeTest, AbortedUpdateInvisible) {
+  Vid vid = InsertCommitted("keep");
+  auto t = Begin();
+  ASSERT_TRUE(table_->Update(t.get(), vid, Slice("discard")).ok());
+  ASSERT_TRUE(Abort(t.get()).ok());
+  auto t2 = Begin();
+  EXPECT_EQ(ReadIn(t2.get(), vid).value_or(""), "keep");
+  ASSERT_TRUE(Commit(t2.get()).ok());
+}
+
+TEST_P(MvccSchemeTest, AbortedInsertInvisible) {
+  auto t = Begin();
+  auto vid = table_->Insert(t.get(), Slice("phantom"));
+  ASSERT_TRUE(vid.ok());
+  ASSERT_TRUE(Abort(t.get()).ok());
+  auto t2 = Begin();
+  EXPECT_FALSE(ReadIn(t2.get(), *vid).has_value());
+  ASSERT_TRUE(Commit(t2.get()).ok());
+}
+
+TEST_P(MvccSchemeTest, FirstUpdaterWinsOnConflict) {
+  Vid vid = InsertCommitted("base");
+  auto t1 = Begin();
+  auto t2 = Begin();
+  ASSERT_TRUE(table_->Update(t1.get(), vid, Slice("t1-wins")).ok());
+  ASSERT_TRUE(Commit(t1.get()).ok());
+  // t2 started before t1 committed; its update must fail (SI rules).
+  Status s = table_->Update(t2.get(), vid, Slice("t2-loses"));
+  EXPECT_TRUE(s.IsSerializationFailure() || s.IsLockTimeout())
+      << s.ToString();
+  ASSERT_TRUE(Abort(t2.get()).ok());
+  auto t3 = Begin();
+  EXPECT_EQ(ReadIn(t3.get(), vid).value_or(""), "t1-wins");
+  ASSERT_TRUE(Commit(t3.get()).ok());
+}
+
+TEST_P(MvccSchemeTest, WaitingUpdaterAbortsAfterHolderCommits) {
+  Vid vid = InsertCommitted("base");
+  auto t1 = Begin();
+  ASSERT_TRUE(table_->Update(t1.get(), vid, Slice("held")).ok());
+
+  std::thread waiter([&] {
+    VirtualClock clk;
+    auto t2 = env_->txns_.Begin(&clk);
+    // Blocks on the row lock until t1 commits, then must lose.
+    Status s = table_->Update(t2.get(), vid, Slice("late"));
+    EXPECT_TRUE(s.IsSerializationFailure() || s.IsLockTimeout())
+        << s.ToString();
+    EXPECT_TRUE(env_->txns_.Abort(t2.get()).ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(Commit(t1.get()).ok());
+  waiter.join();
+}
+
+TEST_P(MvccSchemeTest, WaitingUpdaterProceedsAfterHolderAborts) {
+  Vid vid = InsertCommitted("base");
+  auto t1 = Begin();
+  ASSERT_TRUE(table_->Update(t1.get(), vid, Slice("doomed")).ok());
+
+  std::thread waiter([&] {
+    VirtualClock clk;
+    auto t2 = env_->txns_.Begin(&clk);
+    Status s = table_->Update(t2.get(), vid, Slice("winner"));
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    EXPECT_TRUE(env_->txns_.Commit(t2.get()).ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(Abort(t1.get()).ok());
+  waiter.join();
+
+  auto t3 = Begin();
+  EXPECT_EQ(ReadIn(t3.get(), vid).value_or(""), "winner");
+  ASSERT_TRUE(Commit(t3.get()).ok());
+}
+
+TEST_P(MvccSchemeTest, DeleteHidesFromNewSnapshotsKeepsForOld) {
+  Vid vid = InsertCommitted("to-delete");
+  auto old_reader = Begin();
+  auto deleter = Begin();
+  ASSERT_TRUE(table_->Delete(deleter.get(), vid).ok());
+  ASSERT_TRUE(Commit(deleter.get()).ok());
+
+  // Old snapshot still sees the last committed state before the delete.
+  EXPECT_EQ(ReadIn(old_reader.get(), vid).value_or(""), "to-delete");
+  ASSERT_TRUE(Commit(old_reader.get()).ok());
+
+  auto new_reader = Begin();
+  EXPECT_FALSE(ReadIn(new_reader.get(), vid).has_value());
+  ASSERT_TRUE(Commit(new_reader.get()).ok());
+}
+
+TEST_P(MvccSchemeTest, UpdateOfDeletedItemFails) {
+  Vid vid = InsertCommitted("gone");
+  auto t = Begin();
+  ASSERT_TRUE(table_->Delete(t.get(), vid).ok());
+  ASSERT_TRUE(Commit(t.get()).ok());
+  auto t2 = Begin();
+  Status s = table_->Update(t2.get(), vid, Slice("zombie"));
+  EXPECT_TRUE(s.IsNotFound()) << s.ToString();
+  ASSERT_TRUE(Abort(t2.get()).ok());
+}
+
+TEST_P(MvccSchemeTest, UpdateNonexistentVidFails) {
+  auto t = Begin();
+  Status s = table_->Update(t.get(), 424242, Slice("x"));
+  EXPECT_TRUE(s.IsNotFound());
+  ASSERT_TRUE(Abort(t.get()).ok());
+}
+
+TEST_P(MvccSchemeTest, MultipleUpdatesInOneTransaction) {
+  Vid vid = InsertCommitted("a");
+  auto t = Begin();
+  ASSERT_TRUE(table_->Update(t.get(), vid, Slice("b")).ok());
+  ASSERT_TRUE(table_->Update(t.get(), vid, Slice("c")).ok());
+  ASSERT_TRUE(table_->Update(t.get(), vid, Slice("d")).ok());
+  EXPECT_EQ(ReadIn(t.get(), vid).value_or(""), "d");
+  ASSERT_TRUE(Commit(t.get()).ok());
+  auto t2 = Begin();
+  EXPECT_EQ(ReadIn(t2.get(), vid).value_or(""), "d");
+  ASSERT_TRUE(Commit(t2.get()).ok());
+}
+
+TEST_P(MvccSchemeTest, InsertAndUpdateSameTransaction) {
+  auto t = Begin();
+  auto vid = table_->Insert(t.get(), Slice("fresh"));
+  ASSERT_TRUE(vid.ok());
+  ASSERT_TRUE(table_->Update(t.get(), *vid, Slice("updated")).ok());
+  ASSERT_TRUE(Commit(t.get()).ok());
+  auto t2 = Begin();
+  EXPECT_EQ(ReadIn(t2.get(), *vid).value_or(""), "updated");
+  ASSERT_TRUE(Commit(t2.get()).ok());
+}
+
+TEST_P(MvccSchemeTest, ScanSeesExactlyVisibleItems) {
+  Vid a = InsertCommitted("alpha");
+  Vid b = InsertCommitted("beta");
+  Vid c = InsertCommitted("gamma");
+  // Delete b; update c; leave one uncommitted insert.
+  {
+    auto t = Begin();
+    ASSERT_TRUE(table_->Delete(t.get(), b).ok());
+    ASSERT_TRUE(table_->Update(t.get(), c, Slice("gamma2")).ok());
+    ASSERT_TRUE(Commit(t.get()).ok());
+  }
+  auto pending = Begin();
+  ASSERT_TRUE(table_->Insert(pending.get(), Slice("invisible")).ok());
+
+  auto t = Begin();
+  std::map<Vid, std::string> seen;
+  ASSERT_TRUE(table_
+                  ->Scan(t.get(),
+                         [&](Vid vid, Slice row) {
+                           seen[vid] = row.ToString();
+                           return true;
+                         })
+                  .ok());
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[a], "alpha");
+  EXPECT_EQ(seen[c], "gamma2");
+  ASSERT_TRUE(Commit(t.get()).ok());
+  ASSERT_TRUE(Abort(pending.get()).ok());
+}
+
+TEST_P(MvccSchemeTest, ScanEarlyStop) {
+  for (int i = 0; i < 10; ++i) InsertCommitted("row" + std::to_string(i));
+  auto t = Begin();
+  int count = 0;
+  ASSERT_TRUE(table_->Scan(t.get(), [&](Vid, Slice) {
+    return ++count < 3;
+  }).ok());
+  EXPECT_EQ(count, 3);
+  ASSERT_TRUE(Commit(t.get()).ok());
+}
+
+TEST_P(MvccSchemeTest, ManyItemsStressWithInterleavedSnapshots) {
+  constexpr int kItems = 200;
+  std::vector<Vid> vids;
+  for (int i = 0; i < kItems; ++i) {
+    vids.push_back(InsertCommitted("i" + std::to_string(i)));
+  }
+  auto snap_before = Begin();
+  for (int i = 0; i < kItems; i += 2) {
+    auto t = Begin();
+    ASSERT_TRUE(
+        table_->Update(t.get(), vids[i], Slice("u" + std::to_string(i))).ok());
+    ASSERT_TRUE(Commit(t.get()).ok());
+  }
+  // Old snapshot: all originals. New snapshot: evens updated.
+  for (int i = 0; i < kItems; i += 37) {
+    EXPECT_EQ(ReadIn(snap_before.get(), vids[i]).value_or(""),
+              "i" + std::to_string(i));
+  }
+  ASSERT_TRUE(Commit(snap_before.get()).ok());
+  auto snap_after = Begin();
+  for (int i = 0; i < kItems; i += 37) {
+    std::string expect = (i % 2 == 0) ? "u" + std::to_string(i)
+                                      : "i" + std::to_string(i);
+    EXPECT_EQ(ReadIn(snap_after.get(), vids[i]).value_or(""), expect);
+  }
+  ASSERT_TRUE(Commit(snap_after.get()).ok());
+}
+
+TEST_P(MvccSchemeTest, GarbageCollectionPreservesVisibleState) {
+  constexpr int kItems = 50;
+  std::vector<Vid> vids;
+  for (int i = 0; i < kItems; ++i) {
+    vids.push_back(InsertCommitted("x"));
+  }
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < kItems; ++i) {
+      auto t = Begin();
+      ASSERT_TRUE(table_
+                      ->Update(t.get(), vids[i],
+                               Slice("r" + std::to_string(round) + "-" +
+                                     std::to_string(i)))
+                      .ok());
+      ASSERT_TRUE(Commit(t.get()).ok());
+    }
+  }
+  GcStats gc;
+  ASSERT_TRUE(
+      table_->GarbageCollect(env_->txns_.GcHorizon(), &clk_, &gc).ok());
+  EXPECT_GT(gc.versions_discarded, 0u);
+
+  auto t = Begin();
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_EQ(ReadIn(t.get(), vids[i]).value_or(""),
+              "r5-" + std::to_string(i))
+        << "item " << i;
+  }
+  ASSERT_TRUE(Commit(t.get()).ok());
+}
+
+TEST_P(MvccSchemeTest, GcRespectsOldSnapshots) {
+  Vid vid = InsertCommitted("ancient");
+  auto old_reader = Begin();  // holds the horizon back
+  for (int i = 0; i < 5; ++i) {
+    auto t = Begin();
+    ASSERT_TRUE(table_->Update(t.get(), vid, Slice("new")).ok());
+    ASSERT_TRUE(Commit(t.get()).ok());
+  }
+  GcStats gc;
+  ASSERT_TRUE(
+      table_->GarbageCollect(env_->txns_.GcHorizon(), &clk_, &gc).ok());
+  // The old reader must still see its version.
+  EXPECT_EQ(ReadIn(old_reader.get(), vid).value_or(""), "ancient");
+  ASSERT_TRUE(Commit(old_reader.get()).ok());
+}
+
+TEST_P(MvccSchemeTest, GcRemovesTombstonedItems) {
+  Vid vid = InsertCommitted("die");
+  {
+    auto t = Begin();
+    ASSERT_TRUE(table_->Delete(t.get(), vid).ok());
+    ASSERT_TRUE(Commit(t.get()).ok());
+  }
+  GcStats gc;
+  ASSERT_TRUE(
+      table_->GarbageCollect(env_->txns_.GcHorizon(), &clk_, &gc).ok());
+  EXPECT_GT(gc.versions_discarded, 0u);
+  auto t = Begin();
+  EXPECT_FALSE(ReadIn(t.get(), vid).has_value());
+  ASSERT_TRUE(Commit(t.get()).ok());
+}
+
+TEST_P(MvccSchemeTest, ConcurrentDisjointWritersAllSucceed) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::vector<Vid>> vids(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      vids[t].push_back(InsertCommitted("init"));
+    }
+  }
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      VirtualClock clk;
+      for (int i = 0; i < kPerThread; ++i) {
+        auto txn = env_->txns_.Begin(&clk);
+        Status s = table_->Update(txn.get(), vids[t][i],
+                                  Slice("t" + std::to_string(t)));
+        if (s.ok()) {
+          if (!env_->txns_.Commit(txn.get()).ok()) failures++;
+        } else {
+          failures++;
+          (void)env_->txns_.Abort(txn.get());
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  auto t = Begin();
+  for (int th = 0; th < kThreads; ++th) {
+    for (int i = 0; i < kPerThread; i += 7) {
+      EXPECT_EQ(ReadIn(t.get(), vids[th][i]).value_or(""),
+                "t" + std::to_string(th));
+    }
+  }
+  ASSERT_TRUE(Commit(t.get()).ok());
+}
+
+TEST_P(MvccSchemeTest, ConcurrentContendedWritersSerialize) {
+  Vid vid = InsertCommitted("contended");
+  constexpr int kThreads = 4;
+  std::atomic<int> committed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      VirtualClock clk;
+      for (int i = 0; i < 25; ++i) {
+        auto txn = env_->txns_.Begin(&clk);
+        Status s = table_->Update(txn.get(), vid, Slice("w"));
+        if (s.ok() && env_->txns_.Commit(txn.get()).ok()) {
+          committed++;
+        } else if (txn->state() == TxnState::kActive) {
+          (void)env_->txns_.Abort(txn.get());
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // At least some must commit; the item must end in a consistent state.
+  EXPECT_GT(committed.load(), 0);
+  auto t = Begin();
+  EXPECT_EQ(ReadIn(t.get(), vid).value_or(""), "w");
+  ASSERT_TRUE(Commit(t.get()).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, MvccSchemeTest,
+                         ::testing::Values(VersionScheme::kSi,
+                                           VersionScheme::kSiasChains,
+                                           VersionScheme::kSiasV),
+                         [](const auto& info) {
+                           std::string n = ToString(info.param);
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+// ---------------------------------------------------------------------------
+// Scheme-specific physical behaviour.
+// ---------------------------------------------------------------------------
+
+class PhysicalBehaviourTest : public ::testing::Test {
+ protected:
+  void SetUp() override { env_ = std::make_unique<TestEnv>(); }
+  std::unique_ptr<TestEnv> env_;
+  VirtualClock clk_;
+};
+
+TEST_F(PhysicalBehaviourTest, SiDirtiesOldPageSiasDoesNot) {
+  // The paper's Figure 1 in miniature: after updates, SI must have dirtied
+  // the page holding the OLD version (in-place xmax); SIAS must not.
+  for (VersionScheme scheme :
+       {VersionScheme::kSi, VersionScheme::kSiasChains}) {
+    TestEnv env;
+    auto table = env.MakeTable(scheme, 1);
+    auto t0 = env.txns_.Begin(&clk_);
+    auto vid = table->Insert(t0.get(), Slice("v0"));
+    ASSERT_TRUE(vid.ok());
+    ASSERT_TRUE(env.txns_.Commit(t0.get()).ok());
+    // Flush everything so all pages start clean.
+    ASSERT_TRUE(env.pool_.FlushAll(&clk_).ok());
+    size_t dirty_before = env.pool_.DirtyPages().size();
+    ASSERT_EQ(dirty_before, 0u);
+
+    auto t1 = env.txns_.Begin(&clk_);
+    ASSERT_TRUE(table->Update(t1.get(), *vid, Slice("v1")).ok());
+    ASSERT_TRUE(env.txns_.Commit(t1.get()).ok());
+
+    size_t dirty_after = env.pool_.DirtyPages().size();
+    TableStats ts = table->stats();
+    if (scheme == VersionScheme::kSi) {
+      // Old version's page stamped in place + new version placed: the heap
+      // page(s) are dirty and an in-place invalidation was recorded.
+      EXPECT_GE(ts.inplace_invalidations, 1u);
+      EXPECT_GE(dirty_after, 1u);
+    } else {
+      // SIAS: only the append page is dirty; zero in-place invalidations.
+      EXPECT_EQ(ts.inplace_invalidations, 0u);
+      EXPECT_EQ(dirty_after, 1u);
+    }
+  }
+}
+
+TEST_F(PhysicalBehaviourTest, SiasChainsHaveCorrectStructure) {
+  TestEnv env;
+  auto table_ptr = env.MakeTable(VersionScheme::kSiasChains, 1);
+  auto* table = static_cast<SiasTable*>(table_ptr.get());
+  auto t0 = env.txns_.Begin(&clk_);
+  auto vid = table->Insert(t0.get(), Slice("v0"));
+  ASSERT_TRUE(vid.ok());
+  ASSERT_TRUE(env.txns_.Commit(t0.get()).ok());
+  for (int i = 1; i <= 4; ++i) {
+    auto t = env.txns_.Begin(&clk_);
+    ASSERT_TRUE(
+        table->Update(t.get(), *vid, Slice("v" + std::to_string(i))).ok());
+    ASSERT_TRUE(env.txns_.Commit(t.get()).ok());
+  }
+  auto chain = table->ChainOf(*vid, &clk_);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain->size(), 5u);  // v4 -> v3 -> v2 -> v1 -> v0
+  // Entrypoint is the newest version; creation timestamps strictly decrease
+  // along the chain (chronological order invariant).
+  Xid prev_xmin = ~0ull;
+  for (Tid tid : *chain) {
+    auto page = env.pool_.FetchPage(PageId{1, tid.page}, &clk_);
+    ASSERT_TRUE(page.ok());
+    page->LatchShared();
+    TupleHeader h;
+    ASSERT_TRUE(DecodeTupleHeader(page->page().GetTuple(tid.slot), &h));
+    page->Unlatch();
+    EXPECT_LT(h.xmin, prev_xmin);
+    prev_xmin = h.xmin;
+    EXPECT_EQ(h.vid, *vid);
+    EXPECT_EQ(h.xmax, kInvalidXid);  // never stamped: no in-place invalidation
+  }
+}
+
+TEST_F(PhysicalBehaviourTest, SiasVVectorTracksVersionsNewestFirst) {
+  TestEnv env;
+  auto table_ptr = env.MakeTable(VersionScheme::kSiasV, 1);
+  auto* table = static_cast<SiasTable*>(table_ptr.get());
+  auto t0 = env.txns_.Begin(&clk_);
+  auto vid = table->Insert(t0.get(), Slice("v0"));
+  ASSERT_TRUE(vid.ok());
+  ASSERT_TRUE(env.txns_.Commit(t0.get()).ok());
+  for (int i = 1; i <= 3; ++i) {
+    auto t = env.txns_.Begin(&clk_);
+    ASSERT_TRUE(
+        table->Update(t.get(), *vid, Slice("v" + std::to_string(i))).ok());
+    ASSERT_TRUE(env.txns_.Commit(t.get()).ok());
+  }
+  std::vector<Tid> vec = table->vid_map_v().Get(*vid);
+  ASSERT_EQ(vec.size(), 4u);
+  // Newest first: the entrypoint resolves to "v3".
+  auto t = env.txns_.Begin(&clk_);
+  auto row = table->Read(t.get(), *vid);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->value_or(""), "v3");
+  ASSERT_TRUE(env.txns_.Commit(t.get()).ok());
+}
+
+TEST_F(PhysicalBehaviourTest, SiasCoLocatesRecentVersions) {
+  // Versions created together land on the same append page (co-location),
+  // while SI scatters them by free space.
+  TestEnv env;
+  auto table_ptr = env.MakeTable(VersionScheme::kSiasChains, 1);
+  auto* table = static_cast<SiasTable*>(table_ptr.get());
+  std::vector<Vid> vids;
+  auto t = env.txns_.Begin(&clk_);
+  for (int i = 0; i < 20; ++i) {
+    auto vid = table->Insert(t.get(), Slice("co-located-row"));
+    ASSERT_TRUE(vid.ok());
+    vids.push_back(*vid);
+  }
+  ASSERT_TRUE(env.txns_.Commit(t.get()).ok());
+  std::set<PageNumber> pages;
+  for (Vid v : vids) {
+    pages.insert(table->vid_map().Get(v).page);
+  }
+  EXPECT_EQ(pages.size(), 1u);  // all 20 small rows fit one append page
+}
+
+TEST_F(PhysicalBehaviourTest, SiasVidMapScanTouchesFewerPagesThanFullScan) {
+  TestEnv env;
+  auto table_ptr = env.MakeTable(VersionScheme::kSiasChains, 1);
+  auto* table = static_cast<SiasTable*>(table_ptr.get());
+  // 50 items, 10 update rounds => 550 versions over many pages, only 50 live.
+  std::vector<Vid> vids;
+  for (int i = 0; i < 50; ++i) {
+    auto t = env.txns_.Begin(&clk_);
+    auto vid = table->Insert(t.get(), Slice(std::string(300, 'x')));
+    ASSERT_TRUE(vid.ok());
+    vids.push_back(*vid);
+    ASSERT_TRUE(env.txns_.Commit(t.get()).ok());
+  }
+  for (int round = 0; round < 10; ++round) {
+    for (Vid v : vids) {
+      auto t = env.txns_.Begin(&clk_);
+      ASSERT_TRUE(table->Update(t.get(), v, Slice(std::string(300, 'y'))).ok());
+      ASSERT_TRUE(env.txns_.Commit(t.get()).ok());
+    }
+  }
+  auto t1 = env.txns_.Begin(&clk_);
+  int vidmap_rows = 0, full_rows = 0;
+  uint64_t misses_before = env.pool_.stats().misses;
+  ASSERT_TRUE(table->Scan(t1.get(), [&](Vid, Slice) {
+    vidmap_rows++;
+    return true;
+  }).ok());
+  ASSERT_TRUE(table->FullRelationScan(t1.get(), [&](Vid, Slice) {
+    full_rows++;
+    return true;
+  }).ok());
+  (void)misses_before;
+  EXPECT_EQ(vidmap_rows, 50);
+  EXPECT_EQ(full_rows, 50);
+  ASSERT_TRUE(env.txns_.Commit(t1.get()).ok());
+}
+
+TEST_F(PhysicalBehaviourTest, SiasGcReclaimsAndRecyclesPages) {
+  TestEnv env;
+  auto table_ptr = env.MakeTable(VersionScheme::kSiasChains, 1);
+  auto* table = static_cast<SiasTable*>(table_ptr.get());
+  std::vector<Vid> vids;
+  for (int i = 0; i < 30; ++i) {
+    auto t = env.txns_.Begin(&clk_);
+    auto vid = table->Insert(t.get(), Slice(std::string(200, 'a')));
+    ASSERT_TRUE(vid.ok());
+    vids.push_back(*vid);
+    ASSERT_TRUE(env.txns_.Commit(t.get()).ok());
+  }
+  for (int round = 0; round < 20; ++round) {
+    for (Vid v : vids) {
+      auto t = env.txns_.Begin(&clk_);
+      ASSERT_TRUE(
+          table->Update(t.get(), v, Slice(std::string(200, 'b'))).ok());
+      ASSERT_TRUE(env.txns_.Commit(t.get()).ok());
+    }
+  }
+  GcStats gc;
+  ASSERT_TRUE(table->GarbageCollect(env.txns_.GcHorizon(), &clk_, &gc).ok());
+  EXPECT_GT(gc.pages_reclaimed, 0u);
+  EXPECT_GT(gc.versions_discarded, 100u);
+
+  // Recycled pages get reused by further appends.
+  uint64_t recycled_before = table->append_stats().pages_recycled;
+  for (int i = 0; i < 200; ++i) {
+    auto t = env.txns_.Begin(&clk_);
+    ASSERT_TRUE(
+        table->Update(t.get(), vids[0], Slice(std::string(200, 'c'))).ok());
+    ASSERT_TRUE(env.txns_.Commit(t.get()).ok());
+  }
+  EXPECT_GT(table->append_stats().pages_recycled, recycled_before);
+
+  // All data still correct.
+  auto t = env.txns_.Begin(&clk_);
+  auto row = table->Read(t.get(), vids[0]);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->value_or(""), std::string(200, 'c'));
+  ASSERT_TRUE(env.txns_.Commit(t.get()).ok());
+}
+
+}  // namespace
+}  // namespace sias

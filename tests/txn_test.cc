@@ -1,0 +1,249 @@
+// Unit tests for the transaction layer: clog, snapshots, transaction
+// manager lifecycle, lock manager, first-updater-wins building blocks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "txn/clog.h"
+#include "txn/lock_manager.h"
+#include "txn/snapshot.h"
+#include "txn/txn_manager.h"
+
+namespace sias {
+namespace {
+
+TEST(ClogTest, LifecycleStatuses) {
+  Clog clog;
+  clog.Extend(100);
+  EXPECT_EQ(clog.Get(50), TxnStatus::kInProgress);
+  clog.SetCommitted(50);
+  EXPECT_EQ(clog.Get(50), TxnStatus::kCommitted);
+  clog.SetAborted(51);
+  EXPECT_EQ(clog.Get(51), TxnStatus::kAborted);
+  EXPECT_TRUE(clog.IsCommitted(50));
+  EXPECT_FALSE(clog.IsCommitted(51));
+}
+
+TEST(ClogTest, SpecialXids) {
+  Clog clog;
+  EXPECT_EQ(clog.Get(kFrozenXid), TxnStatus::kCommitted);
+  EXPECT_EQ(clog.Get(kInvalidXid), TxnStatus::kAborted);
+}
+
+TEST(ClogTest, GrowsAcrossChunks) {
+  Clog clog;
+  Xid big = 200000;  // beyond one 65536-entry chunk
+  clog.Extend(big);
+  clog.SetCommitted(big);
+  EXPECT_TRUE(clog.IsCommitted(big));
+  EXPECT_EQ(clog.Get(big - 1), TxnStatus::kInProgress);
+}
+
+TEST(ClogTest, SerializeRoundTrip) {
+  Clog clog;
+  clog.Extend(10);
+  clog.SetCommitted(3);
+  clog.SetAborted(4);
+  std::string out;
+  clog.Serialize(&out);
+
+  Clog restored;
+  ASSERT_TRUE(restored.Deserialize(Slice(out)).ok());
+  EXPECT_EQ(restored.Get(3), TxnStatus::kCommitted);
+  EXPECT_EQ(restored.Get(4), TxnStatus::kAborted);
+  EXPECT_EQ(restored.Get(5), TxnStatus::kInProgress);
+}
+
+TEST(ClogTest, ConcurrentSettersAreSafe) {
+  Clog clog;
+  clog.Extend(40000);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (Xid x = 2 + t; x < 40000; x += 4) clog.SetCommitted(x);
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (Xid x = 2; x < 40000; ++x) EXPECT_TRUE(clog.IsCommitted(x));
+}
+
+TEST(SnapshotTest, ContainsRules) {
+  Snapshot snap;
+  snap.xid = 10;
+  snap.xmax = 12;
+  snap.concurrent = {7, 9};
+  EXPECT_TRUE(snap.Contains(10));   // self
+  EXPECT_TRUE(snap.Contains(5));    // old, not concurrent
+  EXPECT_FALSE(snap.Contains(7));   // concurrent
+  EXPECT_FALSE(snap.Contains(9));   // concurrent
+  EXPECT_TRUE(snap.Contains(8));    // finished before us
+  EXPECT_FALSE(snap.Contains(12));  // future
+  EXPECT_FALSE(snap.Contains(99));  // future
+  EXPECT_TRUE(snap.Contains(kFrozenXid));
+  EXPECT_FALSE(snap.Contains(kInvalidXid));
+}
+
+TEST(SnapshotTest, CreatorVisibleRequiresCommit) {
+  Clog clog;
+  clog.Extend(10);
+  Snapshot snap;
+  snap.xid = 10;
+  snap.xmax = 11;
+  snap.concurrent = {};
+  EXPECT_FALSE(snap.CreatorVisible(5, clog));  // in snapshot but not committed
+  clog.SetCommitted(5);
+  EXPECT_TRUE(snap.CreatorVisible(5, clog));
+  clog.SetAborted(6);
+  EXPECT_FALSE(snap.CreatorVisible(6, clog));
+  EXPECT_TRUE(snap.CreatorVisible(10, clog));  // own writes, uncommitted
+}
+
+class TxnManagerTest : public ::testing::Test {
+ protected:
+  TxnManagerTest() : mgr_(&clog_, &locks_) {}
+  Clog clog_;
+  LockManager locks_;
+  TransactionManager mgr_;
+  VirtualClock clk_;
+};
+
+TEST_F(TxnManagerTest, BeginAssignsIncreasingXids) {
+  auto t1 = mgr_.Begin(&clk_);
+  auto t2 = mgr_.Begin(&clk_);
+  EXPECT_LT(t1->xid(), t2->xid());
+  EXPECT_EQ(mgr_.ActiveCount(), 2u);
+  ASSERT_TRUE(mgr_.Commit(t1.get()).ok());
+  ASSERT_TRUE(mgr_.Abort(t2.get()).ok());
+  EXPECT_EQ(mgr_.ActiveCount(), 0u);
+}
+
+TEST_F(TxnManagerTest, SnapshotSeesPriorCommitsOnly) {
+  auto t1 = mgr_.Begin(&clk_);
+  Xid x1 = t1->xid();
+  auto t2 = mgr_.Begin(&clk_);  // t1 still running: concurrent
+  EXPECT_FALSE(t2->snapshot().Contains(x1));
+  ASSERT_TRUE(mgr_.Commit(t1.get()).ok());
+  // Snapshot is fixed at Begin: still not visible to t2 (repeatable reads).
+  EXPECT_FALSE(t2->snapshot().Contains(x1));
+  auto t3 = mgr_.Begin(&clk_);
+  EXPECT_TRUE(t3->snapshot().CreatorVisible(x1, clog_));
+  ASSERT_TRUE(mgr_.Commit(t2.get()).ok());
+  ASSERT_TRUE(mgr_.Commit(t3.get()).ok());
+}
+
+TEST_F(TxnManagerTest, CommitFlipsClogAndState) {
+  auto t = mgr_.Begin(&clk_);
+  EXPECT_EQ(clog_.Get(t->xid()), TxnStatus::kInProgress);
+  ASSERT_TRUE(mgr_.Commit(t.get()).ok());
+  EXPECT_EQ(clog_.Get(t->xid()), TxnStatus::kCommitted);
+  EXPECT_EQ(t->state(), TxnState::kCommitted);
+  EXPECT_FALSE(mgr_.Commit(t.get()).ok());  // double commit rejected
+}
+
+TEST_F(TxnManagerTest, AbortRunsUndoInReverseOrder) {
+  auto t = mgr_.Begin(&clk_);
+  std::vector<int> order;
+  t->AddUndo([&] { order.push_back(1); });
+  t->AddUndo([&] { order.push_back(2); });
+  ASSERT_TRUE(mgr_.Abort(t.get()).ok());
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(clog_.Get(t->xid()), TxnStatus::kAborted);
+}
+
+TEST_F(TxnManagerTest, CommitDoesNotRunUndo) {
+  auto t = mgr_.Begin(&clk_);
+  bool ran = false;
+  t->AddUndo([&] { ran = true; });
+  ASSERT_TRUE(mgr_.Commit(t.get()).ok());
+  EXPECT_FALSE(ran);
+}
+
+TEST_F(TxnManagerTest, FailedCommitHookAborts) {
+  mgr_.set_commit_hook(
+      [](Transaction*) { return Status::IoError("wal device gone"); });
+  auto t = mgr_.Begin(&clk_);
+  Status s = mgr_.Commit(t.get());
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(t->state(), TxnState::kAborted);
+  EXPECT_EQ(clog_.Get(t->xid()), TxnStatus::kAborted);
+}
+
+TEST_F(TxnManagerTest, LocksReleasedAtEnd) {
+  auto t = mgr_.Begin(&clk_);
+  ASSERT_TRUE(locks_.AcquireExclusive(1, 42, t->xid(), &clk_).ok());
+  t->AddLock(1, 42);
+  EXPECT_EQ(locks_.HeldCount(), 1u);
+  ASSERT_TRUE(mgr_.Commit(t.get()).ok());
+  EXPECT_EQ(locks_.HeldCount(), 0u);
+}
+
+TEST_F(TxnManagerTest, OldestActiveXidTracksHorizon) {
+  EXPECT_EQ(mgr_.OldestActiveXid(), mgr_.NextXid());
+  auto t1 = mgr_.Begin(&clk_);
+  auto t2 = mgr_.Begin(&clk_);
+  EXPECT_EQ(mgr_.OldestActiveXid(), t1->xid());
+  ASSERT_TRUE(mgr_.Commit(t1.get()).ok());
+  EXPECT_EQ(mgr_.OldestActiveXid(), t2->xid());
+  ASSERT_TRUE(mgr_.Commit(t2.get()).ok());
+  EXPECT_EQ(mgr_.OldestActiveXid(), mgr_.NextXid());
+}
+
+TEST(LockManagerTest, ExclusiveBlocksOtherXid) {
+  LockManager locks(/*timeout_ms=*/50);
+  VirtualClock clk;
+  ASSERT_TRUE(locks.AcquireExclusive(1, 7, 100, &clk).ok());
+  Status s = locks.AcquireExclusive(1, 7, 101, &clk);
+  EXPECT_TRUE(s.IsLockTimeout());
+  locks.Release(1, 7, 100, 0);
+  EXPECT_TRUE(locks.AcquireExclusive(1, 7, 101, &clk).ok());
+}
+
+TEST(LockManagerTest, ReentrantForSameXid) {
+  LockManager locks;
+  VirtualClock clk;
+  ASSERT_TRUE(locks.AcquireExclusive(1, 7, 100, &clk).ok());
+  ASSERT_TRUE(locks.AcquireExclusive(1, 7, 100, &clk).ok());
+  EXPECT_EQ(locks.HeldCount(), 1u);
+}
+
+TEST(LockManagerTest, TryAcquireFailsFast) {
+  LockManager locks;
+  ASSERT_TRUE(locks.TryAcquireExclusive(1, 7, 100).ok());
+  Status s = locks.TryAcquireExclusive(1, 7, 101);
+  EXPECT_TRUE(s.IsSerializationFailure());
+}
+
+TEST(LockManagerTest, WaiterWakesOnRelease) {
+  LockManager locks(/*timeout_ms=*/5000);
+  VirtualClock clk1(0);
+  ASSERT_TRUE(locks.AcquireExclusive(1, 7, 100, &clk1).ok());
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    VirtualClock clk2(0);
+    Status s = locks.AcquireExclusive(1, 7, 101, &clk2);
+    EXPECT_TRUE(s.ok());
+    // Virtual wait: clk2 advanced to the holder's release time.
+    EXPECT_GE(clk2.now(), 5 * kVMillisecond);
+    acquired = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired.load());
+  locks.Release(1, 7, 100, /*release_vtime=*/5 * kVMillisecond);
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(LockManagerTest, DistinctRowsDoNotConflict) {
+  LockManager locks;
+  VirtualClock clk;
+  EXPECT_TRUE(locks.AcquireExclusive(1, 7, 100, &clk).ok());
+  EXPECT_TRUE(locks.AcquireExclusive(1, 8, 101, &clk).ok());
+  EXPECT_TRUE(locks.AcquireExclusive(2, 7, 102, &clk).ok());
+  EXPECT_EQ(locks.HeldCount(), 3u);
+}
+
+}  // namespace
+}  // namespace sias
