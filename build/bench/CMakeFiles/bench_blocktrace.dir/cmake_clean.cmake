@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blocktrace.dir/bench_blocktrace.cc.o"
+  "CMakeFiles/bench_blocktrace.dir/bench_blocktrace.cc.o.d"
+  "bench_blocktrace"
+  "bench_blocktrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blocktrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpcc_hdd.dir/bench_tpcc_hdd.cc.o"
+  "CMakeFiles/bench_tpcc_hdd.dir/bench_tpcc_hdd.cc.o.d"
+  "bench_tpcc_hdd"
+  "bench_tpcc_hdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpcc_hdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

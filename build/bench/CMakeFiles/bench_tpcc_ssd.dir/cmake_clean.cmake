@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpcc_ssd.dir/bench_tpcc_ssd.cc.o"
+  "CMakeFiles/bench_tpcc_ssd.dir/bench_tpcc_ssd.cc.o.d"
+  "bench_tpcc_ssd"
+  "bench_tpcc_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpcc_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

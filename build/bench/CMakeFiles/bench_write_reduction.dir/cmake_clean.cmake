@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_write_reduction.dir/bench_write_reduction.cc.o"
+  "CMakeFiles/bench_write_reduction.dir/bench_write_reduction.cc.o.d"
+  "bench_write_reduction"
+  "bench_write_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_write_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_endurance.dir/flash_endurance.cpp.o"
+  "CMakeFiles/flash_endurance.dir/flash_endurance.cpp.o.d"
+  "flash_endurance"
+  "flash_endurance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_endurance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

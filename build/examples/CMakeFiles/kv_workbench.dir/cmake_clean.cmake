@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_workbench.dir/kv_workbench.cpp.o"
+  "CMakeFiles/kv_workbench.dir/kv_workbench.cpp.o.d"
+  "kv_workbench"
+  "kv_workbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_workbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

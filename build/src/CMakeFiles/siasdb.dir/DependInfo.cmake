@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/buffer/buffer_pool.cc" "src/CMakeFiles/siasdb.dir/buffer/buffer_pool.cc.o" "gcc" "src/CMakeFiles/siasdb.dir/buffer/buffer_pool.cc.o.d"
+  "/root/repo/src/common/crc32c.cc" "src/CMakeFiles/siasdb.dir/common/crc32c.cc.o" "gcc" "src/CMakeFiles/siasdb.dir/common/crc32c.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/siasdb.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/siasdb.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/siasdb.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/siasdb.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/siasdb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/siasdb.dir/common/status.cc.o.d"
+  "/root/repo/src/common/types.cc" "src/CMakeFiles/siasdb.dir/common/types.cc.o" "gcc" "src/CMakeFiles/siasdb.dir/common/types.cc.o.d"
+  "/root/repo/src/core/append_region.cc" "src/CMakeFiles/siasdb.dir/core/append_region.cc.o" "gcc" "src/CMakeFiles/siasdb.dir/core/append_region.cc.o.d"
+  "/root/repo/src/core/sias_table.cc" "src/CMakeFiles/siasdb.dir/core/sias_table.cc.o" "gcc" "src/CMakeFiles/siasdb.dir/core/sias_table.cc.o.d"
+  "/root/repo/src/core/vid_map.cc" "src/CMakeFiles/siasdb.dir/core/vid_map.cc.o" "gcc" "src/CMakeFiles/siasdb.dir/core/vid_map.cc.o.d"
+  "/root/repo/src/core/vid_map_v.cc" "src/CMakeFiles/siasdb.dir/core/vid_map_v.cc.o" "gcc" "src/CMakeFiles/siasdb.dir/core/vid_map_v.cc.o.d"
+  "/root/repo/src/device/device.cc" "src/CMakeFiles/siasdb.dir/device/device.cc.o" "gcc" "src/CMakeFiles/siasdb.dir/device/device.cc.o.d"
+  "/root/repo/src/device/flash_ssd.cc" "src/CMakeFiles/siasdb.dir/device/flash_ssd.cc.o" "gcc" "src/CMakeFiles/siasdb.dir/device/flash_ssd.cc.o.d"
+  "/root/repo/src/device/hdd.cc" "src/CMakeFiles/siasdb.dir/device/hdd.cc.o" "gcc" "src/CMakeFiles/siasdb.dir/device/hdd.cc.o.d"
+  "/root/repo/src/device/raid0.cc" "src/CMakeFiles/siasdb.dir/device/raid0.cc.o" "gcc" "src/CMakeFiles/siasdb.dir/device/raid0.cc.o.d"
+  "/root/repo/src/device/trace.cc" "src/CMakeFiles/siasdb.dir/device/trace.cc.o" "gcc" "src/CMakeFiles/siasdb.dir/device/trace.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/CMakeFiles/siasdb.dir/engine/database.cc.o" "gcc" "src/CMakeFiles/siasdb.dir/engine/database.cc.o.d"
+  "/root/repo/src/engine/schema.cc" "src/CMakeFiles/siasdb.dir/engine/schema.cc.o" "gcc" "src/CMakeFiles/siasdb.dir/engine/schema.cc.o.d"
+  "/root/repo/src/engine/table.cc" "src/CMakeFiles/siasdb.dir/engine/table.cc.o" "gcc" "src/CMakeFiles/siasdb.dir/engine/table.cc.o.d"
+  "/root/repo/src/index/btree.cc" "src/CMakeFiles/siasdb.dir/index/btree.cc.o" "gcc" "src/CMakeFiles/siasdb.dir/index/btree.cc.o.d"
+  "/root/repo/src/mvcc/si_heap.cc" "src/CMakeFiles/siasdb.dir/mvcc/si_heap.cc.o" "gcc" "src/CMakeFiles/siasdb.dir/mvcc/si_heap.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/CMakeFiles/siasdb.dir/storage/disk_manager.cc.o" "gcc" "src/CMakeFiles/siasdb.dir/storage/disk_manager.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/CMakeFiles/siasdb.dir/storage/page.cc.o" "gcc" "src/CMakeFiles/siasdb.dir/storage/page.cc.o.d"
+  "/root/repo/src/txn/clog.cc" "src/CMakeFiles/siasdb.dir/txn/clog.cc.o" "gcc" "src/CMakeFiles/siasdb.dir/txn/clog.cc.o.d"
+  "/root/repo/src/txn/lock_manager.cc" "src/CMakeFiles/siasdb.dir/txn/lock_manager.cc.o" "gcc" "src/CMakeFiles/siasdb.dir/txn/lock_manager.cc.o.d"
+  "/root/repo/src/txn/txn_manager.cc" "src/CMakeFiles/siasdb.dir/txn/txn_manager.cc.o" "gcc" "src/CMakeFiles/siasdb.dir/txn/txn_manager.cc.o.d"
+  "/root/repo/src/wal/wal.cc" "src/CMakeFiles/siasdb.dir/wal/wal.cc.o" "gcc" "src/CMakeFiles/siasdb.dir/wal/wal.cc.o.d"
+  "/root/repo/src/workload/tpcc_driver.cc" "src/CMakeFiles/siasdb.dir/workload/tpcc_driver.cc.o" "gcc" "src/CMakeFiles/siasdb.dir/workload/tpcc_driver.cc.o.d"
+  "/root/repo/src/workload/tpcc_gen.cc" "src/CMakeFiles/siasdb.dir/workload/tpcc_gen.cc.o" "gcc" "src/CMakeFiles/siasdb.dir/workload/tpcc_gen.cc.o.d"
+  "/root/repo/src/workload/tpcc_schema.cc" "src/CMakeFiles/siasdb.dir/workload/tpcc_schema.cc.o" "gcc" "src/CMakeFiles/siasdb.dir/workload/tpcc_schema.cc.o.d"
+  "/root/repo/src/workload/tpcc_txn.cc" "src/CMakeFiles/siasdb.dir/workload/tpcc_txn.cc.o" "gcc" "src/CMakeFiles/siasdb.dir/workload/tpcc_txn.cc.o.d"
+  "/root/repo/src/workload/ycsb.cc" "src/CMakeFiles/siasdb.dir/workload/ycsb.cc.o" "gcc" "src/CMakeFiles/siasdb.dir/workload/ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
