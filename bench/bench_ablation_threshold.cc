@@ -58,6 +58,9 @@ ThresholdRow RunPoint(const char* label, FlushPolicy policy, VDuration bg_interv
   auto result = (*exp)->Run();
   SIAS_CHECK_MSG(result.ok(), "run failed: %s",
                  result.status().ToString().c_str());
+  (*exp)->EmitMetrics(
+      std::string("ablation_threshold.") +
+      (policy == FlushPolicy::kT1BackgroundWriter ? "t1" : "t2"));
   uint64_t pages_after = 0, versions = 0;
   for (auto* tab :
        {(*exp)->tables.warehouse, (*exp)->tables.district,

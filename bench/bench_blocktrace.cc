@@ -41,6 +41,7 @@ void RunOne(VersionScheme scheme, int warehouses, VDuration duration,
   auto result = (*exp)->Run();
   SIAS_CHECK_MSG(result.ok(), "run failed: %s",
                  result.status().ToString().c_str());
+  (*exp)->EmitMetrics(std::string("blocktrace.") + SchemeName(scheme));
 
   TraceAnalysis a = AnalyzeTrace((*exp)->trace->events());
   double write_share =

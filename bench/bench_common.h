@@ -11,6 +11,7 @@
 
 #include "common/logging.h"
 #include "device/flash_ssd.h"
+#include "obs/metrics.h"
 #include "device/hdd.h"
 #include "device/mem_device.h"
 #include "device/raid0.h"
@@ -52,6 +53,11 @@ struct Experiment {
 
   /// Runs the TPC-C mix for config.duration; attaches the tracer first.
   Result<tpcc::TpccResult> Run();
+
+  /// Prints the engine metrics snapshot as a single machine-greppable line:
+  /// `BENCH_METRICS <label> <json>`. Call after Run() so the `db.*` gauges
+  /// reflect the finished measurement.
+  void EmitMetrics(const std::string& label);
 };
 
 inline std::unique_ptr<StorageDevice> MakeDevice(const ExperimentConfig& cfg) {
@@ -111,7 +117,20 @@ inline Result<std::unique_ptr<Experiment>> Setup(ExperimentConfig cfg) {
   // Measurement must begin after every load-time device reservation, or
   // the first benchmark I/Os would queue behind the loading traffic.
   exp->measure_start = load_clock.now();
+  // The metrics registry is process-global and cumulative; reset after
+  // loading so each experiment's snapshot covers its measurement window.
+  // (The `db.*` gauges stay absolute — they are refreshed from engine
+  // state at DumpMetrics() time.)
+  obs::MetricsRegistry::Default().ResetAll();
   return exp;
+}
+
+/// Prints `BENCH_METRICS <label> <json>` from the database's registry
+/// snapshot; one line per call, greppable out of mixed bench output.
+inline void EmitMetricsLine(const std::string& label, Database* db) {
+  obs::MetricsSnapshot snap = db->DumpMetrics();
+  std::printf("BENCH_METRICS %s %s\n", label.c_str(), snap.ToJson().c_str());
+  std::fflush(stdout);
 }
 
 inline Result<tpcc::TpccResult> Experiment::Run() {
@@ -130,6 +149,10 @@ inline Result<tpcc::TpccResult> Experiment::Run() {
   dcfg.seed = config.seed;
   tpcc::TpccDriver driver(db.get(), &exec, dcfg);
   return driver.Run();
+}
+
+inline void Experiment::EmitMetrics(const std::string& label) {
+  EmitMetricsLine(label, db.get());
 }
 
 /// MB helper.

@@ -51,6 +51,8 @@ Point RunPoint(VersionScheme scheme, int warehouses, size_t pool,
   auto result = (*exp)->Run();
   SIAS_CHECK_MSG(result.ok(), "run failed: %s",
                  result.status().ToString().c_str());
+  (*exp)->EmitMetrics(std::string("tpcc_hdd.") + SchemeName(scheme) + ".wh" +
+                      std::to_string(warehouses));
   return Point{result->Notpm(), result->NewOrderResponseSec()};
 }
 

@@ -56,6 +56,8 @@ Point RunPoint(VersionScheme scheme, int warehouses, int raid, size_t pool,
   auto result = (*exp)->Run();
   SIAS_CHECK_MSG(result.ok(), "run failed: %s",
                  result.status().ToString().c_str());
+  (*exp)->EmitMetrics(std::string("tpcc_ssd.") + SchemeName(scheme) + ".wh" +
+                      std::to_string(warehouses));
   if (result->errors > 0) {
     fprintf(stderr, "  [warn] WH=%d %s: %llu errors (%s)\n", warehouses,
             SchemeName(scheme),

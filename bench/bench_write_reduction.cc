@@ -56,6 +56,7 @@ SchemeRun RunScheme(VersionScheme scheme, FlushPolicy policy, int warehouses,
   auto result = (*exp)->Run();
   SIAS_CHECK_MSG(result.ok(), "run failed: %s",
                  result.status().ToString().c_str());
+  (*exp)->EmitMetrics(std::string("write_reduction.") + SchemeName(scheme));
   if (result->errors > 0) {
     fprintf(stderr, "  [warn] %llu errors: %s\n",
             static_cast<unsigned long long>(result->errors),

@@ -53,6 +53,8 @@ Cell RunMix(VersionScheme scheme, int read_pct, uint64_t records,
   ycsb::YcsbRunner runner(db->get(), *table, cfg);
   VirtualClock load_clk;
   SIAS_CHECK(runner.Load(&load_clk).ok());
+  // Scope the process-global metric counters to this mix's measurement.
+  obs::MetricsRegistry::Default().ResetAll();
 
   uint64_t written_before = ssd.stats().bytes_written;
   auto result = runner.Run(load_clk.now());
@@ -65,6 +67,9 @@ Cell RunMix(VersionScheme scheme, int read_pct, uint64_t records,
   // Flush any trailing dirty state so both schemes account all their bytes.
   VirtualClock flush_clk(load_clk.now() + result->makespan);
   SIAS_CHECK((*db)->Checkpoint(&flush_clk).ok());
+  EmitMetricsLine(std::string("ycsb.") + SchemeName(scheme) + ".r" +
+                      std::to_string(read_pct),
+                  db->get());
   Cell cell;
   cell.ops_per_vsec = result->OpsPerVSecond();
   cell.written_mb = Mb(ssd.stats().bytes_written - written_before);

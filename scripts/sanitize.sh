@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Builds and runs the tier-1 test suite under AddressSanitizer and
+# ThreadSanitizer (see the SIAS_SANITIZE option in CMakeLists.txt).
+#
+# Usage: scripts/sanitize.sh [address|thread]...
+#   no args = both. Each sanitizer gets its own build tree
+#   (build-asan/ / build-tsan/) so normal builds stay untouched.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+sanitizers=("$@")
+if [ ${#sanitizers[@]} -eq 0 ]; then
+  sanitizers=(address thread)
+fi
+
+for san in "${sanitizers[@]}"; do
+  case "$san" in
+    address) dir=build-asan ;;
+    thread) dir=build-tsan ;;
+    *)
+      echo "unknown sanitizer '$san' (want address|thread)" >&2
+      exit 2
+      ;;
+  esac
+  echo "=== $san sanitizer: configuring $dir ==="
+  cmake -B "$dir" -S . -DSIAS_SANITIZE="$san" >/dev/null
+  cmake --build "$dir" -j "$(nproc)"
+  echo "=== $san sanitizer: running tests ==="
+  # halt_on_error makes a sanitizer report fail the test run instead of
+  # only printing; second_deadlock_stack improves TSan lock-order reports.
+  # scripts/tsan.supp documents the known-benign reports it suppresses.
+  if [ "$san" = thread ]; then
+    export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 suppressions=$PWD/scripts/tsan.supp"
+  else
+    export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1"
+  fi
+  (cd "$dir" && ctest --output-on-failure)
+  echo "=== $san sanitizer: PASS ==="
+done

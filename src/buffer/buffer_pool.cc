@@ -1,6 +1,9 @@
 #include "buffer/buffer_pool.h"
 
+#include <thread>
+
 #include "common/logging.h"
+#include "obs/op_trace.h"
 
 namespace sias {
 
@@ -30,9 +33,9 @@ const uint8_t* PageGuard::data() const {
 void PageGuard::MarkDirty(Lsn lsn) {
   SIAS_CHECK(valid());
   BufferPool::Frame& f = pool_->frames_[frame_];
-  f.dirty = true;
-  if (lsn != kInvalidLsn && lsn > f.lsn) {
-    f.lsn = lsn;
+  f.dirty.store(true, std::memory_order_release);
+  if (lsn != kInvalidLsn && lsn > f.lsn.load(std::memory_order_relaxed)) {
+    f.lsn.store(lsn, std::memory_order_relaxed);
     reinterpret_cast<PageHeader*>(f.data.get())->lsn = lsn;
   }
 }
@@ -73,6 +76,11 @@ BufferPool::BufferPool(DiskManager* disk, size_t num_frames,
   for (auto& f : frames_) {
     f.data = std::make_unique<uint8_t[]>(kPageSize);
   }
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  m_hits_ = reg.GetCounter("buffer.hits");
+  m_misses_ = reg.GetCounter("buffer.misses");
+  m_evictions_ = reg.GetCounter("buffer.evictions");
+  m_writebacks_ = reg.GetCounter("buffer.writebacks");
 }
 
 BufferPool::~BufferPool() = default;
@@ -82,22 +90,44 @@ void BufferPool::Unpin(size_t frame) {
 }
 
 Status BufferPool::WriteFrame(Frame& f, VirtualClock* clk,
-                              FlushSource source) {
-  // WAL-before-data: the log must be durable up to the page's LSN.
-  if (wal_flush_ && f.lsn != kInvalidLsn) {
-    SIAS_RETURN_NOT_OK(wal_flush_(f.lsn, clk));
+                              FlushSource source, bool* busy) {
+  // Stabilize the page image: writers modify bytes under the exclusive page
+  // latch, so checksumming/writing requires at least the shared latch.
+  // Blocking here would invert the latch-then-pool-mutex order used by page
+  // writers (deadlock), so flush paths try and retry outside mu_ instead.
+  if (!f.latch.try_lock_shared()) {
+    if (busy != nullptr) {
+      *busy = true;
+      return Status::OK();
+    }
+    // Eviction path: the frame is unpinned, so no latch holder can exist
+    // (latches are only taken through pinned guards); the try above can only
+    // fail transiently and never against a page writer.
+    f.latch.lock_shared();
   }
-  SlottedPage(f.data.get()).UpdateChecksum();
-  // Maintenance flushes are paced background I/O (see StorageDevice::Write);
-  // eviction writes sit on the transaction path and pay foreground time.
-  bool background = source == FlushSource::kBackgroundWriter ||
-                    source == FlushSource::kCheckpoint;
-  SIAS_RETURN_NOT_OK(disk_->WritePage(f.id.relation, f.id.page, f.data.get(),
-                                      clk, background));
-  f.dirty = false;
-  stats_.dirty_writebacks++;
-  stats_.flushes_by_source[static_cast<int>(source)]++;
-  return Status::OK();
+  // WAL-before-data: the log must be durable up to the page's LSN.
+  Lsn lsn = f.lsn.load(std::memory_order_relaxed);
+  Status s;
+  if (wal_flush_ && lsn != kInvalidLsn) {
+    s = wal_flush_(lsn, clk);
+  }
+  if (s.ok()) {
+    SlottedPage(f.data.get()).UpdateChecksum();
+    // Maintenance flushes are paced background I/O (StorageDevice::Write);
+    // eviction writes sit on the transaction path and pay foreground time.
+    bool background = source == FlushSource::kBackgroundWriter ||
+                      source == FlushSource::kCheckpoint;
+    s = disk_->WritePage(f.id.relation, f.id.page, f.data.get(), clk,
+                         background);
+  }
+  if (s.ok()) {
+    f.dirty.store(false, std::memory_order_release);
+    stats_.dirty_writebacks++;
+    stats_.flushes_by_source[static_cast<int>(source)]++;
+    m_writebacks_->Increment();
+  }
+  f.latch.unlock_shared();
+  return s;
 }
 
 Result<size_t> BufferPool::FindVictim(VirtualClock* clk) {
@@ -117,13 +147,14 @@ Result<size_t> BufferPool::FindVictim(VirtualClock* clk) {
         f.referenced = false;
         continue;
       }
-      if (f.dirty) {
+      if (f.dirty.load(std::memory_order_acquire)) {
         if (!allow_dirty) continue;
         SIAS_RETURN_NOT_OK(WriteFrame(f, clk, FlushSource::kEviction));
       }
       table_.erase(f.id);
       f.valid = false;
       stats_.evictions++;
+      m_evictions_->Increment();
       return idx;
     }
   }
@@ -138,9 +169,11 @@ Result<PageGuard> BufferPool::FetchPage(PageId id, VirtualClock* clk) {
     f.pins.fetch_add(1, std::memory_order_acquire);
     f.referenced = true;
     stats_.hits++;
+    m_hits_->Increment();
     return PageGuard(this, it->second, id);
   }
   stats_.misses++;
+  m_misses_->Increment();
   SIAS_ASSIGN_OR_RETURN(size_t idx, FindVictim(clk));
   Frame& f = frames_[idx];
   SIAS_RETURN_NOT_OK(disk_->ReadPage(id.relation, id.page, f.data.get(), clk));
@@ -150,10 +183,10 @@ Result<PageGuard> BufferPool::FetchPage(PageId id, VirtualClock* clk) {
   }
   f.id = id;
   f.valid = true;
-  f.dirty = false;
+  f.dirty.store(false, std::memory_order_relaxed);
   f.sticky = false;
   f.referenced = true;
-  f.lsn = sp.header()->lsn;
+  f.lsn.store(sp.header()->lsn, std::memory_order_relaxed);
   f.pins.store(1, std::memory_order_release);
   table_[id] = idx;
   return PageGuard(this, idx, id);
@@ -170,10 +203,10 @@ Result<PageGuard> BufferPool::NewPage(RelationId relation, VirtualClock* clk,
   PageId id{relation, page_no};
   f.id = id;
   f.valid = true;
-  f.dirty = true;
+  f.dirty.store(true, std::memory_order_relaxed);
   f.sticky = false;
   f.referenced = true;
-  f.lsn = kInvalidLsn;
+  f.lsn.store(kInvalidLsn, std::memory_order_relaxed);
   f.pins.store(1, std::memory_order_release);
   table_[id] = idx;
   return PageGuard(this, idx, id);
@@ -181,20 +214,27 @@ Result<PageGuard> BufferPool::NewPage(RelationId relation, VirtualClock* clk,
 
 Status BufferPool::FlushPage(PageId id, VirtualClock* clk,
                              FlushSource source) {
-  std::unique_lock<std::mutex> lock(mu_);
-  auto it = table_.find(id);
-  if (it == table_.end()) return Status::OK();
-  Frame& f = frames_[it->second];
-  if (!f.dirty) return Status::OK();
-  return WriteFrame(f, clk, source);
+  TRACE_OP("buffer", "flush_page");
+  // An in-flight page writer (exclusive latch holder) makes the frame
+  // transiently busy; retry outside mu_ — latches are held for microseconds.
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      auto it = table_.find(id);
+      if (it == table_.end()) return Status::OK();
+      Frame& f = frames_[it->second];
+      if (!f.dirty.load(std::memory_order_acquire)) return Status::OK();
+      bool busy = false;
+      Status s = WriteFrame(f, clk, source, &busy);
+      if (!busy) return s;
+    }
+    std::this_thread::yield();
+  }
 }
 
 Status BufferPool::FlushAll(VirtualClock* clk, FlushSource source) {
-  std::unique_lock<std::mutex> lock(mu_);
-  for (auto& f : frames_) {
-    if (f.valid && f.dirty) {
-      SIAS_RETURN_NOT_OK(WriteFrame(f, clk, source));
-    }
+  for (PageId id : DirtyPages()) {
+    SIAS_RETURN_NOT_OK(FlushPage(id, clk, source));
   }
   return Status::OK();
 }
@@ -212,7 +252,7 @@ std::vector<BufferPool::DirtyPageInfo> BufferPool::DirtyPagesWithFlags(
   std::unique_lock<std::mutex> lock(mu_);
   std::vector<DirtyPageInfo> out;
   for (auto& f : frames_) {
-    if (f.valid && f.dirty) {
+    if (f.valid && f.dirty.load(std::memory_order_acquire)) {
       out.push_back(DirtyPageInfo{
           f.id, reinterpret_cast<const PageHeader*>(f.data.get())->flags,
           f.referenced, f.sticky});
@@ -226,7 +266,7 @@ std::vector<PageId> BufferPool::DirtyPages() const {
   std::unique_lock<std::mutex> lock(mu_);
   std::vector<PageId> out;
   for (const auto& f : frames_) {
-    if (f.valid && f.dirty) out.push_back(f.id);
+    if (f.valid && f.dirty.load(std::memory_order_acquire)) out.push_back(f.id);
   }
   return out;
 }

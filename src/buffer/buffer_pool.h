@@ -21,6 +21,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "common/vclock.h"
+#include "obs/metrics.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 
@@ -150,11 +151,14 @@ class BufferPool {
 
   struct Frame {
     PageId id{};
-    bool valid = false;
-    bool dirty = false;
-    bool sticky = false;
-    bool referenced = false;
-    Lsn lsn = kInvalidLsn;
+    bool valid = false;       // guarded by pool mu_
+    bool sticky = false;      // guarded by pool mu_
+    bool referenced = false;  // guarded by pool mu_
+    /// dirty/lsn are set by PageGuard::MarkDirty under the page latch (not
+    /// the pool mutex) and read by the flush paths under mu_: atomics keep
+    /// the two sides race-free without widening any lock.
+    std::atomic<bool> dirty{false};
+    std::atomic<Lsn> lsn{kInvalidLsn};
     std::atomic<int> pins{0};
     RwLatch latch;
     std::unique_ptr<uint8_t[]> data;
@@ -162,7 +166,13 @@ class BufferPool {
 
   // Requires mu_ held. Returns frame index or error if pool exhausted.
   Result<size_t> FindVictim(VirtualClock* clk);
-  Status WriteFrame(Frame& f, VirtualClock* clk, FlushSource source);
+  /// Requires mu_ held. Takes the page latch in shared mode to stabilize the
+  /// image while checksumming/writing. If the latch is exclusively held (an
+  /// in-flight writer) and `busy` is non-null, sets *busy and returns OK
+  /// without writing — the caller retries outside mu_. Eviction victims are
+  /// unpinned and therefore never latched (busy == nullptr path).
+  Status WriteFrame(Frame& f, VirtualClock* clk, FlushSource source,
+                    bool* busy = nullptr);
   void Unpin(size_t frame);
 
   DiskManager* disk_;
@@ -173,6 +183,11 @@ class BufferPool {
   std::unordered_map<PageId, size_t> table_;
   size_t clock_hand_ = 0;
   BufferPoolStats stats_;
+
+  obs::Counter* m_hits_;
+  obs::Counter* m_misses_;
+  obs::Counter* m_evictions_;
+  obs::Counter* m_writebacks_;
 };
 
 }  // namespace sias

@@ -1,0 +1,93 @@
+// Grow-only bucket directory shared by VidMap and VidMapV.
+//
+// Requirement: lock-free readers concurrent with growth. A
+// vector<unique_ptr<Bucket>> bound-checked through an atomic count does NOT
+// provide that — push_back relocates the vector's storage while a reader
+// who passed the bound check is still walking it (caught by TSan). This
+// directory never relocates anything: a fixed top-level array of atomic
+// segment pointers, each segment a fixed array of atomic bucket pointers.
+// A lookup is two acquire loads; growth allocates under a mutex and
+// publishes each pointer with a release store.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace sias {
+
+/// Two-level directory of heap-allocated buckets, dense in [0, count).
+/// Lookup() is lock-free and safe against concurrent Ensure().
+template <typename Bucket>
+class BucketDirectory {
+ public:
+  static constexpr size_t kSegmentSize = 1024;  ///< buckets per segment
+  static constexpr size_t kNumSegments = 1024;  ///< fixed top level (8 KB)
+  static constexpr size_t kMaxBuckets = kSegmentSize * kNumSegments;
+
+  BucketDirectory() {
+    for (auto& s : segments_) s.store(nullptr, std::memory_order_relaxed);
+  }
+
+  ~BucketDirectory() {
+    for (auto& s : segments_) {
+      Segment* seg = s.load(std::memory_order_relaxed);
+      if (seg == nullptr) continue;
+      for (auto& b : seg->buckets) delete b.load(std::memory_order_relaxed);
+      delete seg;
+    }
+  }
+
+  BucketDirectory(const BucketDirectory&) = delete;
+  BucketDirectory& operator=(const BucketDirectory&) = delete;
+
+  /// Bucket `i`, or nullptr if not yet created. Lock-free.
+  Bucket* Lookup(size_t i) const {
+    if (i >= kMaxBuckets) return nullptr;
+    Segment* seg = segments_[i / kSegmentSize].load(std::memory_order_acquire);
+    if (seg == nullptr) return nullptr;
+    return seg->buckets[i % kSegmentSize].load(std::memory_order_acquire);
+  }
+
+  /// Creates every missing bucket in [0, i] and returns bucket `i`.
+  Bucket* Ensure(size_t i) {
+    Bucket* b = Lookup(i);
+    if (b != nullptr) return b;
+    SIAS_CHECK_MSG(i < kMaxBuckets, "bucket directory exhausted");
+    std::lock_guard<std::mutex> g(grow_mu_);
+    size_t have = count_.load(std::memory_order_relaxed);
+    for (size_t j = have; j <= i; ++j) {
+      auto& seg_slot = segments_[j / kSegmentSize];
+      Segment* seg = seg_slot.load(std::memory_order_relaxed);
+      if (seg == nullptr) {
+        seg = new Segment();
+        for (auto& slot : seg->buckets) {
+          slot.store(nullptr, std::memory_order_relaxed);
+        }
+        seg_slot.store(seg, std::memory_order_release);
+      }
+      // Release-publish after full construction: a reader that acquires
+      // this pointer sees an initialized bucket.
+      seg->buckets[j % kSegmentSize].store(new Bucket(),
+                                           std::memory_order_release);
+    }
+    if (i + 1 > have) count_.store(i + 1, std::memory_order_release);
+    return Lookup(i);
+  }
+
+  /// Number of dense buckets created so far.
+  size_t count() const { return count_.load(std::memory_order_acquire); }
+
+ private:
+  struct Segment {
+    std::array<std::atomic<Bucket*>, kSegmentSize> buckets;
+  };
+
+  mutable std::mutex grow_mu_;
+  std::array<std::atomic<Segment*>, kNumSegments> segments_;
+  std::atomic<size_t> count_{0};
+};
+
+}  // namespace sias

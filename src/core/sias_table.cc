@@ -5,8 +5,36 @@
 
 #include "common/logging.h"
 #include "mvcc/visibility.h"
+#include "obs/metrics.h"
+#include "obs/op_trace.h"
 
 namespace sias {
+
+namespace {
+/// Same metric names as SiHeap: the registry resolves both schemes onto the
+/// shared mvcc.* counters, keeping bench comparisons apples-to-apples.
+struct MvccCounters {
+  obs::Counter* reads;
+  obs::Counter* versions_appended;
+  obs::Counter* version_hops;
+  obs::Counter* visibility_checks;
+  obs::Counter* ww_conflicts;
+
+  MvccCounters() {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    reads = reg.GetCounter("mvcc.reads");
+    versions_appended = reg.GetCounter("mvcc.versions_appended");
+    version_hops = reg.GetCounter("mvcc.version_hops");
+    visibility_checks = reg.GetCounter("mvcc.visibility_checks");
+    ww_conflicts = reg.GetCounter("mvcc.ww_conflicts");
+  }
+};
+
+MvccCounters& Obs() {
+  static MvccCounters* c = new MvccCounters();
+  return *c;
+}
+}  // namespace
 
 SiasTable::SiasTable(RelationId relation, TableEnv env, VersionScheme scheme)
     : relation_(relation),
@@ -65,6 +93,7 @@ Status SiasTable::GetVisible(Transaction* txn, Vid vid, bool* found,
         }
         SIAS_RETURN_NOT_OK(s);
         if (clk != nullptr) clk->Cpu(kCpuVisibilityCheck);
+        Obs().visibility_checks->Increment();
         if (SiasVersionVisible(h, snap, clog)) {
           ref->tid = tid;
           ref->header = h;
@@ -75,6 +104,7 @@ Status SiasTable::GetVisible(Transaction* txn, Vid vid, bool* found,
           return Status::OK();
         }
         if (!first) {
+          Obs().version_hops->Increment();
           std::lock_guard<std::mutex> g(stats_mu_);
           stats_.version_hops++;
         }
@@ -96,6 +126,7 @@ Status SiasTable::GetVisible(Transaction* txn, Vid vid, bool* found,
         }
         SIAS_RETURN_NOT_OK(s);
         if (clk != nullptr) clk->Cpu(kCpuVisibilityCheck);
+        Obs().visibility_checks->Increment();
         if (SiasVersionVisible(h, snap, clog)) {
           ref->tid = tid;
           ref->header = h;
@@ -106,6 +137,7 @@ Status SiasTable::GetVisible(Transaction* txn, Vid vid, bool* found,
           return Status::OK();
         }
         if (!first) {
+          Obs().version_hops->Increment();
           std::lock_guard<std::mutex> g(stats_mu_);
           stats_.version_hops++;
         }
@@ -139,6 +171,7 @@ Result<Vid> SiasTable::Insert(Transaction* txn, Slice row, Tid* tid_out) {
     std::lock_guard<std::mutex> g(stats_mu_);
     stats_.inserts++;
   }
+  Obs().versions_appended->Increment();
   if (tid_out != nullptr) *tid_out = tid;
   return vid;
 }
@@ -169,6 +202,7 @@ Result<SiasTable::VersionRef> SiasTable::ValidateForWrite(Transaction* txn,
     // must be visible in our snapshot, otherwise a concurrent transaction
     // committed a newer version after we started and we must roll back.
     if (!txn->snapshot().Contains(h.xmin)) {
+      Obs().ww_conflicts->Increment();
       std::lock_guard<std::mutex> g(stats_mu_);
       stats_.ww_conflicts++;
       return Status::SerializationFailure(
@@ -205,6 +239,7 @@ Result<Tid> SiasTable::AppendAndInstall(Transaction* txn, Vid vid,
 }
 
 Status SiasTable::Update(Transaction* txn, Vid vid, Slice row, Tid* new_tid) {
+  TRACE_OP("mvcc", "sias_update");
   // Algorithm 3: lock (first-updater-wins), validate entrypoint, append.
   SIAS_RETURN_NOT_OK(env_.txns->locks()->AcquireExclusive(
       relation_, vid, txn->xid(), txn->clock()));
@@ -224,6 +259,7 @@ Status SiasTable::Update(Transaction* txn, Vid vid, Slice row, Tid* new_tid) {
     std::lock_guard<std::mutex> g(stats_mu_);
     stats_.updates++;
   }
+  Obs().versions_appended->Increment();
   return Status::OK();
 }
 
@@ -253,10 +289,12 @@ Status SiasTable::Delete(Transaction* txn, Vid vid) {
 
 Result<std::optional<std::string>> SiasTable::Read(Transaction* txn,
                                                    Vid vid) {
+  TRACE_OP("mvcc", "sias_read");
   {
     std::lock_guard<std::mutex> g(stats_mu_);
     stats_.reads++;
   }
+  Obs().reads->Increment();
   bool found = false;
   VersionRef ref;
   std::string payload;

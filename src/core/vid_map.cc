@@ -7,23 +7,11 @@
 namespace sias {
 
 VidMap::Bucket* VidMap::EnsureBucket(Vid vid) {
-  size_t bucket = static_cast<size_t>(vid / kEntriesPerBucket);
-  if (bucket >= num_buckets_.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> g(grow_mu_);
-    while (buckets_.size() <= bucket) {
-      auto b = std::make_unique<Bucket>();
-      for (auto& s : b->slots) s.store(kEmpty, std::memory_order_relaxed);
-      buckets_.push_back(std::move(b));
-    }
-    num_buckets_.store(buckets_.size(), std::memory_order_release);
-  }
-  return buckets_[bucket].get();
+  return dir_.Ensure(static_cast<size_t>(vid / kEntriesPerBucket));
 }
 
 const VidMap::Bucket* VidMap::BucketFor(Vid vid) const {
-  size_t bucket = static_cast<size_t>(vid / kEntriesPerBucket);
-  if (bucket >= num_buckets_.load(std::memory_order_acquire)) return nullptr;
-  return buckets_[bucket].get();
+  return dir_.Lookup(static_cast<size_t>(vid / kEntriesPerBucket));
 }
 
 Vid VidMap::AllocateVid() {
@@ -71,9 +59,7 @@ void VidMap::Clear(Vid vid) {
   b->slots[vid % kEntriesPerBucket].store(kEmpty, std::memory_order_release);
 }
 
-size_t VidMap::bucket_count() const {
-  return num_buckets_.load(std::memory_order_acquire);
-}
+size_t VidMap::bucket_count() const { return dir_.count(); }
 
 void VidMap::Serialize(std::string* out) const {
   Vid bound = next_vid_.load(std::memory_order_acquire);

@@ -17,11 +17,9 @@
 
 #include <array>
 #include <atomic>
-#include <memory>
-#include <mutex>
 #include <string>
-#include <vector>
 
+#include "common/bucket_dir.h"
 #include "common/coding.h"
 #include "common/slice.h"
 #include "common/status.h"
@@ -76,15 +74,16 @@ class VidMap {
 
  private:
   struct Bucket {
+    Bucket() {
+      for (auto& s : slots) s.store(kEmpty, std::memory_order_relaxed);
+    }
     std::array<std::atomic<uint64_t>, kEntriesPerBucket> slots;
   };
 
   const Bucket* BucketFor(Vid vid) const;
   Bucket* EnsureBucket(Vid vid);
 
-  mutable std::mutex grow_mu_;
-  std::vector<std::unique_ptr<Bucket>> buckets_;
-  std::atomic<size_t> num_buckets_{0};
+  BucketDirectory<Bucket> dir_;
   std::atomic<Vid> next_vid_{0};
 };
 

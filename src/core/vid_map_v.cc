@@ -9,21 +9,11 @@
 namespace sias {
 
 VidMapV::Bucket* VidMapV::EnsureBucket(Vid vid) {
-  size_t bucket = static_cast<size_t>(vid / kEntriesPerBucket);
-  if (bucket >= num_buckets_.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> g(grow_mu_);
-    while (buckets_.size() <= bucket) {
-      buckets_.push_back(std::make_unique<Bucket>());
-    }
-    num_buckets_.store(buckets_.size(), std::memory_order_release);
-  }
-  return buckets_[bucket].get();
+  return dir_.Ensure(static_cast<size_t>(vid / kEntriesPerBucket));
 }
 
 const VidMapV::Bucket* VidMapV::BucketFor(Vid vid) const {
-  size_t bucket = static_cast<size_t>(vid / kEntriesPerBucket);
-  if (bucket >= num_buckets_.load(std::memory_order_acquire)) return nullptr;
-  return buckets_[bucket].get();
+  return dir_.Lookup(static_cast<size_t>(vid / kEntriesPerBucket));
 }
 
 Vid VidMapV::AllocateVid() {
@@ -105,9 +95,7 @@ Vid VidMapV::bound() const {
   return next_vid_.load(std::memory_order_acquire);
 }
 
-size_t VidMapV::bucket_count() const {
-  return num_buckets_.load(std::memory_order_acquire);
-}
+size_t VidMapV::bucket_count() const { return dir_.count(); }
 
 size_t VidMapV::memory_bytes() const {
   size_t bytes = bucket_count() * sizeof(Bucket);

@@ -9,10 +9,11 @@
 // latch on updates (the entry is no longer a single CAS-able word).
 #pragma once
 
-#include <mutex>
+#include <atomic>
 #include <string>
 #include <vector>
 
+#include "common/bucket_dir.h"
 #include "common/coding.h"
 #include "common/latch.h"
 #include "common/slice.h"
@@ -73,9 +74,7 @@ class VidMapV {
   Bucket* EnsureBucket(Vid vid);
   const Bucket* BucketFor(Vid vid) const;
 
-  mutable std::mutex grow_mu_;
-  std::vector<std::unique_ptr<Bucket>> buckets_;
-  std::atomic<size_t> num_buckets_{0};
+  BucketDirectory<Bucket> dir_;
   std::atomic<Vid> next_vid_{0};
 };
 

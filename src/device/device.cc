@@ -2,7 +2,43 @@
 
 #include <cstdio>
 
+#include "obs/metrics.h"
+
 namespace sias {
+
+namespace {
+struct DeviceCounters {
+  obs::Counter* read_ops;
+  obs::Counter* write_ops;
+  obs::Counter* read_bytes;
+  obs::Counter* write_bytes;
+
+  DeviceCounters() {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    read_ops = reg.GetCounter("device.read_ops");
+    write_ops = reg.GetCounter("device.write_ops");
+    read_bytes = reg.GetCounter("device.read_bytes");
+    write_bytes = reg.GetCounter("device.write_bytes");
+  }
+};
+
+DeviceCounters& Counters() {
+  static DeviceCounters* c = new DeviceCounters();
+  return *c;
+}
+}  // namespace
+
+void RecordDeviceRead(uint64_t bytes) {
+  DeviceCounters& c = Counters();
+  c.read_ops->Increment();
+  c.read_bytes->Add(static_cast<int64_t>(bytes));
+}
+
+void RecordDeviceWrite(uint64_t bytes) {
+  DeviceCounters& c = Counters();
+  c.write_ops->Increment();
+  c.write_bytes->Add(static_cast<int64_t>(bytes));
+}
 
 double DeviceStats::WriteAmplification() const {
   uint64_t host_pages = bytes_written / 4096;

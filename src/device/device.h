@@ -40,6 +40,12 @@ struct DeviceStats {
   std::string ToString() const;
 };
 
+/// Process-wide device I/O counters (obs registry: device.read_ops,
+/// device.write_ops, device.read_bytes, device.write_bytes). Called by leaf
+/// devices only — composites like Raid0 delegate, so their members count.
+void RecordDeviceRead(uint64_t bytes);
+void RecordDeviceWrite(uint64_t bytes);
+
 /// Abstract simulated block device.
 ///
 /// Offsets and lengths must be multiples of 512 bytes; the engine only ever

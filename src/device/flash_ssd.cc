@@ -48,6 +48,7 @@ Status FlashSsd::Read(uint64_t offset, size_t len, uint8_t* out,
     trace_->Record(now, offset, static_cast<uint32_t>(len), TraceOp::kRead);
   }
   store_.Read(offset, len, out);
+  RecordDeviceRead(len);
 
   VTime completion = now;
   {
@@ -77,6 +78,7 @@ Status FlashSsd::Write(uint64_t offset, size_t len, const uint8_t* data,
     trace_->Record(now, offset, static_cast<uint32_t>(len), TraceOp::kWrite);
   }
   store_.Write(offset, len, data);
+  RecordDeviceWrite(len);
 
   VTime completion = now;
   {

@@ -41,6 +41,7 @@ Status Hdd::Read(uint64_t offset, size_t len, uint8_t* out,
     trace_->Record(now, offset, static_cast<uint32_t>(len), TraceOp::kRead);
   }
   store_.Read(offset, len, out);
+  RecordDeviceRead(len);
   VTime done = Service(offset, len, now);
   {
     std::lock_guard<std::mutex> g(mu_);
@@ -59,6 +60,7 @@ Status Hdd::Write(uint64_t offset, size_t len, const uint8_t* data,
     trace_->Record(now, offset, static_cast<uint32_t>(len), TraceOp::kWrite);
   }
   store_.Write(offset, len, data);
+  RecordDeviceWrite(len);
   // The head is busy either way; background callers just don't wait.
   VTime done = Service(offset, len, now);
   if (clk != nullptr && !background) clk->AdvanceTo(done);

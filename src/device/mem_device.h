@@ -28,6 +28,7 @@ class MemDevice : public StorageDevice {
                      TraceOp::kRead);
     }
     store_.Read(offset, len, out);
+    RecordDeviceRead(len);
     reads_.fetch_add(1, std::memory_order_relaxed);
     bytes_read_.fetch_add(len, std::memory_order_relaxed);
     if (clk != nullptr) clk->Advance(read_latency_);
@@ -42,6 +43,7 @@ class MemDevice : public StorageDevice {
                      TraceOp::kWrite);
     }
     store_.Write(offset, len, data);
+    RecordDeviceWrite(len);
     writes_.fetch_add(1, std::memory_order_relaxed);
     bytes_written_.fetch_add(len, std::memory_order_relaxed);
     if (clk != nullptr && !background) clk->Advance(write_latency_);

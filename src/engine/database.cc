@@ -5,6 +5,7 @@
 #include "common/coding.h"
 #include "common/crc32c.h"
 #include "common/logging.h"
+#include "obs/op_trace.h"
 
 namespace sias {
 
@@ -144,6 +145,7 @@ Status Database::Tick(VirtualClock* clk) {
 }
 
 Status Database::BgWriterPass(VirtualClock* clk) {
+  TRACE_OP("maintenance", "bgwriter_pass");
   std::lock_guard<std::mutex> g(maintenance_mu_);
   bgwriter_passes_.fetch_add(1, std::memory_order_relaxed);
   SIAS_RETURN_NOT_OK(DrainCheckpointLocked(clk));
@@ -192,6 +194,7 @@ Status Database::BgWriterPass(VirtualClock* clk) {
 }
 
 Status Database::Checkpoint(VirtualClock* clk) {
+  TRACE_OP("maintenance", "checkpoint");
   std::lock_guard<std::mutex> g(maintenance_mu_);
   checkpoints_.fetch_add(1, std::memory_order_relaxed);
   // A sharp checkpoint subsumes any paced one in flight.
@@ -420,6 +423,7 @@ Status Database::Recover() {
 }
 
 Status Database::Vacuum(VirtualClock* clk, GcStats* stats) {
+  TRACE_OP("maintenance", "vacuum");
   Xid horizon = txns_.GcHorizon();
   std::vector<Table*> tables;
   {
@@ -446,6 +450,42 @@ DatabaseStats Database::stats() const {
   s.committed = committed_.load(std::memory_order_relaxed);
   s.aborted = aborted_.load(std::memory_order_relaxed);
   return s;
+}
+
+obs::MetricsSnapshot Database::DumpMetrics() {
+  // Gauges are refreshed from authoritative engine state on every dump, so
+  // the registry lookup cost (cold path) doesn't matter here. Per-database
+  // device figures come from the configured devices' own stats — the shared
+  // `device.*` counters aggregate across every device in the process.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  DatabaseStats s = stats();
+  reg.GetGauge("db.device.read_ops")->Set(static_cast<int64_t>(s.device.read_ops));
+  reg.GetGauge("db.device.write_ops")->Set(static_cast<int64_t>(s.device.write_ops));
+  reg.GetGauge("db.device.read_bytes")->Set(static_cast<int64_t>(s.device.bytes_read));
+  reg.GetGauge("db.device.write_bytes")->Set(static_cast<int64_t>(s.device.bytes_written));
+  reg.GetGauge("db.pool.hits")->Set(static_cast<int64_t>(s.pool.hits));
+  reg.GetGauge("db.pool.misses")->Set(static_cast<int64_t>(s.pool.misses));
+  reg.GetGauge("db.pool.evictions")->Set(static_cast<int64_t>(s.pool.evictions));
+  reg.GetGauge("db.pool.dirty_writebacks")
+      ->Set(static_cast<int64_t>(s.pool.dirty_writebacks));
+  reg.GetGauge("db.wal.appended_bytes")
+      ->Set(static_cast<int64_t>(s.wal_appended_bytes));
+  reg.GetGauge("db.wal.written_bytes")
+      ->Set(static_cast<int64_t>(s.wal_written_bytes));
+  reg.GetGauge("db.heap_allocated_bytes")
+      ->Set(static_cast<int64_t>(s.heap_allocated_bytes));
+  reg.GetGauge("db.checkpoints")->Set(static_cast<int64_t>(s.checkpoints));
+  reg.GetGauge("db.bgwriter_passes")
+      ->Set(static_cast<int64_t>(s.bgwriter_passes));
+  reg.GetGauge("db.txn.committed")->Set(static_cast<int64_t>(s.committed));
+  reg.GetGauge("db.txn.aborted")->Set(static_cast<int64_t>(s.aborted));
+  reg.GetGauge("db.txn.active")
+      ->Set(static_cast<int64_t>(txns_.ActiveCount()));
+  Xid oldest = txns_.OldestActiveXid();
+  Xid horizon = txns_.GcHorizon();
+  reg.GetGauge("db.txn.gc_horizon_lag")
+      ->Set(oldest >= horizon ? static_cast<int64_t>(oldest - horizon) : 0);
+  return reg.Snapshot();
 }
 
 }  // namespace sias

@@ -24,6 +24,7 @@
 #include "core/sias_table.h"
 #include "engine/table.h"
 #include "mvcc/si_heap.h"
+#include "obs/metrics.h"
 #include "storage/disk_manager.h"
 #include "txn/txn_manager.h"
 #include "wal/wal.h"
@@ -122,6 +123,11 @@ class Database {
   WalWriter* wal() { return wal_.get(); }
   const DatabaseOptions& options() const { return opts_; }
   DatabaseStats stats() const;
+
+  /// Refreshes the `db.*` gauges (device/pool/WAL totals, active
+  /// transactions, GC-horizon lag) from engine state and returns a snapshot
+  /// of the process-wide metrics registry. See docs/OBSERVABILITY.md.
+  obs::MetricsSnapshot DumpMetrics();
 
   /// Makespan across all terminal clocks (advanced by Tick / Commit).
   VTime max_vtime() const { return makespan_.load(); }

@@ -1,6 +1,8 @@
 #include "engine/table.h"
 
+#include <string>
 #include <unordered_set>
+#include <vector>
 
 #include "common/logging.h"
 
@@ -165,6 +167,16 @@ Status Table::RebuildIndexes(Transaction* txn, VirtualClock* clk) {
   for (auto& idx : indexes_) {
     SIAS_RETURN_NOT_OK(idx.tree->Create(clk));
   }
+  if (indexes_.empty()) return Status::OK();
+  // Collect entries under the scan's page latches and insert afterwards:
+  // BTree::Insert acquires the tree lock and then page latches, so calling
+  // it from inside the callback (heap page latch held) inverts that order.
+  struct Entry {
+    size_t index;
+    std::string key;
+    uint64_t value;
+  };
+  std::vector<Entry> entries;
   Status inner;
   Status s = heap_->ScanWithTid(txn, [&](Vid vid, Tid tid, Slice bytes) {
     auto row = Row::Decode(schema_, bytes);
@@ -172,16 +184,19 @@ Status Table::RebuildIndexes(Transaction* txn, VirtualClock* clk) {
       inner = row.status();
       return false;
     }
-    for (auto& idx : indexes_) {
-      std::string key = idx.extractor(*row);
-      uint64_t value = scheme() == VersionScheme::kSi ? tid.Pack() : vid;
-      inner = idx.tree->Insert(Slice(key), value, clk);
-      if (!inner.ok()) return false;
+    uint64_t value = scheme() == VersionScheme::kSi ? tid.Pack() : vid;
+    for (size_t i = 0; i < indexes_.size(); ++i) {
+      entries.push_back(Entry{i, indexes_[i].extractor(*row), value});
     }
     return true;
   });
   SIAS_RETURN_NOT_OK(inner);
-  return s;
+  SIAS_RETURN_NOT_OK(s);
+  for (const Entry& e : entries) {
+    SIAS_RETURN_NOT_OK(
+        indexes_[e.index].tree->Insert(Slice(e.key), e.value, clk));
+  }
+  return Status::OK();
 }
 
 }  // namespace sias

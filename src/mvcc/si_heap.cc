@@ -4,8 +4,35 @@
 
 #include "common/logging.h"
 #include "mvcc/visibility.h"
+#include "obs/metrics.h"
+#include "obs/op_trace.h"
 
 namespace sias {
+
+namespace {
+/// Scheme-agnostic MVCC counters; SiasTable reports into the same names.
+struct MvccCounters {
+  obs::Counter* reads;
+  obs::Counter* versions_appended;
+  obs::Counter* version_hops;
+  obs::Counter* visibility_checks;
+  obs::Counter* ww_conflicts;
+
+  MvccCounters() {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    reads = reg.GetCounter("mvcc.reads");
+    versions_appended = reg.GetCounter("mvcc.versions_appended");
+    version_hops = reg.GetCounter("mvcc.version_hops");
+    visibility_checks = reg.GetCounter("mvcc.visibility_checks");
+    ww_conflicts = reg.GetCounter("mvcc.ww_conflicts");
+  }
+};
+
+MvccCounters& Obs() {
+  static MvccCounters* c = new MvccCounters();
+  return *c;
+}
+}  // namespace
 
 SiHeap::SiHeap(RelationId relation, TableEnv env)
     : relation_(relation), env_(env) {}
@@ -94,6 +121,7 @@ Result<Vid> SiHeap::Insert(Transaction* txn, Slice row, Tid* tid_out) {
     std::lock_guard<std::mutex> g(stats_mu_);
     stats_.inserts++;
   }
+  Obs().versions_appended->Increment();
   if (tid_out != nullptr) *tid_out = tid;
   return vid;
 }
@@ -119,6 +147,7 @@ Status SiHeap::FetchVersion(Tid tid, VirtualClock* clk, TupleHeader* header,
 }
 
 Result<std::optional<std::string>> SiHeap::Read(Transaction* txn, Vid vid) {
+  TRACE_OP("mvcc", "si_read");
   std::vector<Tid> candidates;
   {
     std::lock_guard<std::mutex> g(map_mu_);
@@ -130,6 +159,7 @@ Result<std::optional<std::string>> SiHeap::Read(Transaction* txn, Vid vid) {
     std::lock_guard<std::mutex> g(stats_mu_);
     stats_.reads++;
   }
+  Obs().reads->Increment();
   // Newest-first: mirrors an index scan returning the latest entry first.
   for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
     TupleHeader h;
@@ -138,9 +168,11 @@ Result<std::optional<std::string>> SiHeap::Read(Transaction* txn, Vid vid) {
     if (s.IsNotFound()) continue;  // vacuumed under us
     SIAS_RETURN_NOT_OK(s);
     txn->clock()->Cpu(kCpuVisibilityCheck);
+    Obs().visibility_checks->Increment();
     if (SiTupleVisible(h, txn->snapshot(), *env_.txns->clog())) {
       return std::optional<std::string>{std::move(payload)};
     }
+    Obs().version_hops->Increment();
     std::lock_guard<std::mutex> g(stats_mu_);
     stats_.version_hops++;
   }
@@ -191,6 +223,7 @@ Result<Tid> SiHeap::ValidateForWrite(Transaction* txn, Vid vid) {
       }
       // Otherwise a concurrent transaction created or invalidated the
       // newest version after we started: first-updater-wins => we lose.
+      Obs().ww_conflicts->Increment();
       {
         std::lock_guard<std::mutex> g(stats_mu_);
         stats_.ww_conflicts++;
@@ -200,6 +233,7 @@ Result<Tid> SiHeap::ValidateForWrite(Transaction* txn, Vid vid) {
     }
     if (h.xmax != kInvalidXid && h.xmax != txn->xid() &&
         clog.Get(h.xmax) != TxnStatus::kAborted) {
+      Obs().ww_conflicts->Increment();
       std::lock_guard<std::mutex> g(stats_mu_);
       stats_.ww_conflicts++;
       return Status::SerializationFailure("tuple already invalidated");
@@ -248,6 +282,7 @@ Status SiHeap::StampXmax(Transaction* txn, Tid tid, Xid xmax) {
 }
 
 Status SiHeap::Update(Transaction* txn, Vid vid, Slice row, Tid* new_tid) {
+  TRACE_OP("mvcc", "si_update");
   SIAS_RETURN_NOT_OK(env_.txns->locks()->AcquireExclusive(
       relation_, vid, txn->xid(), txn->clock()));
   txn->AddLock(relation_, vid);
@@ -271,6 +306,7 @@ Status SiHeap::Update(Transaction* txn, Vid vid, Slice row, Tid* new_tid) {
     std::lock_guard<std::mutex> g(stats_mu_);
     stats_.updates++;
   }
+  Obs().versions_appended->Increment();
   if (new_tid != nullptr) *new_tid = tid;
   return Status::OK();
 }

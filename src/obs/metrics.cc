@@ -1,0 +1,135 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+namespace sias {
+namespace obs {
+
+size_t ThreadShard(size_t n) {
+  static std::atomic<size_t> next_thread{0};
+  thread_local size_t ordinal =
+      next_thread.fetch_add(1, std::memory_order_relaxed);
+  return ordinal % n;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<HistogramMetric>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> g(mu_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->Value();
+  for (const auto& [name, gg] : gauges_) snap.gauges[name] = gg->Value();
+  for (const auto& [name, h] : histograms_) {
+    Histogram merged = h->Snapshot();
+    HistogramSummary s;
+    s.count = merged.count();
+    s.mean = merged.Mean();
+    s.p50 = merged.Percentile(50);
+    s.p90 = merged.Percentile(90);
+    s.p99 = merged.Percentile(99);
+    s.max = merged.Max();
+    snap.histograms[name] = s;
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+void AppendInt(std::string* out, int64_t v) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  *out += buf;
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%.1f", v);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out += ',';
+    first = false;
+    AppendEscaped(&out, name);
+    out += ':';
+    AppendInt(&out, v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    AppendEscaped(&out, name);
+    out += ':';
+    AppendInt(&out, v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    AppendEscaped(&out, name);
+    out += ":{\"count\":";
+    AppendInt(&out, static_cast<int64_t>(h.count));
+    out += ",\"mean_ns\":";
+    AppendDouble(&out, h.mean);
+    out += ",\"p50_ns\":";
+    AppendInt(&out, h.p50);
+    out += ",\"p90_ns\":";
+    AppendInt(&out, h.p90);
+    out += ",\"p99_ns\":";
+    AppendInt(&out, h.p99);
+    out += ",\"max_ns\":";
+    AppendInt(&out, h.max);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace sias

@@ -1,0 +1,80 @@
+#include "obs/op_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sias {
+namespace obs {
+
+uint32_t TraceThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+OpTracer::OpTracer(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {
+  ring_.resize(capacity_);
+}
+
+void OpTracer::Record(const char* category, const char* name,
+                      uint64_t start_ns, uint64_t dur_ns) {
+  TraceEvent ev{category, name, start_ns, dur_ns, TraceThreadId()};
+  std::lock_guard<std::mutex> g(mu_);
+  ring_[seq_ % capacity_] = ev;
+  seq_++;
+}
+
+std::vector<TraceEvent> OpTracer::Events() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<TraceEvent> out;
+  uint64_t n = std::min<uint64_t>(seq_, capacity_);
+  out.reserve(n);
+  for (uint64_t i = seq_ - n; i < seq_; ++i) {
+    out.push_back(ring_[i % capacity_]);
+  }
+  return out;
+}
+
+uint64_t OpTracer::total_recorded() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return seq_;
+}
+
+uint64_t OpTracer::dropped() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return seq_ > capacity_ ? seq_ - capacity_ : 0;
+}
+
+void OpTracer::Clear() {
+  std::lock_guard<std::mutex> g(mu_);
+  seq_ = 0;
+}
+
+std::string OpTracer::ToChromeTraceJson() const {
+  std::vector<TraceEvent> events = Events();
+  std::string out = "{\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) out += ',';
+    first = false;
+    // Complete ("X") events; timestamps are microseconds in this format.
+    snprintf(buf, sizeof(buf),
+             "{\"ph\":\"X\",\"cat\":\"%s\",\"name\":\"%s\",\"ts\":%.3f,"
+             "\"dur\":%.3f,\"pid\":1,\"tid\":%u}",
+             ev.category, ev.name, ev.start_ns / 1000.0, ev.dur_ns / 1000.0,
+             ev.tid);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+OpTracer& OpTracer::Default() {
+  static OpTracer* tracer = new OpTracer();
+  return *tracer;
+}
+
+}  // namespace obs
+}  // namespace sias

@@ -1,0 +1,120 @@
+// Scoped operation tracing: TRACE_OP(category, name) records one timed event
+// into a bounded ring buffer, dumpable as chrome://tracing JSON.
+//
+// Tracing is off by default. The disabled fast path is a single relaxed
+// atomic load — cheap enough to leave TRACE_OP in every hot path. When
+// enabled, each scope records wall-clock (steady_clock) start + duration and
+// the recording thread; the ring keeps the most recent `capacity` events and
+// counts what it overwrote.
+//
+// Distinct from device/trace.h (block-level I/O traces in virtual time):
+// OpTracer observes *engine operations* in real time.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sias {
+namespace obs {
+
+/// One completed traced scope. Category/name must be string literals (the
+/// ring stores the pointers, not copies).
+struct TraceEvent {
+  const char* category = nullptr;
+  const char* name = nullptr;
+  uint64_t start_ns = 0;  ///< steady_clock nanoseconds
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;  ///< small per-thread ordinal, stable within the process
+};
+
+/// Bounded ring of trace events. Thread-safe; a mutex guards the ring (the
+/// enabled() gate keeps the disabled path lock-free).
+class OpTracer {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 14;
+
+  explicit OpTracer(size_t capacity = kDefaultCapacity);
+
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Record(const char* category, const char* name, uint64_t start_ns,
+              uint64_t dur_ns);
+
+  /// Events currently retained, oldest first.
+  std::vector<TraceEvent> Events() const;
+
+  /// Total events ever recorded / overwritten by wraparound.
+  uint64_t total_recorded() const;
+  uint64_t dropped() const;
+
+  void Clear();
+
+  /// chrome://tracing ("trace event format") JSON document.
+  std::string ToChromeTraceJson() const;
+
+  size_t capacity() const { return capacity_; }
+
+  /// Process-wide tracer used by TRACE_OP.
+  static OpTracer& Default();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;  ///< ring_[seq % capacity_]
+  uint64_t seq_ = 0;              ///< events ever recorded
+};
+
+/// Small stable ordinal for the calling thread (for trace display).
+uint32_t TraceThreadId();
+
+/// RAII scope: snapshots enablement at construction, records on destruction.
+class ScopedTrace {
+ public:
+  ScopedTrace(OpTracer& tracer, const char* category, const char* name)
+      : tracer_(tracer.enabled() ? &tracer : nullptr),
+        category_(category),
+        name_(name) {
+    if (tracer_ != nullptr) start_ns_ = NowNs();
+  }
+
+  ~ScopedTrace() {
+    if (tracer_ != nullptr) {
+      tracer_->Record(category_, name_, start_ns_, NowNs() - start_ns_);
+    }
+  }
+
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  static uint64_t NowNs() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  OpTracer* tracer_;
+  const char* category_;
+  const char* name_;
+  uint64_t start_ns_ = 0;
+};
+
+#define SIAS_TRACE_CONCAT2(a, b) a##b
+#define SIAS_TRACE_CONCAT(a, b) SIAS_TRACE_CONCAT2(a, b)
+
+/// Traces the enclosing scope into OpTracer::Default().
+#define TRACE_OP(category, name)                                        \
+  ::sias::obs::ScopedTrace SIAS_TRACE_CONCAT(sias_trace_, __COUNTER__)( \
+      ::sias::obs::OpTracer::Default(), category, name)
+
+}  // namespace obs
+}  // namespace sias

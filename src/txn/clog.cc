@@ -10,18 +10,7 @@ namespace sias {
 Clog::Clog() { Extend(kFirstNormalXid); }
 
 void Clog::Extend(Xid xid) {
-  size_t chunk = static_cast<size_t>(xid >> kChunkBits);
-  if (chunk < num_chunks_.load(std::memory_order_acquire)) {
-    // Already large enough; just bump max_xid_.
-  } else {
-    std::lock_guard<std::mutex> g(grow_mu_);
-    while (chunks_.size() <= chunk) {
-      auto c = std::make_unique<Chunk>();
-      for (auto& a : *c) a.store(0, std::memory_order_relaxed);
-      chunks_.push_back(std::move(c));
-    }
-    num_chunks_.store(chunks_.size(), std::memory_order_release);
-  }
+  chunks_.Ensure(static_cast<size_t>(xid >> kChunkBits));
   Xid cur = max_xid_.load(std::memory_order_relaxed);
   while (cur < xid &&
          !max_xid_.compare_exchange_weak(cur, xid, std::memory_order_acq_rel)) {
@@ -31,21 +20,21 @@ void Clog::Extend(Xid xid) {
 TxnStatus Clog::Get(Xid xid) const {
   if (xid == kFrozenXid) return TxnStatus::kCommitted;
   if (xid == kInvalidXid) return TxnStatus::kAborted;
-  size_t chunk = static_cast<size_t>(xid >> kChunkBits);
-  if (chunk >= num_chunks_.load(std::memory_order_acquire)) {
-    return TxnStatus::kInProgress;
-  }
+  const Chunk* chunk = chunks_.Lookup(static_cast<size_t>(xid >> kChunkBits));
+  if (chunk == nullptr) return TxnStatus::kInProgress;
   return static_cast<TxnStatus>(
-      (*chunks_[chunk])[xid & (kChunkSize - 1)].load(
-          std::memory_order_acquire));
+      (*chunk)[xid & (kChunkSize - 1)].load(std::memory_order_acquire));
 }
 
 void Clog::Set(Xid xid, TxnStatus status) {
   SIAS_CHECK(xid >= kFirstNormalXid);
-  Extend(xid);
-  size_t chunk = static_cast<size_t>(xid >> kChunkBits);
-  (*chunks_[chunk])[xid & (kChunkSize - 1)].store(
-      static_cast<uint8_t>(status), std::memory_order_release);
+  Chunk* chunk = chunks_.Ensure(static_cast<size_t>(xid >> kChunkBits));
+  (*chunk)[xid & (kChunkSize - 1)].store(static_cast<uint8_t>(status),
+                                         std::memory_order_release);
+  Xid cur = max_xid_.load(std::memory_order_relaxed);
+  while (cur < xid &&
+         !max_xid_.compare_exchange_weak(cur, xid, std::memory_order_acq_rel)) {
+  }
 }
 
 void Clog::SetCommitted(Xid xid) { Set(xid, TxnStatus::kCommitted); }

@@ -4,11 +4,9 @@
 
 #include <array>
 #include <atomic>
-#include <memory>
-#include <mutex>
 #include <string>
-#include <vector>
 
+#include "common/bucket_dir.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -43,13 +41,12 @@ class Clog {
   static constexpr size_t kChunkBits = 16;
   static constexpr size_t kChunkSize = 1u << kChunkBits;  // xids per chunk
 
+  // new Chunk() value-initializes: every status starts 0 (kInProgress).
   using Chunk = std::array<std::atomic<uint8_t>, kChunkSize>;
 
   void Set(Xid xid, TxnStatus status);
 
-  mutable std::mutex grow_mu_;
-  std::vector<std::unique_ptr<Chunk>> chunks_;
-  std::atomic<size_t> num_chunks_{0};
+  BucketDirectory<Chunk> chunks_;
   std::atomic<Xid> max_xid_{0};
 };
 

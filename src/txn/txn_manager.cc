@@ -1,10 +1,23 @@
 #include "txn/txn_manager.h"
 
 #include "common/logging.h"
+#include "obs/op_trace.h"
 
 namespace sias {
 
+TransactionManager::TransactionManager(Clog* clog, LockManager* locks)
+    : clog_(clog), locks_(locks) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  m_begins_ = reg.GetCounter("txn.begin");
+  m_commits_ = reg.GetCounter("txn.commit");
+  m_aborts_ = reg.GetCounter("txn.abort");
+  m_commit_latency_ = reg.GetHistogram("txn.commit_latency");
+  m_active_ = reg.GetGauge("txn.active");
+  m_horizon_lag_ = reg.GetGauge("txn.gc_horizon_lag");
+}
+
 std::unique_ptr<Transaction> TransactionManager::Begin(VirtualClock* clock) {
+  TRACE_OP("txn", "begin");
   std::lock_guard<std::mutex> g(mu_);
   Xid xid = next_xid_++;
   clog_->Extend(xid);
@@ -15,6 +28,13 @@ std::unique_ptr<Transaction> TransactionManager::Begin(VirtualClock* clock) {
   for (const auto& [axid, _] : active_) snap.concurrent.push_back(axid);
   Xid snap_min = snap.concurrent.empty() ? xid : snap.concurrent.front();
   active_.emplace(xid, snap_min);
+  m_begins_->Increment();
+  m_active_->Set(static_cast<int64_t>(active_.size()));
+  // How far GC visibility trails the oldest runner (xids of history the
+  // oldest snapshot still pins).
+  Xid horizon = next_xid_;
+  for (const auto& [axid, smin] : active_) horizon = std::min(horizon, smin);
+  m_horizon_lag_->Set(static_cast<int64_t>(active_.begin()->first - horizon));
   return std::make_unique<Transaction>(xid, std::move(snap), clock);
 }
 
@@ -22,6 +42,7 @@ void TransactionManager::Finish(Transaction* txn) {
   {
     std::lock_guard<std::mutex> g(mu_);
     active_.erase(txn->xid());
+    m_active_->Set(static_cast<int64_t>(active_.size()));
   }
   VTime now = txn->clock() ? txn->clock()->now() : 0;
   for (const auto& [relation, vid] : txn->locks_) {
@@ -32,9 +53,13 @@ void TransactionManager::Finish(Transaction* txn) {
 }
 
 Status TransactionManager::Commit(Transaction* txn) {
+  TRACE_OP("txn", "commit");
   if (txn->state() != TxnState::kActive) {
     return Status::TxnInvalidState("commit of finished transaction");
   }
+  // Commit latency in virtual time: the WAL flush in the commit hook
+  // advances the terminal's clock by the durability wait.
+  VTime start = txn->clock() != nullptr ? txn->clock()->now() : 0;
   if (commit_hook_) {
     Status s = commit_hook_(txn);
     if (!s.ok()) {
@@ -47,10 +72,15 @@ Status TransactionManager::Commit(Transaction* txn) {
   clog_->SetCommitted(txn->xid());
   txn->state_ = TxnState::kCommitted;
   Finish(txn);
+  m_commits_->Increment();
+  if (txn->clock() != nullptr) {
+    m_commit_latency_->Record(txn->clock()->now() - start);
+  }
   return Status::OK();
 }
 
 Status TransactionManager::Abort(Transaction* txn) {
+  TRACE_OP("txn", "abort");
   if (txn->state() != TxnState::kActive) {
     return Status::TxnInvalidState("abort of finished transaction");
   }
@@ -65,6 +95,7 @@ Status TransactionManager::Abort(Transaction* txn) {
   clog_->SetAborted(txn->xid());
   txn->state_ = TxnState::kAborted;
   Finish(txn);
+  m_aborts_->Increment();
   return Status::OK();
 }
 

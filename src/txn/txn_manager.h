@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "common/vclock.h"
+#include "obs/metrics.h"
 #include "txn/clog.h"
 #include "txn/lock_manager.h"
 #include "txn/transaction.h"
@@ -27,8 +28,7 @@ class TransactionManager {
   /// need not be flushed).
   using AbortHook = std::function<Status(Transaction*)>;
 
-  TransactionManager(Clog* clog, LockManager* locks)
-      : clog_(clog), locks_(locks) {}
+  TransactionManager(Clog* clog, LockManager* locks);
 
   void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
   void set_abort_hook(AbortHook hook) { abort_hook_ = std::move(hook); }
@@ -70,6 +70,14 @@ class TransactionManager {
   LockManager* locks_;
   CommitHook commit_hook_;
   AbortHook abort_hook_;
+
+  // Observability (see docs/OBSERVABILITY.md for the catalogue).
+  obs::Counter* m_begins_;
+  obs::Counter* m_commits_;
+  obs::Counter* m_aborts_;
+  obs::HistogramMetric* m_commit_latency_;
+  obs::Gauge* m_active_;
+  obs::Gauge* m_horizon_lag_;
 
   mutable std::mutex mu_;
   Xid next_xid_ = kFirstNormalXid;

@@ -5,6 +5,7 @@
 #include "common/coding.h"
 #include "common/crc32c.h"
 #include "common/logging.h"
+#include "obs/op_trace.h"
 
 namespace sias {
 
@@ -35,7 +36,14 @@ void EncodeWalRecord(const WalRecord& record, std::string* out) {
 
 WalWriter::WalWriter(StorageDevice* device, uint64_t base_offset,
                      uint64_t limit_bytes)
-    : device_(device), base_(base_offset), limit_(limit_bytes) {}
+    : device_(device), base_(base_offset), limit_(limit_bytes) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  m_records_ = reg.GetCounter("wal.records");
+  m_appended_bytes_ = reg.GetCounter("wal.appended_bytes");
+  m_flushes_ = reg.GetCounter("wal.flushes");
+  m_written_bytes_ = reg.GetCounter("wal.written_bytes");
+  m_flush_latency_ = reg.GetHistogram("wal.flush_latency");
+}
 
 Result<Lsn> WalWriter::Append(const WalRecord& record) {
   std::string encoded;
@@ -46,6 +54,8 @@ Result<Lsn> WalWriter::Append(const WalRecord& record) {
   }
   tail_.insert(tail_.end(), encoded.begin(), encoded.end());
   next_lsn_ += encoded.size();
+  m_records_->Increment();
+  m_appended_bytes_->Add(static_cast<int64_t>(encoded.size()));
   return next_lsn_;
 }
 
@@ -65,9 +75,14 @@ Status WalWriter::Resume(Lsn lsn) {
 }
 
 Status WalWriter::FlushTo(Lsn lsn, VirtualClock* clk) {
+  TRACE_OP("wal", "flush");
   std::lock_guard<std::mutex> g(mu_);
   if (lsn <= flushed_lsn_) return Status::OK();
   lsn = std::min<Lsn>(lsn, next_lsn_);
+  // The group-commit fsync: virtual time from here to the last block write
+  // is what a committing terminal waits on the log device.
+  VTime flush_start = clk != nullptr ? clk->now() : 0;
+  uint64_t blocks_written = 0;
   // Write whole blocks from tail_start_ up to the block containing `lsn`.
   Lsn write_end = (lsn + kPageSize - 1) / kPageSize * kPageSize;
   Lsn write_begin = tail_start_ / kPageSize * kPageSize;
@@ -81,6 +96,12 @@ Status WalWriter::FlushTo(Lsn lsn, VirtualClock* clk) {
     SIAS_RETURN_NOT_OK(
         device_->Write(base_ + pos, kPageSize, block.data(), clk));
     written_bytes_ += kPageSize;
+    blocks_written++;
+  }
+  if (blocks_written > 0) {
+    m_flushes_->Increment();
+    m_written_bytes_->Add(static_cast<int64_t>(blocks_written * kPageSize));
+    if (clk != nullptr) m_flush_latency_->Record(clk->now() - flush_start);
   }
   flushed_lsn_ = lsn;
   // Retain the partially-filled last block in the tail; drop full blocks.

@@ -17,6 +17,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "device/device.h"
+#include "obs/metrics.h"
 
 namespace sias {
 
@@ -86,6 +87,12 @@ class WalWriter {
   uint64_t written_bytes_ = 0;
   std::vector<uint8_t> tail_;  ///< bytes in [flushed_block_start_, next_lsn_)
   Lsn tail_start_ = 0;         ///< logical offset of tail_[0]
+
+  obs::Counter* m_records_;
+  obs::Counter* m_appended_bytes_;
+  obs::Counter* m_flushes_;
+  obs::Counter* m_written_bytes_;
+  obs::HistogramMetric* m_flush_latency_;
 };
 
 /// Sequential reader over the log region; stops at the first invalid record

@@ -1,0 +1,241 @@
+// Observability layer tests: metric registration and identity, sharded
+// counter aggregation under concurrent writers, histogram summaries, JSON
+// snapshots, and trace ring-buffer semantics (wraparound, drop accounting).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/op_trace.h"
+
+namespace sias {
+namespace obs {
+namespace {
+
+// Tests construct their own registry/tracer instances: Default() is
+// process-global and accumulates engine activity from other tests.
+
+TEST(MetricsRegistryTest, LookupInternsAndReturnsStablePointers) {
+  MetricsRegistry reg;
+  Counter* c1 = reg.GetCounter("a.counter");
+  Counter* c2 = reg.GetCounter("a.counter");
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(c1, reg.GetCounter("b.counter"));
+
+  Gauge* g1 = reg.GetGauge("a.gauge");
+  EXPECT_EQ(g1, reg.GetGauge("a.gauge"));
+  HistogramMetric* h1 = reg.GetHistogram("a.hist");
+  EXPECT_EQ(h1, reg.GetHistogram("a.hist"));
+
+  // Counters, gauges and histograms live in separate namespaces: the same
+  // name can denote one of each.
+  EXPECT_NE(static_cast<void*>(reg.GetCounter("same")),
+            static_cast<void*>(reg.GetGauge("same")));
+}
+
+TEST(MetricsRegistryTest, CounterAddAndReset) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("ops");
+  EXPECT_EQ(c->Value(), 0);
+  c->Increment();
+  c->Add(41);
+  EXPECT_EQ(c->Value(), 42);
+  c->Reset();
+  EXPECT_EQ(c->Value(), 0);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  MetricsRegistry reg;
+  Gauge* g = reg.GetGauge("depth");
+  g->Set(7);
+  EXPECT_EQ(g->Value(), 7);
+  g->Add(-3);
+  EXPECT_EQ(g->Value(), 4);
+  g->Set(-1);
+  EXPECT_EQ(g->Value(), -1);
+}
+
+TEST(MetricsRegistryTest, ShardedCounterAggregatesConcurrentIncrements) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("hot");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < kPerThread; ++i) c->Increment();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c->Value(), int64_t{kThreads} * kPerThread);
+}
+
+TEST(MetricsRegistryTest, ConcurrentLookupsOfSameNameAgree) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, &seen, t] {
+      Counter* c = reg.GetCounter("race.me");
+      c->Increment();
+      seen[t] = c;
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(seen[0]->Value(), kThreads);
+}
+
+TEST(MetricsRegistryTest, HistogramRecordsUnderConcurrency) {
+  MetricsRegistry reg;
+  HistogramMetric* h = reg.GetHistogram("lat");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h] {
+      for (int i = 1; i <= kPerThread; ++i) {
+        h->Record(static_cast<VDuration>(i) * kVMicrosecond);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  Histogram merged = h->Snapshot();
+  EXPECT_EQ(merged.count(), uint64_t{kThreads} * kPerThread);
+  EXPECT_GE(merged.Max(), kPerThread * kVMicrosecond);
+  EXPECT_GT(merged.Percentile(50), 0);
+}
+
+TEST(MetricsRegistryTest, SnapshotCarriesAllMetricKinds) {
+  MetricsRegistry reg;
+  reg.GetCounter("c.one")->Add(5);
+  reg.GetGauge("g.one")->Set(-2);
+  reg.GetHistogram("h.one")->Record(3 * kVMillisecond);
+
+  MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.count("c.one"), 1u);
+  EXPECT_EQ(snap.counters.at("c.one"), 5);
+  ASSERT_EQ(snap.gauges.count("g.one"), 1u);
+  EXPECT_EQ(snap.gauges.at("g.one"), -2);
+  ASSERT_EQ(snap.histograms.count("h.one"), 1u);
+  EXPECT_EQ(snap.histograms.at("h.one").count, 1u);
+  EXPECT_GT(snap.histograms.at("h.one").max, 0);
+
+  std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"c.one\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"g.one\":-2"), std::string::npos);
+  EXPECT_NE(json.find("\"h.one\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesCountersAndHistograms) {
+  MetricsRegistry reg;
+  reg.GetCounter("c")->Add(9);
+  reg.GetHistogram("h")->Record(kVMicrosecond);
+  reg.GetGauge("g")->Set(3);
+  reg.ResetAll();
+  EXPECT_EQ(reg.GetCounter("c")->Value(), 0);
+  EXPECT_EQ(reg.GetHistogram("h")->Snapshot().count(), 0u);
+  // Gauges are owner-refreshed; ResetAll leaves them alone.
+  EXPECT_EQ(reg.GetGauge("g")->Value(), 3);
+}
+
+TEST(OpTracerTest, DisabledRecordsNothingThroughScopes) {
+  OpTracer tracer(/*capacity=*/8);
+  ASSERT_FALSE(tracer.enabled());
+  { ScopedTrace t(tracer, "cat", "op"); }
+  EXPECT_EQ(tracer.total_recorded(), 0u);
+  EXPECT_TRUE(tracer.Events().empty());
+}
+
+TEST(OpTracerTest, EnabledScopeRecordsOneEvent) {
+  OpTracer tracer(/*capacity=*/8);
+  tracer.set_enabled(true);
+  { ScopedTrace t(tracer, "mvcc", "read"); }
+  EXPECT_EQ(tracer.total_recorded(), 1u);
+  auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].category, "mvcc");
+  EXPECT_STREQ(events[0].name, "read");
+}
+
+TEST(OpTracerTest, RingWrapsKeepingNewestAndCountsDrops) {
+  constexpr size_t kCap = 16;
+  OpTracer tracer(kCap);
+  tracer.set_enabled(true);
+  constexpr uint64_t kTotal = 100;
+  for (uint64_t i = 0; i < kTotal; ++i) {
+    tracer.Record("cat", "op", /*start_ns=*/i, /*dur_ns=*/1);
+  }
+  EXPECT_EQ(tracer.total_recorded(), kTotal);
+  EXPECT_EQ(tracer.dropped(), kTotal - kCap);
+  auto events = tracer.Events();
+  ASSERT_EQ(events.size(), kCap);
+  // Oldest-first ordering over the newest kCap events.
+  for (size_t i = 0; i < kCap; ++i) {
+    EXPECT_EQ(events[i].start_ns, kTotal - kCap + i);
+  }
+}
+
+TEST(OpTracerTest, ConcurrentRecordersLoseNothingBelowCapacity) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  OpTracer tracer(kThreads * kPerThread);
+  tracer.set_enabled(true);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ScopedTrace s(tracer, "stress", "op");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(tracer.total_recorded(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_EQ(tracer.Events().size(), size_t{kThreads} * kPerThread);
+}
+
+TEST(OpTracerTest, ClearEmptiesRingButKeepsNothingElse) {
+  OpTracer tracer(8);
+  tracer.set_enabled(true);
+  tracer.Record("c", "n", 1, 2);
+  tracer.Clear();
+  EXPECT_TRUE(tracer.Events().empty());
+  EXPECT_TRUE(tracer.enabled());
+}
+
+TEST(OpTracerTest, ChromeTraceJsonShape) {
+  OpTracer tracer(8);
+  tracer.set_enabled(true);
+  tracer.Record("wal", "flush", /*start_ns=*/2000, /*dur_ns=*/3000);
+  std::string json = tracer.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"wal\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"flush\""), std::string::npos);
+}
+
+TEST(OpTracerTest, TraceOpMacroUsesDefaultTracer) {
+  OpTracer& def = OpTracer::Default();
+  def.Clear();
+  def.set_enabled(true);
+  uint64_t before = def.total_recorded();
+  { TRACE_OP("test", "macro_scope"); }
+  def.set_enabled(false);
+  EXPECT_GE(def.total_recorded(), before + 1);
+  bool found = false;
+  for (const auto& e : def.Events()) {
+    if (std::string(e.name) == "macro_scope") found = true;
+  }
+  EXPECT_TRUE(found);
+  def.Clear();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace sias
