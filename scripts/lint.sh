@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Static-analysis gate: clang-tidy over every first-party translation unit
+# (src/, tests/, bench/), using the check set in .clang-tidy.
+#
+# Usage: scripts/lint.sh [path...]
+#   no args = all first-party .cc files. Pass file paths to lint a subset
+#   (e.g. the files touched by a change).
+#
+# Exits 0 with a notice when clang-tidy is not installed, so the script is
+# safe to call from environments that only carry GCC; CI runs it on an image
+# that has LLVM and treats any finding as a failure (WarningsAsErrors: '*').
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "lint: $TIDY not found; skipping (install clang-tidy to run locally)"
+  exit 0
+fi
+
+# clang-tidy needs a compilation database. Configure a dedicated build tree
+# so lint never dirties the main build/ directory.
+BUILD_DIR=build-lint
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+  mapfile -t files < <(find src tests bench -name '*.cc' | sort)
+fi
+
+echo "lint: checking ${#files[@]} files with $TIDY"
+status=0
+for f in "${files[@]}"; do
+  "$TIDY" -p "$BUILD_DIR" --quiet "$f" || status=1
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "lint: FAIL (findings above; checks configured in .clang-tidy)" >&2
+else
+  echo "lint: PASS"
+fi
+exit "$status"

@@ -42,22 +42,22 @@ void PageGuard::MarkDirty(Lsn lsn) {
 
 void PageGuard::LatchShared() {
   SIAS_CHECK(valid() && latch_mode_ == 0);
-  pool_->frames_[frame_].latch.lock_shared();
+  pool_->frames_[frame_].latch.LockShared();
   latch_mode_ = 1;
 }
 
 void PageGuard::LatchExclusive() {
   SIAS_CHECK(valid() && latch_mode_ == 0);
-  pool_->frames_[frame_].latch.lock();
+  pool_->frames_[frame_].latch.Lock();
   latch_mode_ = 2;
 }
 
 void PageGuard::Unlatch() {
   SIAS_CHECK(valid());
   if (latch_mode_ == 1) {
-    pool_->frames_[frame_].latch.unlock_shared();
+    pool_->frames_[frame_].latch.UnlockShared();
   } else if (latch_mode_ == 2) {
-    pool_->frames_[frame_].latch.unlock();
+    pool_->frames_[frame_].latch.Unlock();
   }
   latch_mode_ = 0;
 }
@@ -93,17 +93,21 @@ Status BufferPool::WriteFrame(Frame& f, VirtualClock* clk,
                               FlushSource source, bool* busy) {
   // Stabilize the page image: writers modify bytes under the exclusive page
   // latch, so checksumming/writing requires at least the shared latch.
-  // Blocking here would invert the latch-then-pool-mutex order used by page
-  // writers (deadlock), so flush paths try and retry outside mu_ instead.
-  if (!f.latch.try_lock_shared()) {
+  // Blocking here would invert the page-latch-then-pool-mutex order used by
+  // page writers (rank kPage < kBufferPool — a deadlock, and the rank
+  // checker would abort), so flush paths only ever *try* under mu_ and
+  // retry outside it.
+  if (!f.latch.TryLockShared()) {
     if (busy != nullptr) {
       *busy = true;
       return Status::OK();
     }
     // Eviction path: the frame is unpinned, so no latch holder can exist
     // (latches are only taken through pinned guards); the try above can only
-    // fail transiently and never against a page writer.
-    f.latch.lock_shared();
+    // fail transiently and never against a page writer. Spin — still
+    // try-only, so the acquisition order stays deadlock-free.
+    SpinBackoff backoff;
+    while (!f.latch.TryLockShared()) backoff.Pause();
   }
   // WAL-before-data: the log must be durable up to the page's LSN.
   Lsn lsn = f.lsn.load(std::memory_order_relaxed);
@@ -126,7 +130,7 @@ Status BufferPool::WriteFrame(Frame& f, VirtualClock* clk,
     stats_.flushes_by_source[static_cast<int>(source)]++;
     m_writebacks_->Increment();
   }
-  f.latch.unlock_shared();
+  f.latch.UnlockShared();
   return s;
 }
 
@@ -162,7 +166,7 @@ Result<size_t> BufferPool::FindVictim(VirtualClock* clk) {
 }
 
 Result<PageGuard> BufferPool::FetchPage(PageId id, VirtualClock* clk) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = table_.find(id);
   if (it != table_.end()) {
     Frame& f = frames_[it->second];
@@ -194,7 +198,7 @@ Result<PageGuard> BufferPool::FetchPage(PageId id, VirtualClock* clk) {
 
 Result<PageGuard> BufferPool::NewPage(RelationId relation, VirtualClock* clk,
                                       uint32_t page_flags) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   SIAS_ASSIGN_OR_RETURN(PageNumber page_no, disk_->AllocatePage(relation));
   SIAS_ASSIGN_OR_RETURN(size_t idx, FindVictim(clk));
   Frame& f = frames_[idx];
@@ -219,7 +223,7 @@ Status BufferPool::FlushPage(PageId id, VirtualClock* clk,
   // transiently busy; retry outside mu_ — latches are held for microseconds.
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       auto it = table_.find(id);
       if (it == table_.end()) return Status::OK();
       Frame& f = frames_[it->second];
@@ -240,7 +244,7 @@ Status BufferPool::FlushAll(VirtualClock* clk, FlushSource source) {
 }
 
 Status BufferPool::SetSticky(PageId id, bool sticky) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = table_.find(id);
   if (it == table_.end()) return Status::NotFound("page not resident");
   frames_[it->second].sticky = sticky;
@@ -249,7 +253,7 @@ Status BufferPool::SetSticky(PageId id, bool sticky) {
 
 std::vector<BufferPool::DirtyPageInfo> BufferPool::DirtyPagesWithFlags(
     bool clear_referenced) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<DirtyPageInfo> out;
   for (auto& f : frames_) {
     if (f.valid && f.dirty.load(std::memory_order_acquire)) {
@@ -263,7 +267,7 @@ std::vector<BufferPool::DirtyPageInfo> BufferPool::DirtyPagesWithFlags(
 }
 
 std::vector<PageId> BufferPool::DirtyPages() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<PageId> out;
   for (const auto& f : frames_) {
     if (f.valid && f.dirty.load(std::memory_order_acquire)) out.push_back(f.id);
@@ -272,7 +276,7 @@ std::vector<PageId> BufferPool::DirtyPages() const {
 }
 
 BufferPoolStats BufferPool::stats() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 

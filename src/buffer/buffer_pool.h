@@ -12,7 +12,6 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -150,39 +149,42 @@ class BufferPool {
   friend class PageGuard;
 
   struct Frame {
+    // id/valid/sticky/referenced are guarded by the pool's mu_; Frame is a
+    // nested type, so the analysis cannot name the owning pool's capability
+    // here — the rank checker and TSan cover these.
     PageId id{};
-    bool valid = false;       // guarded by pool mu_
-    bool sticky = false;      // guarded by pool mu_
-    bool referenced = false;  // guarded by pool mu_
+    bool valid = false;
+    bool sticky = false;
+    bool referenced = false;
     /// dirty/lsn are set by PageGuard::MarkDirty under the page latch (not
     /// the pool mutex) and read by the flush paths under mu_: atomics keep
     /// the two sides race-free without widening any lock.
     std::atomic<bool> dirty{false};
     std::atomic<Lsn> lsn{kInvalidLsn};
     std::atomic<int> pins{0};
-    RwLatch latch;
+    PageLatch latch;
     std::unique_ptr<uint8_t[]> data;
   };
 
-  // Requires mu_ held. Returns frame index or error if pool exhausted.
-  Result<size_t> FindVictim(VirtualClock* clk);
-  /// Requires mu_ held. Takes the page latch in shared mode to stabilize the
-  /// image while checksumming/writing. If the latch is exclusively held (an
-  /// in-flight writer) and `busy` is non-null, sets *busy and returns OK
-  /// without writing — the caller retries outside mu_. Eviction victims are
+  // Returns frame index or error if pool exhausted.
+  Result<size_t> FindVictim(VirtualClock* clk) SIAS_REQUIRES(mu_);
+  /// Takes the page latch in shared mode to stabilize the image while
+  /// checksumming/writing. If the latch is exclusively held (an in-flight
+  /// writer) and `busy` is non-null, sets *busy and returns OK without
+  /// writing — the caller retries outside mu_. Eviction victims are
   /// unpinned and therefore never latched (busy == nullptr path).
   Status WriteFrame(Frame& f, VirtualClock* clk, FlushSource source,
-                    bool* busy = nullptr);
+                    bool* busy = nullptr) SIAS_REQUIRES(mu_);
   void Unpin(size_t frame);
 
   DiskManager* disk_;
   WalFlushHook wal_flush_;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_{LatchRank::kBufferPool};
   std::vector<Frame> frames_;
-  std::unordered_map<PageId, size_t> table_;
-  size_t clock_hand_ = 0;
-  BufferPoolStats stats_;
+  std::unordered_map<PageId, size_t> table_ SIAS_GUARDED_BY(mu_);
+  size_t clock_hand_ SIAS_GUARDED_BY(mu_) = 0;
+  BufferPoolStats stats_ SIAS_GUARDED_BY(mu_);
 
   obs::Counter* m_hits_;
   obs::Counter* m_misses_;

@@ -12,8 +12,8 @@
 
 #include <array>
 #include <atomic>
-#include <mutex>
 
+#include "common/latch.h"
 #include "common/logging.h"
 
 namespace sias {
@@ -56,7 +56,7 @@ class BucketDirectory {
     Bucket* b = Lookup(i);
     if (b != nullptr) return b;
     SIAS_CHECK_MSG(i < kMaxBuckets, "bucket directory exhausted");
-    std::lock_guard<std::mutex> g(grow_mu_);
+    MutexLock g(&grow_mu_);
     size_t have = count_.load(std::memory_order_relaxed);
     for (size_t j = have; j <= i; ++j) {
       auto& seg_slot = segments_[j / kSegmentSize];
@@ -85,7 +85,9 @@ class BucketDirectory {
     std::array<std::atomic<Bucket*>, kSegmentSize> buckets;
   };
 
-  mutable std::mutex grow_mu_;
+  /// Rank kBucketDir: growth nests inside page latches and VidMap slot
+  /// latches (Clog::Extend during commit, VidMap::Ensure during appends).
+  mutable Mutex grow_mu_{LatchRank::kBucketDir};
   std::array<std::atomic<Segment*>, kNumSegments> segments_;
   std::atomic<size_t> count_{0};
 };

@@ -40,7 +40,7 @@ Status AppendRegion::OpenNewPageLocked(VirtualClock* clk) {
 
 Result<Tid> AppendRegion::Append(Slice tuple, Xid xid, uint64_t aux,
                                  VirtualClock* clk) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   for (int attempt = 0; attempt < 3; ++attempt) {
     if (open_page_ == kInvalidPageNumber) {
       SIAS_RETURN_NOT_OK(OpenNewPageLocked(clk));
@@ -78,17 +78,17 @@ Result<Tid> AppendRegion::Append(Slice tuple, Xid xid, uint64_t aux,
 }
 
 void AppendRegion::AddFreePage(PageNumber page) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   free_pages_.push_back(page);
 }
 
 PageId AppendRegion::open_page() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   return PageId{relation_, open_page_};
 }
 
 void AppendRegion::SealOpenPage() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   if (open_page_ != kInvalidPageNumber) {
     (void)pool_->SetSticky(PageId{relation_, open_page_}, false);
     stats_.pages_sealed++;
@@ -97,7 +97,7 @@ void AppendRegion::SealOpenPage() {
 }
 
 AppendRegionStats AppendRegion::stats() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   return stats_;
 }
 

@@ -10,9 +10,9 @@
 #pragma once
 
 #include <deque>
-#include <mutex>
 
 #include "buffer/buffer_pool.h"
+#include "common/latch.h"
 #include "common/result.h"
 #include "common/types.h"
 #include "txn/transaction.h"
@@ -49,16 +49,18 @@ class AppendRegion {
   AppendRegionStats stats() const;
 
  private:
-  Status OpenNewPageLocked(VirtualClock* clk);
+  Status OpenNewPageLocked(VirtualClock* clk) SIAS_REQUIRES(mu_);
 
   RelationId relation_;
   BufferPool* pool_;
   WalWriter* wal_;
 
-  mutable std::mutex mu_;
-  PageNumber open_page_ = kInvalidPageNumber;
-  std::deque<PageNumber> free_pages_;
-  AppendRegionStats stats_;
+  /// Rank kAppendRegion: held across the whole append (page fetch + latch +
+  /// WAL), so it sits below kPage in the order.
+  mutable Mutex mu_{LatchRank::kAppendRegion};
+  PageNumber open_page_ SIAS_GUARDED_BY(mu_) = kInvalidPageNumber;
+  std::deque<PageNumber> free_pages_ SIAS_GUARDED_BY(mu_);
+  AppendRegionStats stats_ SIAS_GUARDED_BY(mu_);
 };
 
 }  // namespace sias

@@ -105,7 +105,7 @@ Status SiasTable::GetVisible(Transaction* txn, Vid vid, bool* found,
         }
         if (!first) {
           Obs().version_hops->Increment();
-          std::lock_guard<std::mutex> g(stats_mu_);
+          MutexLock g(&stats_mu_);
           stats_.version_hops++;
         }
         first = false;
@@ -138,7 +138,7 @@ Status SiasTable::GetVisible(Transaction* txn, Vid vid, bool* found,
         }
         if (!first) {
           Obs().version_hops->Increment();
-          std::lock_guard<std::mutex> g(stats_mu_);
+          MutexLock g(&stats_mu_);
           stats_.version_hops++;
         }
         first = false;
@@ -168,7 +168,7 @@ Result<Vid> SiasTable::Insert(Transaction* txn, Slice row, Tid* tid_out) {
     txn->AddUndo([this, vid, tid] { map_v_.PopFrontIf(vid, tid); });
   }
   {
-    std::lock_guard<std::mutex> g(stats_mu_);
+    MutexLock g(&stats_mu_);
     stats_.inserts++;
   }
   Obs().versions_appended->Increment();
@@ -203,7 +203,7 @@ Result<SiasTable::VersionRef> SiasTable::ValidateForWrite(Transaction* txn,
     // committed a newer version after we started and we must roll back.
     if (!txn->snapshot().Contains(h.xmin)) {
       Obs().ww_conflicts->Increment();
-      std::lock_guard<std::mutex> g(stats_mu_);
+      MutexLock g(&stats_mu_);
       stats_.ww_conflicts++;
       return Status::SerializationFailure(
           "entrypoint updated by concurrent transaction");
@@ -256,7 +256,7 @@ Status SiasTable::Update(Transaction* txn, Vid vid, Slice row, Tid* new_tid) {
   SIAS_RETURN_NOT_OK(r.status());
   if (new_tid != nullptr) *new_tid = *r;
   {
-    std::lock_guard<std::mutex> g(stats_mu_);
+    MutexLock g(&stats_mu_);
     stats_.updates++;
   }
   Obs().versions_appended->Increment();
@@ -281,7 +281,7 @@ Status SiasTable::Delete(Transaction* txn, Vid vid) {
   auto r = AppendAndInstall(txn, vid, h, Slice(), base.tid);
   SIAS_RETURN_NOT_OK(r.status());
   {
-    std::lock_guard<std::mutex> g(stats_mu_);
+    MutexLock g(&stats_mu_);
     stats_.deletes++;
   }
   return Status::OK();
@@ -291,7 +291,7 @@ Result<std::optional<std::string>> SiasTable::Read(Transaction* txn,
                                                    Vid vid) {
   TRACE_OP("mvcc", "sias_read");
   {
-    std::lock_guard<std::mutex> g(stats_mu_);
+    MutexLock g(&stats_mu_);
     stats_.reads++;
   }
   Obs().reads->Increment();
@@ -732,7 +732,7 @@ Status SiasTable::GarbageCollect(Xid horizon, VirtualClock* clk,
 }
 
 TableStats SiasTable::stats() const {
-  std::lock_guard<std::mutex> g(stats_mu_);
+  MutexLock g(&stats_mu_);
   return stats_;
 }
 

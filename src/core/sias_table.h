@@ -19,7 +19,6 @@
 //  * deletes append a tombstone version (§4.2.2).
 #pragma once
 
-#include <mutex>
 #include <unordered_map>
 
 #include "core/append_region.h"
@@ -122,8 +121,8 @@ class SiasTable : public MvccTable {
   VidMapV map_v_;   ///< used when scheme_ == kSiasV
   AppendRegion region_;
 
-  mutable std::mutex stats_mu_;
-  TableStats stats_;
+  mutable Mutex stats_mu_{LatchRank::kStats};
+  TableStats stats_ SIAS_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace sias

@@ -67,8 +67,10 @@ class VidMapV {
 
  private:
   struct Bucket {
-    mutable SpinLatch latch;
-    std::vector<Tid> entries[kEntriesPerBucket];
+    /// Rank kVidMapSlot — the paper's "short time latch"; nested inside the
+    /// page latch on the update path.
+    mutable SpinLatch latch{LatchRank::kVidMapSlot};
+    std::vector<Tid> entries[kEntriesPerBucket] SIAS_GUARDED_BY(latch);
   };
 
   Bucket* EnsureBucket(Vid vid);

@@ -11,8 +11,8 @@
 
 #include <algorithm>
 #include <deque>
-#include <mutex>
 
+#include "common/latch.h"
 #include "common/types.h"
 
 namespace sias {
@@ -24,7 +24,7 @@ class ChannelCalendar {
   /// reservation start.
   VTime Reserve(VTime at, VDuration len) {
     if (len == 0) return at;
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(&mu_);
     // Find the earliest gap of size `len` at or after `at`. Intervals are
     // kept sorted by start and non-overlapping.
     VTime start = at;
@@ -44,7 +44,7 @@ class ChannelCalendar {
 
   /// Latest reserved end (diagnostics).
   VTime horizon() const {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(&mu_);
     return intervals_.empty() ? 0 : intervals_.back().end;
   }
 
@@ -55,8 +55,10 @@ class ChannelCalendar {
   };
   static constexpr size_t kMaxIntervals = 256;
 
-  mutable std::mutex mu_;
-  std::deque<Interval> intervals_;
+  /// Rank kDeviceCalendar: taken inside the device mutex (FlashSsd holds
+  /// mu_ while reserving channel time).
+  mutable Mutex mu_{LatchRank::kDeviceCalendar};
+  std::deque<Interval> intervals_ SIAS_GUARDED_BY(mu_);
 };
 
 }  // namespace sias

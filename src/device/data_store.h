@@ -4,9 +4,10 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
+
+#include "common/latch.h"
 
 namespace sias {
 
@@ -17,7 +18,7 @@ class DataStore {
   static constexpr size_t kChunk = 4096;
 
   void Read(uint64_t offset, size_t len, uint8_t* out) const {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(&mu_);
     while (len > 0) {
       uint64_t chunk = offset / kChunk;
       size_t in_off = offset % kChunk;
@@ -35,7 +36,7 @@ class DataStore {
   }
 
   void Write(uint64_t offset, size_t len, const uint8_t* data) {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(&mu_);
     while (len > 0) {
       uint64_t chunk = offset / kChunk;
       size_t in_off = offset % kChunk;
@@ -54,13 +55,15 @@ class DataStore {
 
   /// Number of materialized 4 KB chunks (memory footprint probe).
   size_t chunk_count() const {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(&mu_);
     return chunks_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> chunks_;
+  /// Rank kDeviceStore: terminal leaf of the device layer.
+  mutable Mutex mu_{LatchRank::kDeviceStore};
+  std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> chunks_
+      SIAS_GUARDED_BY(mu_);
 };
 
 }  // namespace sias

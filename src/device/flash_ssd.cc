@@ -52,7 +52,7 @@ Status FlashSsd::Read(uint64_t offset, size_t len, uint8_t* out,
 
   VTime completion = now;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(&mu_);
     stats_.read_ops++;
     stats_.bytes_read += len;
     uint64_t first = offset / config_.flash_page_size;
@@ -82,7 +82,7 @@ Status FlashSsd::Write(uint64_t offset, size_t len, const uint8_t* data,
 
   VTime completion = now;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(&mu_);
     stats_.write_ops++;
     stats_.bytes_written += len;
     uint64_t first = offset / config_.flash_page_size;
@@ -130,7 +130,7 @@ Status FlashSsd::Write(uint64_t offset, size_t len, const uint8_t* data,
 
 Status FlashSsd::Trim(uint64_t offset, size_t len) {
   SIAS_RETURN_NOT_OK(CheckRange(offset, len));
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   uint64_t first = offset / config_.flash_page_size;
   uint64_t last = (offset + len - 1) / config_.flash_page_size;
   for (uint64_t lpn = first; lpn <= last; ++lpn) {
@@ -202,7 +202,7 @@ uint32_t FlashSsd::PickGcVictim(uint32_t channel) {
   return best;
 }
 
-void FlashSsd::MaybeGc(uint32_t channel, VTime now, bool background) {
+void FlashSsd::MaybeGc(uint32_t channel, VTime now, bool /*background*/) {
   Channel& ch = channels_[channel];
   uint64_t channel_pages = (static_cast<uint64_t>(num_blocks_) /
                             config_.num_channels) *
@@ -272,12 +272,12 @@ void FlashSsd::MaybeGc(uint32_t channel, VTime now, bool background) {
 }
 
 DeviceStats FlashSsd::stats() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   return stats_;
 }
 
 WearStats FlashSsd::wear() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   WearStats w;
   uint64_t sum = 0;
   for (const auto& b : blocks_) {
@@ -293,7 +293,7 @@ WearStats FlashSsd::wear() const {
 }
 
 Status FlashSsd::CheckFtlInvariants() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   std::vector<uint8_t> seen(physical_pages_, 0);
   for (uint64_t lpn = 0; lpn < logical_pages_; ++lpn) {
     uint32_t ppn = l2p_[lpn];

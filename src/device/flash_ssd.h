@@ -12,9 +12,9 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "common/latch.h"
 #include "device/channel_calendar.h"
 #include "device/data_store.h"
 #include "device/device.h"
@@ -100,17 +100,22 @@ class FlashSsd : public StorageDevice {
   uint64_t physical_pages_;
   uint32_t num_blocks_;
 
-  mutable std::mutex mu_;
-  std::vector<uint32_t> l2p_;          ///< lpn -> ppn (kUnmapped if none)
-  std::vector<uint32_t> p2l_;          ///< ppn -> lpn (kUnmapped if free/invalid)
-  std::vector<uint8_t> page_valid_;    ///< ppn -> currently-valid flag
-  std::vector<Block> blocks_;
-  std::vector<Channel> channels_;
+  /// Rank kDevice: held across FTL mapping updates and channel-calendar
+  /// reservations (kDeviceCalendar nests inside).
+  mutable Mutex mu_{LatchRank::kDevice};
+  /// lpn -> ppn (kUnmapped if none).
+  std::vector<uint32_t> l2p_ SIAS_GUARDED_BY(mu_);
+  /// ppn -> lpn (kUnmapped if free/invalid).
+  std::vector<uint32_t> p2l_ SIAS_GUARDED_BY(mu_);
+  /// ppn -> currently-valid flag.
+  std::vector<uint8_t> page_valid_ SIAS_GUARDED_BY(mu_);
+  std::vector<Block> blocks_ SIAS_GUARDED_BY(mu_);
+  std::vector<Channel> channels_ SIAS_GUARDED_BY(mu_);
 
   DataStore store_;  ///< payload kept by LPN (mapping is timing/WA model)
 
   // Counters (guarded by mu_ except host byte counters).
-  DeviceStats stats_;
+  DeviceStats stats_ SIAS_GUARDED_BY(mu_);
 };
 
 }  // namespace sias

@@ -8,7 +8,7 @@ VTime Hdd::Service(uint64_t offset, size_t len, VTime now) {
   // Positioning time from the head-distance model.
   VDuration position;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(&mu_);
     if (offset == head_pos_) {
       position = 0;  // sequential continuation
     } else {
@@ -44,7 +44,7 @@ Status Hdd::Read(uint64_t offset, size_t len, uint8_t* out,
   RecordDeviceRead(len);
   VTime done = Service(offset, len, now);
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(&mu_);
     stats_.read_ops++;
     stats_.bytes_read += len;
   }
@@ -65,7 +65,7 @@ Status Hdd::Write(uint64_t offset, size_t len, const uint8_t* data,
   VTime done = Service(offset, len, now);
   if (clk != nullptr && !background) clk->AdvanceTo(done);
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(&mu_);
     stats_.write_ops++;
     stats_.bytes_written += len;
   }
@@ -73,7 +73,7 @@ Status Hdd::Write(uint64_t offset, size_t len, const uint8_t* data,
 }
 
 DeviceStats Hdd::stats() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   return stats_;
 }
 

@@ -3,8 +3,8 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 
+#include "common/latch.h"
 #include "device/channel_calendar.h"
 #include "device/data_store.h"
 #include "device/device.h"
@@ -39,11 +39,13 @@ class Hdd : public StorageDevice {
   VTime Service(uint64_t offset, size_t len, VTime now);
 
   HddConfig config_;
-  mutable std::mutex mu_;
+  /// Rank kDevice; busy_/store_ have their own leaf-ranked mutexes.
+  mutable Mutex mu_{LatchRank::kDevice};
   ChannelCalendar busy_;
-  uint64_t head_pos_ = 0;  ///< byte position after last transfer
+  /// Byte position after last transfer.
+  uint64_t head_pos_ SIAS_GUARDED_BY(mu_) = 0;
   DataStore store_;
-  DeviceStats stats_;
+  DeviceStats stats_ SIAS_GUARDED_BY(mu_);
 };
 
 }  // namespace sias

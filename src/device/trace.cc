@@ -14,7 +14,7 @@ TraceRecorder::TraceRecorder(size_t max_events) : max_events_(max_events) {
 
 void TraceRecorder::Record(VTime time, uint64_t offset, uint32_t length,
                            TraceOp op) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   if (op == TraceOp::kWrite) {
     bytes_written_ += length;
   } else if (op == TraceOp::kRead) {
@@ -28,28 +28,28 @@ void TraceRecorder::Record(VTime time, uint64_t offset, uint32_t length,
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   events_.clear();
   bytes_written_ = bytes_read_ = dropped_ = 0;
 }
 
 std::vector<TraceEvent> TraceRecorder::events() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   return events_;
 }
 
 uint64_t TraceRecorder::total_bytes_written() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   return bytes_written_;
 }
 
 uint64_t TraceRecorder::total_bytes_read() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   return bytes_read_;
 }
 
 uint64_t TraceRecorder::dropped_events() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   return dropped_;
 }
 
@@ -58,7 +58,7 @@ Status TraceRecorder::ToCsv(const std::string& path) const {
   if (f == nullptr) return Status::IoError("cannot open " + path);
   fprintf(f, "time_ms,offset_mb,len,op\n");
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(&mu_);
     for (const auto& e : events_) {
       fprintf(f, "%.3f,%.3f,%u,%c\n",
               static_cast<double>(e.time) / kVMillisecond,

@@ -3,10 +3,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/latch.h"
 #include "common/status.h"
 #include "common/types.h"
 
@@ -42,12 +42,13 @@ class TraceRecorder {
   Status ToCsv(const std::string& path) const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
+  /// Rank kStats: leaf below the device mutexes that record into it.
+  mutable Mutex mu_{LatchRank::kStats};
+  std::vector<TraceEvent> events_ SIAS_GUARDED_BY(mu_);
   size_t max_events_;
-  uint64_t bytes_written_ = 0;
-  uint64_t bytes_read_ = 0;
-  uint64_t dropped_ = 0;
+  uint64_t bytes_written_ SIAS_GUARDED_BY(mu_) = 0;
+  uint64_t bytes_read_ SIAS_GUARDED_BY(mu_) = 0;
+  uint64_t dropped_ SIAS_GUARDED_BY(mu_) = 0;
 };
 
 /// blkparse-style aggregate over a trace.

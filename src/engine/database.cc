@@ -60,7 +60,7 @@ Result<std::unique_ptr<Database>> Database::Open(const DatabaseOptions& opts) {
 
 Result<Table*> Database::CreateTable(const std::string& name, Schema schema,
                                      VersionScheme scheme) {
-  std::lock_guard<std::mutex> g(catalog_mu_);
+  MutexLock g(&catalog_mu_);
   if (tables_.count(name) != 0) {
     return Status::AlreadyExists("table exists: " + name);
   }
@@ -81,14 +81,14 @@ Result<Table*> Database::CreateTable(const std::string& name, Schema schema,
 }
 
 Table* Database::GetTable(const std::string& name) {
-  std::lock_guard<std::mutex> g(catalog_mu_);
+  MutexLock g(&catalog_mu_);
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.get();
 }
 
 Status Database::CreateIndex(Table* table, const std::string& index_name,
                              KeyExtractor extractor) {
-  std::lock_guard<std::mutex> g(catalog_mu_);
+  MutexLock g(&catalog_mu_);
   RelationId relation = next_relation_++;
   SIAS_RETURN_NOT_OK(disk_->CreateRelation(relation));
   auto tree = std::make_unique<BTree>(relation, pool_.get());
@@ -146,7 +146,7 @@ Status Database::Tick(VirtualClock* clk) {
 
 Status Database::BgWriterPass(VirtualClock* clk) {
   TRACE_OP("maintenance", "bgwriter_pass");
-  std::lock_guard<std::mutex> g(maintenance_mu_);
+  MutexLock g(&maintenance_mu_);
   bgwriter_passes_.fetch_add(1, std::memory_order_relaxed);
   SIAS_RETURN_NOT_OK(DrainCheckpointLocked(clk));
 
@@ -154,7 +154,7 @@ Status Database::BgWriterPass(VirtualClock* clk) {
   // requires SEALING the (possibly sparsely filled) open page first, the
   // very behaviour the paper blames for t1's wasted space and extra writes.
   if (opts_.flush_policy == FlushPolicy::kT1BackgroundWriter) {
-    std::lock_guard<std::mutex> cg(catalog_mu_);
+    MutexLock cg(&catalog_mu_);
     for (auto& [name, table] : tables_) {
       if (table->scheme() != VersionScheme::kSi) {
         static_cast<SiasTable*>(table->heap())->region().SealOpenPage();
@@ -195,7 +195,7 @@ Status Database::BgWriterPass(VirtualClock* clk) {
 
 Status Database::Checkpoint(VirtualClock* clk) {
   TRACE_OP("maintenance", "checkpoint");
-  std::lock_guard<std::mutex> g(maintenance_mu_);
+  MutexLock g(&maintenance_mu_);
   checkpoints_.fetch_add(1, std::memory_order_relaxed);
   // A sharp checkpoint subsumes any paced one in flight.
   ckpt_queue_.clear();
@@ -209,7 +209,7 @@ Status Database::Checkpoint(VirtualClock* clk) {
 }
 
 Status Database::StartPacedCheckpoint(VirtualClock* clk) {
-  std::lock_guard<std::mutex> g(maintenance_mu_);
+  MutexLock g(&maintenance_mu_);
   if (ckpt_active_) return Status::OK();  // previous drain still running
   checkpoints_.fetch_add(1, std::memory_order_relaxed);
   pending_ckpt_lsn_ = wal_ != nullptr ? wal_->current_lsn() : 0;
@@ -319,7 +319,7 @@ Status Database::Recover() {
   // Build relation -> heap routing from the catalog.
   std::unordered_map<RelationId, MvccTable*> route;
   {
-    std::lock_guard<std::mutex> g(catalog_mu_);
+    MutexLock g(&catalog_mu_);
     for (auto& [name, table] : tables_) {
       route[table->heap()->relation()] = table->heap();
     }
@@ -407,7 +407,7 @@ Status Database::Recover() {
   VirtualClock clk;
   auto recovery_txn = txns_.Begin(&clk);
   {
-    std::lock_guard<std::mutex> g(catalog_mu_);
+    MutexLock g(&catalog_mu_);
     for (auto& [name, table] : tables_) {
       if (table->scheme() == VersionScheme::kSi) {
         SIAS_RETURN_NOT_OK(
@@ -427,7 +427,7 @@ Status Database::Vacuum(VirtualClock* clk, GcStats* stats) {
   Xid horizon = txns_.GcHorizon();
   std::vector<Table*> tables;
   {
-    std::lock_guard<std::mutex> g(catalog_mu_);
+    MutexLock g(&catalog_mu_);
     for (auto& [name, table] : tables_) tables.push_back(table.get());
   }
   for (Table* t : tables) {

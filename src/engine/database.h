@@ -21,6 +21,7 @@
 #include <string>
 
 #include "buffer/buffer_pool.h"
+#include "common/latch.h"
 #include "core/sias_table.h"
 #include "engine/table.h"
 #include "mvcc/si_heap.h"
@@ -146,21 +147,28 @@ class Database {
   LockManager locks_;
   TransactionManager txns_;
 
-  std::mutex catalog_mu_;
-  RelationId next_relation_ = 1;
-  std::map<std::string, std::unique_ptr<Table>> tables_;
+  /// Rank kDbCatalog: held while creating tables/indexes and while the
+  /// maintenance passes walk the table list (inside kDbMaintenance).
+  Mutex catalog_mu_{LatchRank::kDbCatalog};
+  RelationId next_relation_ SIAS_GUARDED_BY(catalog_mu_) = 1;
+  std::map<std::string, std::unique_ptr<Table>> tables_
+      SIAS_GUARDED_BY(catalog_mu_);
 
-  Status DrainCheckpointLocked(VirtualClock* clk);
+  Status DrainCheckpointLocked(VirtualClock* clk)
+      SIAS_REQUIRES(maintenance_mu_);
 
   std::atomic<VTime> next_bgwriter_{0};
   std::atomic<VTime> next_checkpoint_{0};
-  // Paced-checkpoint state (guarded by maintenance_mu_).
-  std::deque<PageId> ckpt_queue_;
-  size_t ckpt_drain_per_pass_ = 0;
-  Lsn pending_ckpt_lsn_ = kInvalidLsn;
-  bool ckpt_active_ = false;
+  // Paced-checkpoint state.
+  std::deque<PageId> ckpt_queue_ SIAS_GUARDED_BY(maintenance_mu_);
+  size_t ckpt_drain_per_pass_ SIAS_GUARDED_BY(maintenance_mu_) = 0;
+  Lsn pending_ckpt_lsn_ SIAS_GUARDED_BY(maintenance_mu_) = kInvalidLsn;
+  bool ckpt_active_ SIAS_GUARDED_BY(maintenance_mu_) = false;
   std::atomic<VTime> makespan_{0};
-  std::mutex maintenance_mu_;
+  /// Rank kDbMaintenance: the outermost engine latch — bgwriter and
+  /// checkpoint passes hold it across catalog walks, region sealing and
+  /// pool flushes.
+  Mutex maintenance_mu_{LatchRank::kDbMaintenance};
 
   std::atomic<uint64_t> checkpoints_{0};
   std::atomic<uint64_t> bgwriter_passes_{0};

@@ -104,7 +104,7 @@ BTree::BTree(RelationId relation, BufferPool* pool)
     : relation_(relation), pool_(pool) {}
 
 Status BTree::Create(VirtualClock* clk) {
-  std::unique_lock<RwLatch> lock(tree_latch_);
+  WriteLock lock(&tree_latch_);
   auto g = pool_->NewPage(relation_, clk);
   if (!g.ok()) return g.status();
   g->LatchExclusive();
@@ -122,7 +122,7 @@ Status BTree::Insert(Slice key, uint64_t value, VirtualClock* clk) {
   if (key.size() > kMaxKeyLen) {
     return Status::InvalidArgument("index key too long");
   }
-  std::unique_lock<RwLatch> lock(tree_latch_);
+  WriteLock lock(&tree_latch_);
   // Descend, remembering the path of internal pages.
   std::vector<PageNumber> path;
   PageNumber current = root_;
@@ -294,7 +294,7 @@ Status BTree::SplitAndInsert(PageGuard leaf, std::vector<PageNumber> path,
 }
 
 Status BTree::Delete(Slice key, uint64_t value, VirtualClock* clk) {
-  std::unique_lock<RwLatch> lock(tree_latch_);
+  WriteLock lock(&tree_latch_);
   PageNumber current = root_;
   for (;;) {
     auto g = pool_->FetchPage(PageId{relation_, current}, clk);
@@ -337,7 +337,7 @@ Result<std::vector<uint64_t>> BTree::Lookup(Slice key, VirtualClock* clk) {
 
 Status BTree::Range(Slice lo, Slice hi, VirtualClock* clk,
                     const RangeCallback& cb) {
-  std::shared_lock<RwLatch> lock(tree_latch_);
+  ReadLock lock(&tree_latch_);
   PageNumber current = root_;
   // Descend with value 0 (-infinity tiebreak).
   for (;;) {
@@ -380,17 +380,17 @@ Status BTree::Range(Slice lo, Slice hi, VirtualClock* clk,
 }
 
 uint64_t BTree::size() const {
-  std::shared_lock<RwLatch> lock(tree_latch_);
+  ReadLock lock(&tree_latch_);
   return size_;
 }
 
 uint32_t BTree::height() const {
-  std::shared_lock<RwLatch> lock(tree_latch_);
+  ReadLock lock(&tree_latch_);
   return height_;
 }
 
 Status BTree::CheckInvariants(VirtualClock* clk) {
-  std::shared_lock<RwLatch> lock(tree_latch_);
+  ReadLock lock(&tree_latch_);
   // Walk down the leftmost spine, then scan the leaf chain checking global
   // (key, value) ordering and the maintained size counter.
   PageNumber current = root_;

@@ -72,15 +72,19 @@ class BTree {
 
  private:
   Status SplitAndInsert(PageGuard leaf, std::vector<PageNumber> path,
-                        Slice key, uint64_t value, VirtualClock* clk);
+                        Slice key, uint64_t value, VirtualClock* clk)
+      SIAS_REQUIRES(tree_latch_);
 
   RelationId relation_;
   BufferPool* pool_;
 
-  mutable RwLatch tree_latch_;
-  PageNumber root_ = kInvalidPageNumber;
-  uint32_t height_ = 0;
-  uint64_t size_ = 0;
+  /// Rank kBTree: acquired before any page latch (split latches several
+  /// pages; the exclusive tree latch is what makes that same-rank nesting
+  /// safe — see check/latch_order.h).
+  mutable RwLatch tree_latch_{LatchRank::kBTree};
+  PageNumber root_ SIAS_GUARDED_BY(tree_latch_) = kInvalidPageNumber;
+  uint32_t height_ SIAS_GUARDED_BY(tree_latch_) = 0;
+  uint64_t size_ SIAS_GUARDED_BY(tree_latch_) = 0;
 };
 
 }  // namespace sias

@@ -43,7 +43,7 @@ Result<Tid> SiHeap::PlaceTuple(Slice tuple, Transaction* txn, Lsn* lsn_out) {
   for (;;) {
     PageNumber target = kInvalidPageNumber;
     {
-      std::lock_guard<std::mutex> g(fsm_mu_);
+      MutexLock g(&fsm_mu_);
       // Rotating cursor: "SI writes the new version on any (arbitrary) page
       // that contains enough free space" — placement scatters over the
       // relation instead of clustering at the tail.
@@ -60,7 +60,7 @@ Result<Tid> SiHeap::PlaceTuple(Slice tuple, Transaction* txn, Lsn* lsn_out) {
     PageGuard guard;
     if (target == kInvalidPageNumber) {
       SIAS_ASSIGN_OR_RETURN(guard, env_.pool->NewPage(relation_, clk));
-      std::lock_guard<std::mutex> g(fsm_mu_);
+      MutexLock g(&fsm_mu_);
       if (fsm_.size() <= guard.id().page) fsm_.resize(guard.id().page + 1, 0);
       target = guard.id().page;
     } else {
@@ -74,7 +74,7 @@ Result<Tid> SiHeap::PlaceTuple(Slice tuple, Transaction* txn, Lsn* lsn_out) {
     uint16_t free_now = static_cast<uint16_t>(
         std::min<size_t>(page.FreeSpace(), 0xffff));
     {
-      std::lock_guard<std::mutex> g(fsm_mu_);
+      MutexLock g(&fsm_mu_);
       fsm_[target] = free_now;
     }
     if (slot == SlottedPage::kInvalidSlot) {
@@ -103,7 +103,7 @@ Result<Tid> SiHeap::PlaceTuple(Slice tuple, Transaction* txn, Lsn* lsn_out) {
 Result<Vid> SiHeap::Insert(Transaction* txn, Slice row, Tid* tid_out) {
   Vid vid;
   {
-    std::lock_guard<std::mutex> g(map_mu_);
+    MutexLock g(&map_mu_);
     vid = next_vid_++;
   }
   TupleHeader h;
@@ -114,11 +114,11 @@ Result<Vid> SiHeap::Insert(Transaction* txn, Slice row, Tid* tid_out) {
   EncodeTuple(h, row, &encoded);
   SIAS_ASSIGN_OR_RETURN(Tid tid, PlaceTuple(Slice(encoded), txn, nullptr));
   {
-    std::lock_guard<std::mutex> g(map_mu_);
+    MutexLock g(&map_mu_);
     versions_[vid].push_back(tid);
   }
   {
-    std::lock_guard<std::mutex> g(stats_mu_);
+    MutexLock g(&stats_mu_);
     stats_.inserts++;
   }
   Obs().versions_appended->Increment();
@@ -150,13 +150,13 @@ Result<std::optional<std::string>> SiHeap::Read(Transaction* txn, Vid vid) {
   TRACE_OP("mvcc", "si_read");
   std::vector<Tid> candidates;
   {
-    std::lock_guard<std::mutex> g(map_mu_);
+    MutexLock g(&map_mu_);
     auto it = versions_.find(vid);
     if (it == versions_.end()) return std::optional<std::string>{};
     candidates = it->second;
   }
   {
-    std::lock_guard<std::mutex> g(stats_mu_);
+    MutexLock g(&stats_mu_);
     stats_.reads++;
   }
   Obs().reads->Increment();
@@ -173,7 +173,7 @@ Result<std::optional<std::string>> SiHeap::Read(Transaction* txn, Vid vid) {
       return std::optional<std::string>{std::move(payload)};
     }
     Obs().version_hops->Increment();
-    std::lock_guard<std::mutex> g(stats_mu_);
+    MutexLock g(&stats_mu_);
     stats_.version_hops++;
   }
   return std::optional<std::string>{};
@@ -197,7 +197,7 @@ Result<std::optional<std::string>> SiHeap::ReadAtTid(Transaction* txn,
 Result<Tid> SiHeap::ValidateForWrite(Transaction* txn, Vid vid) {
   std::vector<Tid> candidates;
   {
-    std::lock_guard<std::mutex> g(map_mu_);
+    MutexLock g(&map_mu_);
     auto it = versions_.find(vid);
     if (it == versions_.end() || it->second.empty()) {
       return Status::NotFound("no such data item");
@@ -225,7 +225,7 @@ Result<Tid> SiHeap::ValidateForWrite(Transaction* txn, Vid vid) {
       // newest version after we started: first-updater-wins => we lose.
       Obs().ww_conflicts->Increment();
       {
-        std::lock_guard<std::mutex> g(stats_mu_);
+        MutexLock g(&stats_mu_);
         stats_.ww_conflicts++;
       }
       return Status::SerializationFailure(
@@ -234,7 +234,7 @@ Result<Tid> SiHeap::ValidateForWrite(Transaction* txn, Vid vid) {
     if (h.xmax != kInvalidXid && h.xmax != txn->xid() &&
         clog.Get(h.xmax) != TxnStatus::kAborted) {
       Obs().ww_conflicts->Increment();
-      std::lock_guard<std::mutex> g(stats_mu_);
+      MutexLock g(&stats_mu_);
       stats_.ww_conflicts++;
       return Status::SerializationFailure("tuple already invalidated");
     }
@@ -275,7 +275,7 @@ Status SiHeap::StampXmax(Transaction* txn, Tid tid, Xid xmax) {
   guard.MarkDirty(lsn);
   guard.Unlatch();
   {
-    std::lock_guard<std::mutex> g(stats_mu_);
+    MutexLock g(&stats_mu_);
     stats_.inplace_invalidations++;
   }
   return Status::OK();
@@ -299,11 +299,11 @@ Status SiHeap::Update(Transaction* txn, Vid vid, Slice row, Tid* new_tid) {
   EncodeTuple(h, row, &encoded);
   SIAS_ASSIGN_OR_RETURN(Tid tid, PlaceTuple(Slice(encoded), txn, nullptr));
   {
-    std::lock_guard<std::mutex> g(map_mu_);
+    MutexLock g(&map_mu_);
     versions_[vid].push_back(tid);
   }
   {
-    std::lock_guard<std::mutex> g(stats_mu_);
+    MutexLock g(&stats_mu_);
     stats_.updates++;
   }
   Obs().versions_appended->Increment();
@@ -318,7 +318,7 @@ Status SiHeap::Delete(Transaction* txn, Vid vid) {
   SIAS_ASSIGN_OR_RETURN(Tid old_tid, ValidateForWrite(txn, vid));
   SIAS_RETURN_NOT_OK(StampXmax(txn, old_tid, txn->xid()));
   {
-    std::lock_guard<std::mutex> g(stats_mu_);
+    MutexLock g(&stats_mu_);
     stats_.deletes++;
   }
   return Status::OK();
@@ -380,7 +380,7 @@ Status SiHeap::ScanWithTid(Transaction* txn,
 }
 
 Vid SiHeap::vid_bound() const {
-  std::lock_guard<std::mutex> g(map_mu_);
+  MutexLock g(&map_mu_);
   return next_vid_;
 }
 
@@ -414,7 +414,7 @@ Status SiHeap::GarbageCollect(Xid horizon, VirtualClock* clk,
       changed = true;
       if (stats != nullptr) stats->versions_discarded++;
       {
-        std::lock_guard<std::mutex> g(map_mu_);
+        MutexLock g(&map_mu_);
         auto it = versions_.find(h.vid);
         if (it != versions_.end()) {
           Tid t{p, s};
@@ -438,7 +438,7 @@ Status SiHeap::GarbageCollect(Xid horizon, VirtualClock* clk,
       guard.MarkDirty();
       uint16_t free_now = static_cast<uint16_t>(
           std::min<size_t>(page.FreeSpace(), 0xffff));
-      std::lock_guard<std::mutex> g(fsm_mu_);
+      MutexLock g(&fsm_mu_);
       if (fsm_.size() <= p) fsm_.resize(p + 1, 0);
       fsm_[p] = free_now;
     }
@@ -448,7 +448,7 @@ Status SiHeap::GarbageCollect(Xid horizon, VirtualClock* clk,
 }
 
 TableStats SiHeap::stats() const {
-  std::lock_guard<std::mutex> g(stats_mu_);
+  MutexLock g(&stats_mu_);
   return stats_;
 }
 
@@ -493,7 +493,7 @@ Status SiHeap::ApplyInsert(Tid tid, Slice tuple, Lsn lsn) {
   guard.Unlatch();
   TupleHeader h;
   if (DecodeTupleHeader(tuple, &h)) {
-    std::lock_guard<std::mutex> g(map_mu_);
+    MutexLock g(&map_mu_);
     auto& vec = versions_[h.vid];
     if (std::find(vec.begin(), vec.end(), tid) == vec.end()) {
       vec.push_back(tid);
@@ -501,7 +501,7 @@ Status SiHeap::ApplyInsert(Tid tid, Slice tuple, Lsn lsn) {
     next_vid_ = std::max(next_vid_, h.vid + 1);
   }
   {
-    std::lock_guard<std::mutex> g(fsm_mu_);
+    MutexLock g(&fsm_mu_);
     if (fsm_.size() <= tid.page) fsm_.resize(tid.page + 1, 0);
   }
   return Status::OK();
@@ -540,15 +540,17 @@ Status SiHeap::ApplySlotDelete(Tid tid, Lsn lsn) {
 }
 
 Status SiHeap::RebuildLocators() {
-  std::lock_guard<std::mutex> g(map_mu_);
-  versions_.clear();
-  next_vid_ = 0;
+  // Build into locals with NO member mutex held: the heap scan fetches and
+  // latches pages, and GarbageCollect nests map_mu_/fsm_mu_ *inside* the
+  // page latch (ranks kPage < kSiHeapMap < kSiHeapFsm) — holding map_mu_
+  // across the scan, as this function once did, is exactly the rank
+  // inversion the latch checker aborts on. Recovery is single-threaded
+  // today, but it shares the latch discipline with steady-state code.
   auto count = env_.pool->disk()->PageCount(relation_);
   if (!count.ok()) return count.status();
-  {
-    std::lock_guard<std::mutex> fg(fsm_mu_);
-    fsm_.assign(*count, 0);
-  }
+  std::unordered_map<Vid, std::vector<Tid>> rebuilt;
+  Vid max_vid = 0;
+  std::vector<uint16_t> free_bytes(*count, 0);
   for (PageNumber p = 0; p < *count; ++p) {
     auto r = env_.pool->FetchPage(PageId{relation_, p}, nullptr);
     if (!r.ok()) return r.status();
@@ -560,18 +562,17 @@ Status SiHeap::RebuildLocators() {
       if (tuple.empty()) continue;
       TupleHeader h;
       if (!DecodeTupleHeader(tuple, &h)) continue;
-      versions_[h.vid].push_back(Tid{p, s});
-      next_vid_ = std::max(next_vid_, h.vid + 1);
+      rebuilt[h.vid].push_back(Tid{p, s});
+      max_vid = std::max(max_vid, h.vid + 1);
     }
-    uint16_t free_now = static_cast<uint16_t>(
+    free_bytes[p] = static_cast<uint16_t>(
         std::min<size_t>(page.FreeSpace(), 0xffff));
     guard.Unlatch();
-    std::lock_guard<std::mutex> fg(fsm_mu_);
-    fsm_[p] = free_now;
   }
   // Order each item's versions chronologically (xmin ascending) so that
-  // newest-first iteration remains correct after rebuild.
-  for (auto& [vid, tids] : versions_) {
+  // newest-first iteration remains correct after rebuild. FetchVersion
+  // latches pages, so this too stays outside the member mutexes.
+  for (auto& [vid, tids] : rebuilt) {
     std::sort(tids.begin(), tids.end(), [&](const Tid& a, const Tid& b) {
       TupleHeader ha, hb;
       Status sa = FetchVersion(a, nullptr, &ha, nullptr);
@@ -580,6 +581,13 @@ Status SiHeap::RebuildLocators() {
       return ha.xmin < hb.xmin;
     });
   }
+  {
+    MutexLock g(&map_mu_);
+    versions_ = std::move(rebuilt);
+    next_vid_ = max_vid;
+  }
+  MutexLock fg(&fsm_mu_);
+  fsm_ = std::move(free_bytes);
   return Status::OK();
 }
 

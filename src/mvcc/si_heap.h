@@ -12,10 +12,10 @@
 // PostgreSQL.
 #pragma once
 
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/latch.h"
 #include "mvcc/mvcc_table.h"
 #include "mvcc/tuple.h"
 #include "txn/lock_manager.h"
@@ -73,16 +73,20 @@ class SiHeap : public MvccTable {
   RelationId relation_;
   TableEnv env_;
 
-  mutable std::mutex map_mu_;
-  std::unordered_map<Vid, std::vector<Tid>> versions_;  ///< oldest..newest
-  Vid next_vid_ = 0;
+  /// Locator map; rank kSiHeapMap — taken under the page latch by GC, so
+  /// nothing here may fetch/latch a page while holding it.
+  mutable Mutex map_mu_{LatchRank::kSiHeapMap};
+  /// Per-item versions, oldest..newest.
+  std::unordered_map<Vid, std::vector<Tid>> versions_ SIAS_GUARDED_BY(map_mu_);
+  Vid next_vid_ SIAS_GUARDED_BY(map_mu_) = 0;
 
-  std::mutex fsm_mu_;
-  std::vector<uint16_t> fsm_;  ///< approximate free bytes per page
-  size_t fsm_cursor_ = 0;
+  Mutex fsm_mu_{LatchRank::kSiHeapFsm};
+  /// Approximate free bytes per page.
+  std::vector<uint16_t> fsm_ SIAS_GUARDED_BY(fsm_mu_);
+  size_t fsm_cursor_ SIAS_GUARDED_BY(fsm_mu_) = 0;
 
-  mutable std::mutex stats_mu_;
-  TableStats stats_;
+  mutable Mutex stats_mu_{LatchRank::kStats};
+  TableStats stats_ SIAS_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace sias

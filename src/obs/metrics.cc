@@ -13,21 +13,21 @@ size_t ThreadShard(size_t n) {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<HistogramMetric>();
   return slot.get();
@@ -35,7 +35,7 @@ HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name) {
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   for (const auto& [name, c] : counters_) snap.counters[name] = c->Value();
   for (const auto& [name, gg] : gauges_) snap.gauges[name] = gg->Value();
   for (const auto& [name, h] : histograms_) {
@@ -53,7 +53,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, h] : histograms_) h->Reset();
 }

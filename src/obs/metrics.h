@@ -19,11 +19,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/latch.h"
 #include "common/types.h"
 
 namespace sias {
@@ -79,14 +79,14 @@ class HistogramMetric {
  public:
   void Record(VDuration v) {
     Shard& s = shards_[ThreadShard(kHistogramShards)];
-    std::lock_guard<std::mutex> g(s.mu);
+    MutexLock g(&s.mu);
     s.h.Record(v);
   }
 
   Histogram Snapshot() const {
     Histogram merged;
     for (const auto& s : shards_) {
-      std::lock_guard<std::mutex> g(s.mu);
+      MutexLock g(&s.mu);
       merged.Merge(s.h);
     }
     return merged;
@@ -94,15 +94,16 @@ class HistogramMetric {
 
   void Reset() {
     for (auto& s : shards_) {
-      std::lock_guard<std::mutex> g(s.mu);
+      MutexLock g(&s.mu);
       s.h.Reset();
     }
   }
 
  private:
   struct alignas(64) Shard {
-    mutable std::mutex mu;
-    Histogram h;
+    /// Rank kMetrics: a terminal leaf — no latch is ever acquired under it.
+    mutable Mutex mu{LatchRank::kMetrics};
+    Histogram h SIAS_GUARDED_BY(mu);
   };
   std::array<Shard, kHistogramShards> shards_;
 };
@@ -145,10 +146,14 @@ class MetricsRegistry {
   static MetricsRegistry& Default();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+  /// Rank kMetricsRegistry: Snapshot/ResetAll lock the kMetrics histogram
+  /// shards while holding it, so it must sit just below them.
+  mutable Mutex mu_{LatchRank::kMetricsRegistry};
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      SIAS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ SIAS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_
+      SIAS_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -20,13 +20,13 @@ OpTracer::OpTracer(size_t capacity)
 void OpTracer::Record(const char* category, const char* name,
                       uint64_t start_ns, uint64_t dur_ns) {
   TraceEvent ev{category, name, start_ns, dur_ns, TraceThreadId()};
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   ring_[seq_ % capacity_] = ev;
   seq_++;
 }
 
 std::vector<TraceEvent> OpTracer::Events() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   std::vector<TraceEvent> out;
   uint64_t n = std::min<uint64_t>(seq_, capacity_);
   out.reserve(n);
@@ -37,17 +37,17 @@ std::vector<TraceEvent> OpTracer::Events() const {
 }
 
 uint64_t OpTracer::total_recorded() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   return seq_;
 }
 
 uint64_t OpTracer::dropped() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   return seq_ > capacity_ ? seq_ - capacity_ : 0;
 }
 
 void OpTracer::Clear() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   seq_ = 0;
 }
 

@@ -14,9 +14,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/latch.h"
 
 namespace sias {
 namespace obs {
@@ -67,9 +68,12 @@ class OpTracer {
  private:
   std::atomic<bool> enabled_{false};
   size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;  ///< ring_[seq % capacity_]
-  uint64_t seq_ = 0;              ///< events ever recorded
+  /// Rank kMetrics: terminal leaf, recorded into from every layer.
+  mutable Mutex mu_{LatchRank::kMetrics};
+  /// ring_[seq % capacity_].
+  std::vector<TraceEvent> ring_ SIAS_GUARDED_BY(mu_);
+  /// Events ever recorded.
+  uint64_t seq_ SIAS_GUARDED_BY(mu_) = 0;
 };
 
 /// Small stable ordinal for the calling thread (for trace display).

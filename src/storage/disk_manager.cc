@@ -14,7 +14,7 @@ DiskManager::DiskManager(StorageDevice* device, uint64_t reserved_bytes)
 }
 
 Status DiskManager::CreateRelation(RelationId relation) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   if (relation == kInvalidRelation) {
     return Status::InvalidArgument("invalid relation id");
   }
@@ -27,12 +27,12 @@ Status DiskManager::CreateRelation(RelationId relation) {
 }
 
 bool DiskManager::HasRelation(RelationId relation) const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   return relation < relations_.size() && relations_[relation].exists;
 }
 
 Result<PageNumber> DiskManager::AllocatePage(RelationId relation) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   if (relation >= relations_.size() || !relations_[relation].exists) {
     return Status::NotFound("unknown relation");
   }
@@ -50,7 +50,7 @@ Result<PageNumber> DiskManager::AllocatePage(RelationId relation) {
 }
 
 Result<PageNumber> DiskManager::PageCount(RelationId relation) const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   if (relation >= relations_.size() || !relations_[relation].exists) {
     return Status::NotFound("unknown relation");
   }
@@ -73,7 +73,7 @@ Result<uint64_t> DiskManager::PageOffsetLocked(RelationId relation,
 
 Result<uint64_t> DiskManager::PageOffset(RelationId relation,
                                          PageNumber page_no) const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   return PageOffsetLocked(relation, page_no);
 }
 
@@ -81,7 +81,7 @@ Status DiskManager::ReadPage(RelationId relation, PageNumber page_no,
                              uint8_t* out, VirtualClock* clk) {
   uint64_t offset;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(&mu_);
     auto r = PageOffsetLocked(relation, page_no);
     if (!r.ok()) return r.status();
     offset = *r;
@@ -94,7 +94,7 @@ Status DiskManager::WritePage(RelationId relation, PageNumber page_no,
                               bool background) {
   uint64_t offset;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(&mu_);
     auto r = PageOffsetLocked(relation, page_no);
     if (!r.ok()) return r.status();
     offset = *r;
@@ -103,7 +103,7 @@ Status DiskManager::WritePage(RelationId relation, PageNumber page_no,
 }
 
 uint64_t DiskManager::allocated_bytes() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   uint64_t total = 0;
   for (const auto& rel : relations_) {
     // Count actually used pages, not whole extents, to mirror the paper's
@@ -114,7 +114,7 @@ uint64_t DiskManager::allocated_bytes() const {
 }
 
 void DiskManager::Serialize(std::string* out) const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   PutFixed64(out, next_free_offset_);
   PutFixed32(out, static_cast<uint32_t>(relations_.size()));
   for (const auto& rel : relations_) {
@@ -126,7 +126,7 @@ void DiskManager::Serialize(std::string* out) const {
 }
 
 Status DiskManager::Deserialize(Slice in) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   const uint8_t* p = in.data();
   const uint8_t* end = in.data() + in.size();
   auto need = [&](size_t n) { return p + n <= end; };

@@ -7,9 +7,9 @@
 // contention (§5.2).
 #pragma once
 
-#include <mutex>
 #include <vector>
 
+#include "common/latch.h"
 #include "common/result.h"
 #include "common/slice.h"
 #include "common/status.h"
@@ -70,9 +70,11 @@ class DiskManager {
 
   StorageDevice* device_;
   uint64_t reserved_bytes_;
-  mutable std::mutex mu_;
-  uint64_t next_free_offset_;
-  std::vector<RelationMap> relations_;
+  /// Rank kDisk: released before any device call (kDevice nests after, not
+  /// inside — see disk_manager.cc).
+  mutable Mutex mu_{LatchRank::kDisk};
+  uint64_t next_free_offset_ SIAS_GUARDED_BY(mu_);
+  std::vector<RelationMap> relations_ SIAS_GUARDED_BY(mu_);
 };
 
 }  // namespace sias

@@ -7,7 +7,7 @@ namespace sias {
 Status LockManager::AcquireExclusive(RelationId relation, Vid vid, Xid xid,
                                      VirtualClock* clk) {
   Key key{relation, vid};
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   LockState& state = locks_[key];
   if (state.holder == xid) return Status::OK();  // re-entrant
   if (state.holder == kInvalidXid) {
@@ -17,9 +17,20 @@ Status LockManager::AcquireExclusive(RelationId relation, Vid vid, Xid xid,
   state.waiters++;
   auto deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms_);
-  bool got = cv_.wait_until(lock, deadline, [&] {
-    return locks_[key].holder == kInvalidXid;
-  });
+  // Explicit predicate loop (not the predicate overload): the analysis can
+  // only see that mu_ stays held across the wait when the guarded access
+  // sits in this scope rather than inside a lambda.
+  bool got = false;
+  for (;;) {
+    if (locks_[key].holder == kInvalidXid) {
+      got = true;
+      break;
+    }
+    if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) {
+      got = locks_[key].holder == kInvalidXid;
+      break;
+    }
+  }
   LockState& st = locks_[key];
   st.waiters--;
   if (!got) {
@@ -35,7 +46,7 @@ Status LockManager::AcquireExclusive(RelationId relation, Vid vid, Xid xid,
 Status LockManager::TryAcquireExclusive(RelationId relation, Vid vid,
                                         Xid xid) {
   Key key{relation, vid};
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   LockState& state = locks_[key];
   if (state.holder == xid) return Status::OK();
   if (state.holder == kInvalidXid) {
@@ -49,7 +60,7 @@ Status LockManager::TryAcquireExclusive(RelationId relation, Vid vid,
 void LockManager::Release(RelationId relation, Vid vid, Xid xid,
                           VTime release_vtime) {
   Key key{relation, vid};
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = locks_.find(key);
   if (it == locks_.end() || it->second.holder != xid) return;
   it->second.holder = kInvalidXid;
@@ -63,7 +74,7 @@ void LockManager::Release(RelationId relation, Vid vid, Xid xid,
 }
 
 size_t LockManager::HeldCount() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t n = 0;
   for (const auto& [k, v] : locks_) {
     if (v.holder != kInvalidXid) n++;

@@ -9,9 +9,9 @@
 #pragma once
 
 #include <condition_variable>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/latch.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "common/vclock.h"
@@ -63,9 +63,13 @@ class LockManager {
   };
 
   int timeout_ms_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::unordered_map<Key, LockState, KeyHash> locks_;
+  /// Rank kLockManager; a leaf on the transaction path (never held while
+  /// calling into storage). condition_variable_any waits on the Mutex
+  /// directly (BasicLockable), keeping the rank checker's held-set accurate
+  /// across blocking waits.
+  mutable Mutex mu_{LatchRank::kLockManager};
+  std::condition_variable_any cv_;
+  std::unordered_map<Key, LockState, KeyHash> locks_ SIAS_GUARDED_BY(mu_);
 };
 
 }  // namespace sias

@@ -18,7 +18,7 @@ TransactionManager::TransactionManager(Clog* clog, LockManager* locks)
 
 std::unique_ptr<Transaction> TransactionManager::Begin(VirtualClock* clock) {
   TRACE_OP("txn", "begin");
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   Xid xid = next_xid_++;
   clog_->Extend(xid);
   Snapshot snap;
@@ -40,7 +40,7 @@ std::unique_ptr<Transaction> TransactionManager::Begin(VirtualClock* clock) {
 
 void TransactionManager::Finish(Transaction* txn) {
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(&mu_);
     active_.erase(txn->xid());
     m_active_->Set(static_cast<int64_t>(active_.size()));
   }
@@ -100,13 +100,13 @@ Status TransactionManager::Abort(Transaction* txn) {
 }
 
 Xid TransactionManager::OldestActiveXid() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   if (active_.empty()) return next_xid_;
   return active_.begin()->first;
 }
 
 Xid TransactionManager::GcHorizon() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   Xid horizon = next_xid_;
   for (const auto& [xid, snap_min] : active_) {
     horizon = std::min(horizon, snap_min);
@@ -115,17 +115,17 @@ Xid TransactionManager::GcHorizon() const {
 }
 
 Xid TransactionManager::NextXid() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   return next_xid_;
 }
 
 void TransactionManager::AdvanceNextXid(Xid next) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   next_xid_ = std::max(next_xid_, next);
 }
 
 size_t TransactionManager::ActiveCount() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   return active_.size();
 }
 

@@ -5,8 +5,8 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 
+#include "common/latch.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "common/vclock.h"
@@ -79,10 +79,12 @@ class TransactionManager {
   obs::Gauge* m_active_;
   obs::Gauge* m_horizon_lag_;
 
-  mutable std::mutex mu_;
-  Xid next_xid_ = kFirstNormalXid;
+  /// Rank kTxnManager: held only for xid allocation / active-set updates,
+  /// never across commit hooks, clog flips or lock releases.
+  mutable Mutex mu_{LatchRank::kTxnManager};
+  Xid next_xid_ SIAS_GUARDED_BY(mu_) = kFirstNormalXid;
   /// Active xid -> the oldest xid its snapshot considers in-progress.
-  std::map<Xid, Xid> active_;
+  std::map<Xid, Xid> active_ SIAS_GUARDED_BY(mu_);
 };
 
 }  // namespace sias

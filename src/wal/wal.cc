@@ -48,7 +48,7 @@ WalWriter::WalWriter(StorageDevice* device, uint64_t base_offset,
 Result<Lsn> WalWriter::Append(const WalRecord& record) {
   std::string encoded;
   EncodeWalRecord(record, &encoded);
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   if (next_lsn_ + encoded.size() > limit_) {
     return Status::OutOfSpace("WAL region full");
   }
@@ -60,7 +60,7 @@ Result<Lsn> WalWriter::Append(const WalRecord& record) {
 }
 
 Status WalWriter::Resume(Lsn lsn) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   Lsn block_start = lsn / kPageSize * kPageSize;
   tail_.assign(kPageSize, 0);
   if (lsn > block_start) {
@@ -76,7 +76,7 @@ Status WalWriter::Resume(Lsn lsn) {
 
 Status WalWriter::FlushTo(Lsn lsn, VirtualClock* clk) {
   TRACE_OP("wal", "flush");
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   if (lsn <= flushed_lsn_) return Status::OK();
   lsn = std::min<Lsn>(lsn, next_lsn_);
   // The group-commit fsync: virtual time from here to the last block write
@@ -120,22 +120,22 @@ Status WalWriter::FlushTo(Lsn lsn, VirtualClock* clk) {
 }
 
 Lsn WalWriter::current_lsn() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   return next_lsn_;
 }
 
 Lsn WalWriter::flushed_lsn() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   return flushed_lsn_;
 }
 
 uint64_t WalWriter::appended_bytes() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   return next_lsn_;
 }
 
 uint64_t WalWriter::written_bytes() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(&mu_);
   return written_bytes_;
 }
 

@@ -8,11 +8,11 @@
 // tables identically.
 #pragma once
 
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/latch.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -81,12 +81,17 @@ class WalWriter {
   uint64_t base_;
   uint64_t limit_;
 
-  mutable std::mutex mu_;
-  Lsn next_lsn_ = 0;           ///< logical byte position of the next record
-  Lsn flushed_lsn_ = 0;
-  uint64_t written_bytes_ = 0;
-  std::vector<uint8_t> tail_;  ///< bytes in [flushed_block_start_, next_lsn_)
-  Lsn tail_start_ = 0;         ///< logical offset of tail_[0]
+  /// Rank kWal: nested inside page latches (appends under an exclusive
+  /// page latch) and the pool mutex (WAL-before-data flush hook).
+  mutable Mutex mu_{LatchRank::kWal};
+  /// Logical byte position of the next record.
+  Lsn next_lsn_ SIAS_GUARDED_BY(mu_) = 0;
+  Lsn flushed_lsn_ SIAS_GUARDED_BY(mu_) = 0;
+  uint64_t written_bytes_ SIAS_GUARDED_BY(mu_) = 0;
+  /// Bytes in [flushed_block_start_, next_lsn_).
+  std::vector<uint8_t> tail_ SIAS_GUARDED_BY(mu_);
+  /// Logical offset of tail_[0].
+  Lsn tail_start_ SIAS_GUARDED_BY(mu_) = 0;
 
   obs::Counter* m_records_;
   obs::Counter* m_appended_bytes_;

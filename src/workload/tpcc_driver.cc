@@ -1,7 +1,6 @@
 #include "workload/tpcc_driver.h"
 
 #include <cstdio>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -67,7 +66,7 @@ Result<TpccResult> TpccDriver::Run() {
   }
   const VTime deadline = cfg_.start_time + cfg_.duration;
 
-  std::mutex result_mu;
+  Mutex result_mu;  // unranked: joins worker results outside the engine
   TpccResult result;
   int threads = std::max(1, cfg_.threads);
   std::vector<std::thread> workers;
@@ -129,7 +128,7 @@ Result<TpccResult> TpccDriver::Run() {
           }
         }
       }
-      std::lock_guard<std::mutex> g(result_mu);
+      MutexLock g(&result_mu);
       for (int t = 0; t < kNumTxnTypes; ++t) {
         result.committed[t] += local.committed[t];
         result.conflict_aborts[t] += local.conflict_aborts[t];

@@ -129,7 +129,7 @@ OpType YcsbRunner::PickOp(Random& rng) const {
 
 Result<YcsbResult> YcsbRunner::Run(VTime start_time) {
   YcsbResult result;
-  std::mutex result_mu;
+  Mutex result_mu;  // unranked: joins worker results outside the engine
   std::vector<std::thread> threads;
   uint64_t per_thread = cfg_.operations / cfg_.threads;
   std::atomic<int64_t> next_key{static_cast<int64_t>(cfg_.records)};
@@ -202,7 +202,7 @@ Result<YcsbResult> YcsbRunner::Run(VTime start_time) {
         }
         (void)db_->Tick(&clk);
       }
-      std::lock_guard<std::mutex> g(result_mu);
+      MutexLock g(&result_mu);
       for (int o = 0; o < kNumOpTypes; ++o) {
         result.completed[o] += local.completed[o];
         result.latency[o].Merge(local.latency[o]);

@@ -86,7 +86,6 @@ class YcsbRunner {
   Table* table_;
   YcsbConfig cfg_;
   std::vector<Vid> vids_;  ///< loaded keys' VIDs (index = key)
-  std::mutex insert_mu_;
 };
 
 }  // namespace ycsb

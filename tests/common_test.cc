@@ -209,7 +209,9 @@ TEST(AtomicVTimeTest, ConcurrentReservationsNeverOverlap) {
   // Intervals are length 7 and disjoint: consecutive starts differ by >= 7.
   VTime prev = ~0ull;
   for (VTime s : all) {
-    if (prev != ~0ull) EXPECT_GE(s, prev + 7);
+    if (prev != ~0ull) {
+      EXPECT_GE(s, prev + 7);
+    }
     prev = s;
   }
 }

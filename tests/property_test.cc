@@ -115,7 +115,9 @@ TEST_P(VisibilityPropertyTest, SnapshotsSeeCommitPrefix) {
           want_present = true;
         }
         ASSERT_EQ(r->has_value(), want_present) << "vid " << v;
-        if (want_present) EXPECT_EQ(**r, want) << "vid " << v;
+        if (want_present) {
+          EXPECT_EQ(**r, want) << "vid " << v;
+        }
       }
     } else if (action == 7) {
       // abort
@@ -138,7 +140,9 @@ TEST_P(VisibilityPropertyTest, SnapshotsSeeCommitPrefix) {
     auto r = table->Read(txn.get(), v);
     ASSERT_TRUE(r.ok());
     EXPECT_EQ(r->has_value(), committed_state.count(v) > 0) << "vid " << v;
-    if (r->has_value()) EXPECT_EQ(**r, committed_state[v]);
+    if (r->has_value()) {
+      EXPECT_EQ(**r, committed_state[v]);
+    }
   }
   ASSERT_TRUE(env.txns_.Commit(txn.get()).ok());
 }

@@ -114,7 +114,9 @@ TEST_P(CrashPointTest, RecoversCommittedPrefix) {
   int ops = static_cast<int>(rng.Uniform(30, 150));
   int checkpoint_at = static_cast<int>(rng.Uniform(0, ops));
   for (int i = 0; i < ops; ++i) {
-    if (i == checkpoint_at) ASSERT_TRUE(db->Checkpoint(&clk).ok());
+    if (i == checkpoint_at) {
+      ASSERT_TRUE(db->Checkpoint(&clk).ok());
+    }
     int64_t key = static_cast<int64_t>(rng.Uniform(0, 19));
     std::string val = "v" + std::to_string(i);
     auto txn = db->Begin(&clk);
