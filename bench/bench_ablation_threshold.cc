@@ -30,8 +30,10 @@ struct ThresholdRow {
   double fill_degree;  // appended tuple bytes / (pages * page size)
 };
 
-ThresholdRow RunPoint(const char* label, FlushPolicy policy, VDuration bg_interval,
-             int warehouses, VDuration duration) {
+ThresholdRow RunPoint(const char* label, const char* variant,
+                      FlushPolicy policy, VDuration bg_interval,
+                      int warehouses, VDuration duration,
+                      BenchMetricsWriter* out) {
   ExperimentConfig cfg;
   cfg.scheme = VersionScheme::kSiasChains;
   cfg.flush_policy = policy;
@@ -58,9 +60,9 @@ ThresholdRow RunPoint(const char* label, FlushPolicy policy, VDuration bg_interv
   auto result = (*exp)->Run();
   SIAS_CHECK_MSG(result.ok(), "run failed: %s",
                  result.status().ToString().c_str());
-  (*exp)->EmitMetrics(
-      std::string("ablation_threshold.") +
-      (policy == FlushPolicy::kT1BackgroundWriter ? "t1" : "t2"));
+  std::string metrics_label =
+      MetricsLabel("ablation_threshold", VersionScheme::kSiasChains, variant);
+  (*exp)->EmitMetrics(metrics_label);
   uint64_t pages_after = 0, versions = 0;
   for (auto* tab :
        {(*exp)->tables.warehouse, (*exp)->tables.district,
@@ -90,12 +92,20 @@ ThresholdRow RunPoint(const char* label, FlushPolicy policy, VDuration bg_interv
                         ? static_cast<double>(versions) /
                               static_cast<double>(row.pages_opened)
                         : 0.0;  // versions per page (higher = denser)
+  std::map<std::string, double> numbers = TpccNumbers(*result);
+  numbers["written_mb"] = row.written_mb;
+  numbers["space_mb"] = row.space_mb;
+  numbers["pages_opened"] = static_cast<double>(row.pages_opened);
+  numbers["versions_per_page"] = row.fill_degree;
+  out->Add(metrics_label, SchemeName(VersionScheme::kSiasChains),
+           (*exp)->data_device.get(), (*exp)->db->DumpMetrics(), numbers);
   return row;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  BenchMetricsWriter out("ablation_threshold", &argc, argv);
   int warehouses = argc > 1 ? atoi(argv[1]) : 24;
   int duration = argc > 2 ? atoi(argv[2]) : 4;
   VDuration window = static_cast<VDuration>(duration) * kVSecond;
@@ -106,17 +116,18 @@ int main(int argc, char** argv) {
          "space MB", "pages", "versions/pg", "NOTPM");
 
   std::vector<ThresholdRow> rows;
-  rows.push_back(RunPoint("t1 seal every 5ms", FlushPolicy::kT1BackgroundWriter,
-                          5 * kVMillisecond, warehouses, window));
-  rows.push_back(RunPoint("t1 seal every 20ms",
+  rows.push_back(RunPoint("t1 seal every 5ms", "t1_5ms",
+                          FlushPolicy::kT1BackgroundWriter, 5 * kVMillisecond,
+                          warehouses, window, &out));
+  rows.push_back(RunPoint("t1 seal every 20ms", "t1_20ms",
                           FlushPolicy::kT1BackgroundWriter,
-                          20 * kVMillisecond, warehouses, window));
-  rows.push_back(RunPoint("t1 seal every 100ms",
+                          20 * kVMillisecond, warehouses, window, &out));
+  rows.push_back(RunPoint("t1 seal every 100ms", "t1_100ms",
                           FlushPolicy::kT1BackgroundWriter,
-                          100 * kVMillisecond, warehouses, window));
-  rows.push_back(RunPoint("t2 checkpoint piggyback",
+                          100 * kVMillisecond, warehouses, window, &out));
+  rows.push_back(RunPoint("t2 checkpoint piggyback", "t2",
                           FlushPolicy::kT2Checkpoint, 20 * kVMillisecond,
-                          warehouses, window));
+                          warehouses, window, &out));
   for (const auto& r : rows) {
     printf("%-22s %10.1f %10.1f %10llu %12.1f %8.0f\n", r.label,
            r.written_mb, r.space_mb,
@@ -127,5 +138,6 @@ int main(int argc, char** argv) {
          "pages, the more pages are appended and the more space and write "
          "volume are consumed; the checkpoint piggyback (t2, pages sealed "
          "full) is the most write- and space-efficient.\n");
+  out.Write();
   return 0;
 }

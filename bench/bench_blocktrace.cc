@@ -23,7 +23,7 @@ using namespace sias::bench;
 namespace {
 
 void RunOne(VersionScheme scheme, int warehouses, VDuration duration,
-            const std::string& csv_path) {
+            const std::string& csv_path, BenchMetricsWriter* out) {
   ExperimentConfig cfg;
   cfg.scheme = scheme;
   cfg.device = DeviceKind::kSsdRaid;
@@ -41,7 +41,8 @@ void RunOne(VersionScheme scheme, int warehouses, VDuration duration,
   auto result = (*exp)->Run();
   SIAS_CHECK_MSG(result.ok(), "run failed: %s",
                  result.status().ToString().c_str());
-  (*exp)->EmitMetrics(std::string("blocktrace.") + SchemeName(scheme));
+  std::string label = MetricsLabel("blocktrace", scheme);
+  (*exp)->EmitMetrics(label);
 
   TraceAnalysis a = AnalyzeTrace((*exp)->trace->events());
   double write_share =
@@ -52,6 +53,12 @@ void RunOne(VersionScheme scheme, int warehouses, VDuration duration,
   printf("%-12s %s\n", SchemeName(scheme), a.ToString().c_str());
   printf("             write share of I/O volume: %.1f%%  NOTPM=%.0f\n",
          write_share, result->Notpm());
+  std::map<std::string, double> numbers = TpccNumbers(*result);
+  numbers["write_share_pct"] = write_share;
+  numbers["bytes_read"] = static_cast<double>(a.bytes_read);
+  numbers["bytes_written"] = static_cast<double>(a.bytes_written);
+  out->Add(label, SchemeName(scheme), (*exp)->data_device.get(),
+           (*exp)->db->DumpMetrics(), numbers);
   if (!csv_path.empty()) {
     Status s = (*exp)->trace->ToCsv(csv_path);
     if (s.ok()) {
@@ -66,6 +73,7 @@ void RunOne(VersionScheme scheme, int warehouses, VDuration duration,
 }  // namespace
 
 int main(int argc, char** argv) {
+  BenchMetricsWriter out("blocktrace", &argc, argv);
   int warehouses = argc > 1 ? atoi(argv[1]) : 32;
   int duration = argc > 2 ? atoi(argv[2]) : 4;
   std::string dir = argc > 3 ? argv[3] : "";
@@ -75,12 +83,13 @@ int main(int argc, char** argv) {
          warehouses, duration);
   RunOne(VersionScheme::kSiasChains, warehouses,
          static_cast<VDuration>(duration) * kVSecond,
-         dir.empty() ? "" : dir + "/fig3_sias_trace.csv");
+         dir.empty() ? "" : dir + "/fig3_sias_trace.csv", &out);
   RunOne(VersionScheme::kSi, warehouses,
          static_cast<VDuration>(duration) * kVSecond,
-         dir.empty() ? "" : dir + "/fig4_si_trace.csv");
+         dir.empty() ? "" : dir + "/fig4_si_trace.csv", &out);
   printf("\nExpected shape (paper): SIAS issues almost only reads; its few "
          "writes are sequential appends in per-relation swimlanes. SI mixes "
          "scattered writes across the whole relation with reads.\n");
+  out.Write();
   return 0;
 }

@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -35,8 +37,18 @@ struct ExperimentConfig {
   FlushPolicy flush_policy = FlushPolicy::kT2Checkpoint;
   VDuration checkpoint_interval = 30 * kVSecond;
   VDuration bgwriter_interval = 200 * kVMillisecond;
+  /// Engine-driven GC cadence (version GC + TRIM of reclaimed append
+  /// pages). 0 (default) keeps GC manual, as the paper's Table 1 windows
+  /// assume; tight-device runs (bench_write_reduction [device_mb]) enable
+  /// it — without TRIM the append-only schemes cannot live in a device
+  /// smaller than their cumulative append volume.
+  VDuration vacuum_interval = 0;
   int terminals = 0;  ///< 0 = one per warehouse
   int threads = 4;
+  /// Per-terminal keying/think time; 0 = open throttle. Nonzero closes the
+  /// loop so every scheme runs the same transaction rate — required when
+  /// comparing device write volume / write amplification across schemes.
+  VDuration think_time = 0;
   VDuration duration = 5 * kVSecond;
   uint64_t seed = 42;
 };
@@ -100,6 +112,7 @@ inline Result<std::unique_ptr<Experiment>> Setup(ExperimentConfig cfg) {
   opts.flush_policy = cfg.flush_policy;
   opts.checkpoint_interval = cfg.checkpoint_interval;
   opts.bgwriter_interval = cfg.bgwriter_interval;
+  opts.vacuum_interval = cfg.vacuum_interval;
   // Short REAL-time deadlock timeout: terminals are multiplexed over few
   // worker threads, so a blocking wait can sit in front of the very
   // terminal that holds the lock; fast timeout + retry resolves it.
@@ -147,6 +160,7 @@ inline Result<tpcc::TpccResult> Experiment::Run() {
   dcfg.duration = config.duration;
   dcfg.start_time = measure_start;
   dcfg.seed = config.seed;
+  dcfg.think_time = config.think_time;
   tpcc::TpccDriver driver(db.get(), &exec, dcfg);
   return driver.Run();
 }
@@ -161,6 +175,188 @@ inline double Mb(uint64_t bytes) {
 }
 
 inline const char* SchemeName(VersionScheme s) { return ToString(s); }
+
+// ---------------------------------------------------------------------------
+// Machine-readable bench output (`--metrics-out=<file>`).
+// ---------------------------------------------------------------------------
+
+/// Canonical experiment label: `<bench>.<scheme>[.<variant>]`. Every bench
+/// builds its `BENCH_METRICS` labels through this helper so downstream
+/// tooling (scripts/bench_report.py) can split them uniformly; `variant`
+/// must not contain '.'-separated scheme-lookalikes (use '_' inside it).
+inline std::string MetricsLabel(const std::string& bench_name,
+                                VersionScheme scheme,
+                                const std::string& variant = "") {
+  std::string label = bench_name + "." + SchemeName(scheme);
+  if (!variant.empty()) label += "." + variant;
+  return label;
+}
+
+namespace detail {
+
+inline void JsonAppendString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+inline void JsonAppendDouble(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  *out += buf;
+}
+
+inline void JsonAppendUint(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  *out += buf;
+}
+
+}  // namespace detail
+
+/// Collects one JSON object per experiment and writes
+/// `{"bench": ..., "experiments": [...]}` to the `--metrics-out` path —
+/// the `BENCH_<name>.json` files scripts/bench_report.py aggregates.
+///
+/// The flag is parsed out of argv (and removed, so positional-argument
+/// indices are unchanged); without it the writer is a no-op and benches
+/// behave exactly as before.
+class BenchMetricsWriter {
+ public:
+  /// Also strips `--bench-suffix=<s>`, appended to the emitted bench name:
+  /// it lets CI run the same bench twice under different configurations
+  /// (e.g. default vs tight device) without the reports merging.
+  BenchMetricsWriter(std::string bench_name, int* argc, char** argv)
+      : bench_name_(std::move(bench_name)) {
+    static constexpr char kFlag[] = "--metrics-out=";
+    static constexpr char kSuffix[] = "--bench-suffix=";
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+      if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+        path_ = argv[i] + sizeof(kFlag) - 1;
+      } else if (std::strncmp(argv[i], kSuffix, sizeof(kSuffix) - 1) == 0) {
+        bench_name_ += argv[i] + sizeof(kSuffix) - 1;
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    *argc = out;
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Records one experiment. `device` contributes the WA / wear / space
+  /// block (pass nullptr for device-free benches); `snapshot` is the
+  /// engine registry snapshot (DumpMetrics()); `numbers` carries the
+  /// bench-specific scalar results (tpmC, latency percentiles, window
+  /// write volumes, ...), serialized as a flat `"results"` object.
+  void Add(const std::string& label, const std::string& scheme,
+           const StorageDevice* device, const obs::MetricsSnapshot& snapshot,
+           const std::map<std::string, double>& numbers) {
+    if (!enabled()) return;
+    std::string e = "{\"label\":";
+    detail::JsonAppendString(&e, label);
+    e += ",\"scheme\":";
+    detail::JsonAppendString(&e, scheme);
+    if (device != nullptr) {
+      DeviceStats s = device->stats();
+      e += ",\"device\":{\"read_ops\":";
+      detail::JsonAppendUint(&e, s.read_ops);
+      e += ",\"write_ops\":";
+      detail::JsonAppendUint(&e, s.write_ops);
+      e += ",\"trim_ops\":";
+      detail::JsonAppendUint(&e, s.trim_ops);
+      e += ",\"bytes_read\":";
+      detail::JsonAppendUint(&e, s.bytes_read);
+      e += ",\"bytes_written\":";
+      detail::JsonAppendUint(&e, s.bytes_written);
+      e += ",\"flash_page_reads\":";
+      detail::JsonAppendUint(&e, s.flash_page_reads);
+      e += ",\"flash_page_programs\":";
+      detail::JsonAppendUint(&e, s.flash_page_programs);
+      e += ",\"host_page_programs\":";
+      detail::JsonAppendUint(&e, s.host_page_programs);
+      e += ",\"flash_block_erases\":";
+      detail::JsonAppendUint(&e, s.flash_block_erases);
+      e += ",\"gc_page_moves\":";
+      detail::JsonAppendUint(&e, s.gc_page_moves);
+      e += ",\"seeks\":";
+      detail::JsonAppendUint(&e, s.seeks);
+      e += ",\"sequential_ops\":";
+      detail::JsonAppendUint(&e, s.sequential_ops);
+      e += ",\"write_amplification\":";
+      detail::JsonAppendDouble(&e, s.WriteAmplification());
+      e += ",\"telemetry\":";
+      e += device->telemetry().ToJson();
+      e += '}';
+    }
+    e += ",\"results\":{";
+    bool first = true;
+    for (const auto& [k, v] : numbers) {
+      if (!first) e += ',';
+      first = false;
+      detail::JsonAppendString(&e, k);
+      e += ':';
+      detail::JsonAppendDouble(&e, v);
+    }
+    e += "},\"metrics\":";
+    e += snapshot.ToJson();
+    e += '}';
+    experiments_.push_back(std::move(e));
+  }
+
+  /// Writes the collected experiments. Call once at the end of main().
+  void Write() const {
+    if (!enabled()) return;
+    std::string out = "{\"bench\":";
+    detail::JsonAppendString(&out, bench_name_);
+    out += ",\"experiments\":[";
+    for (size_t i = 0; i < experiments_.size(); ++i) {
+      if (i > 0) out += ',';
+      out += experiments_[i];
+    }
+    out += "]}\n";
+    FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "[bench] cannot open --metrics-out file %s\n",
+                   path_.c_str());
+      return;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("BENCH_METRICS_FILE %s (%zu experiments)\n", path_.c_str(),
+                experiments_.size());
+  }
+
+ private:
+  std::string bench_name_;
+  std::string path_;
+  std::vector<std::string> experiments_;
+};
+
+/// Standard TPC-C result scalars for BenchMetricsWriter::Add `numbers`:
+/// throughput, commit/abort totals and New-Order latency percentiles.
+inline std::map<std::string, double> TpccNumbers(
+    const tpcc::TpccResult& r) {
+  const Histogram& no = r.response[static_cast<int>(tpcc::TxnType::kNewOrder)];
+  std::map<std::string, double> n;
+  n["notpm"] = r.Notpm();
+  n["committed"] = static_cast<double>(r.TotalCommitted());
+  n["conflict_aborts"] = 0;
+  for (uint64_t a : r.conflict_aborts) n["conflict_aborts"] += static_cast<double>(a);
+  n["errors"] = static_cast<double>(r.errors);
+  n["new_order_p50_vsec"] =
+      static_cast<double>(no.Percentile(50)) / kVSecond;
+  n["new_order_p90_vsec"] =
+      static_cast<double>(no.Percentile(90)) / kVSecond;
+  n["new_order_p99_vsec"] =
+      static_cast<double>(no.Percentile(99)) / kVSecond;
+  n["new_order_mean_vsec"] = no.Mean() / kVSecond;
+  return n;
+}
 
 }  // namespace bench
 }  // namespace sias

@@ -4,6 +4,7 @@
 // paper §4.1.3.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
 #include "buffer/buffer_pool.h"
 #include "common/logging.h"
 #include "common/random.h"
@@ -272,4 +273,18 @@ BENCHMARK(BM_LockAcquireRelease);
 }  // namespace
 }  // namespace sias
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): supports the shared
+// `--metrics-out=<file>` contract — after the google-benchmark run, the
+// process-global metrics registry (vidmap.*, flash.*, btree traversals the
+// kernels above exercised) is dumped as one experiment.
+int main(int argc, char** argv) {
+  sias::bench::BenchMetricsWriter out("microbench", &argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  out.Add("microbench.all", "mixed", nullptr,
+          sias::obs::MetricsRegistry::Default().Snapshot(), {});
+  out.Write();
+  return 0;
+}

@@ -11,7 +11,7 @@
 // scan's cost tracks the number of *versions* (the whole relation), so the
 // gap widens with version depth.
 //
-// Usage: bench_scan_paths [items] [max_rounds]
+// Usage: bench_scan_paths [items] [max_rounds] [--metrics-out=<file>]
 #include <cstdlib>
 
 #include "bench/bench_common.h"
@@ -21,6 +21,7 @@ using namespace sias;
 using namespace sias::bench;
 
 int main(int argc, char** argv) {
+  BenchMetricsWriter out("scan_paths", &argc, argv);
   int items = argc > 1 ? atoi(argv[1]) : 1000;
   int max_rounds = argc > 2 ? atoi(argv[2]) : 16;
 
@@ -96,6 +97,16 @@ int main(int argc, char** argv) {
     uint64_t r_vidmap, r_full;
     run_scan(true, &t_vidmap, &r_vidmap);
     run_scan(false, &t_full, &r_full);
+    std::map<std::string, double> numbers;
+    numbers["depth"] = rounds;
+    numbers["vidmap_scan_ms"] = static_cast<double>(t_vidmap) / kVMillisecond;
+    numbers["full_scan_ms"] = static_cast<double>(t_full) / kVMillisecond;
+    numbers["vidmap_scan_reads"] = static_cast<double>(r_vidmap);
+    numbers["full_scan_reads"] = static_cast<double>(r_full);
+    out.Add(MetricsLabel("scan_paths", VersionScheme::kSiasChains,
+                         "depth" + std::to_string(rounds)),
+            SchemeName(VersionScheme::kSiasChains), &ssd,
+            (*db)->DumpMetrics(), numbers);
     printf("%-8d | %12.2f %12llu | %12.2f %12llu | %6.2fx\n", rounds,
            static_cast<double>(t_vidmap) / kVMillisecond,
            static_cast<unsigned long long>(r_vidmap),
@@ -107,5 +118,6 @@ int main(int argc, char** argv) {
          "and re-resolves visibility per candidate, so its cost grows with "
          "chain depth; the VidMap scan stays near-flat (entrypoints are "
          "usually the visible versions).\n");
+  out.Write();
   return 0;
 }

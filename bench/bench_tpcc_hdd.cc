@@ -31,7 +31,7 @@ struct Point {
 };
 
 Point RunPoint(VersionScheme scheme, int warehouses, size_t pool,
-               VDuration duration) {
+               VDuration duration, BenchMetricsWriter* out) {
   ExperimentConfig cfg;
   cfg.scheme = scheme;
   cfg.device = DeviceKind::kHdd;
@@ -51,14 +51,20 @@ Point RunPoint(VersionScheme scheme, int warehouses, size_t pool,
   auto result = (*exp)->Run();
   SIAS_CHECK_MSG(result.ok(), "run failed: %s",
                  result.status().ToString().c_str());
-  (*exp)->EmitMetrics(std::string("tpcc_hdd.") + SchemeName(scheme) + ".wh" +
-                      std::to_string(warehouses));
+  std::string label =
+      MetricsLabel("tpcc_hdd", scheme, "wh" + std::to_string(warehouses));
+  (*exp)->EmitMetrics(label);
+  std::map<std::string, double> numbers = TpccNumbers(*result);
+  numbers["warehouses"] = warehouses;
+  out->Add(label, SchemeName(scheme), (*exp)->data_device.get(),
+           (*exp)->db->DumpMetrics(), numbers);
   return Point{result->Notpm(), result->NewOrderResponseSec()};
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  BenchMetricsWriter out("tpcc_hdd", &argc, argv);
   size_t pool = argc > 1 ? static_cast<size_t>(atol(argv[1])) : 3072;
   int duration = argc > 2 ? atoi(argv[2]) : 4;
 
@@ -73,9 +79,10 @@ int main(int argc, char** argv) {
   std::vector<Point> sias, si;
   for (int wh : warehouses) {
     sias.push_back(RunPoint(VersionScheme::kSiasChains, wh, pool,
-                            static_cast<VDuration>(duration) * kVSecond));
+                            static_cast<VDuration>(duration) * kVSecond,
+                            &out));
     si.push_back(RunPoint(VersionScheme::kSi, wh, pool,
-                          static_cast<VDuration>(duration) * kVSecond));
+                          static_cast<VDuration>(duration) * kVSecond, &out));
   }
   printf("%-14s", "SIAS (NOTPM)");
   for (const auto& p : sias) printf(" %8.0f", p.notpm);
@@ -87,5 +94,6 @@ int main(int argc, char** argv) {
   for (const auto& p : si) printf(" %8.3f", p.resp_sec);
   printf("\n\nPaper: SIAS 386/512/642/763/942/727 NOTPM, SI declining "
          "325->204; SIAS resp 0.031->20.35 s vs SI 11.7->123 s.\n");
+  out.Write();
   return 0;
 }

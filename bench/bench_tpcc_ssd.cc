@@ -30,7 +30,7 @@ struct Point {
 };
 
 Point RunPoint(VersionScheme scheme, int warehouses, int raid, size_t pool,
-               VDuration duration) {
+               VDuration duration, BenchMetricsWriter* out) {
   ExperimentConfig cfg;
   cfg.scheme = scheme;
   cfg.device = DeviceKind::kSsdRaid;
@@ -56,14 +56,19 @@ Point RunPoint(VersionScheme scheme, int warehouses, int raid, size_t pool,
   auto result = (*exp)->Run();
   SIAS_CHECK_MSG(result.ok(), "run failed: %s",
                  result.status().ToString().c_str());
-  (*exp)->EmitMetrics(std::string("tpcc_ssd.") + SchemeName(scheme) + ".wh" +
-                      std::to_string(warehouses));
+  std::string label =
+      MetricsLabel("tpcc_ssd", scheme, "wh" + std::to_string(warehouses));
+  (*exp)->EmitMetrics(label);
   if (result->errors > 0) {
     fprintf(stderr, "  [warn] WH=%d %s: %llu errors (%s)\n", warehouses,
             SchemeName(scheme),
             static_cast<unsigned long long>(result->errors),
             result->first_error.ToString().c_str());
   }
+  std::map<std::string, double> numbers = TpccNumbers(*result);
+  numbers["warehouses"] = warehouses;
+  out->Add(label, SchemeName(scheme), (*exp)->data_device.get(),
+           (*exp)->db->DumpMetrics(), numbers);
   return Point{result->Notpm(), result->NewOrderResponseSec(),
                result->P90ResponseSec()};
 }
@@ -71,6 +76,7 @@ Point RunPoint(VersionScheme scheme, int warehouses, int raid, size_t pool,
 }  // namespace
 
 int main(int argc, char** argv) {
+  BenchMetricsWriter out("tpcc_ssd", &argc, argv);
   int raid = argc > 1 ? atoi(argv[1]) : 2;
   size_t pool = argc > 2 ? static_cast<size_t>(atol(argv[2])) : 512;
   int duration = argc > 3 ? atoi(argv[3]) : 3;
@@ -87,9 +93,9 @@ int main(int argc, char** argv) {
   int si_peak_wh = 0, sias_peak_wh = 0;
   for (int wh : warehouses) {
     Point si = RunPoint(VersionScheme::kSi, wh, raid, pool,
-                        static_cast<VDuration>(duration) * kVSecond);
+                        static_cast<VDuration>(duration) * kVSecond, &out);
     Point sias = RunPoint(VersionScheme::kSiasChains, wh, raid, pool,
-                          static_cast<VDuration>(duration) * kVSecond);
+                          static_cast<VDuration>(duration) * kVSecond, &out);
     printf("%-6d | %10.0f %9.3f %9.3f | %10.0f %9.3f %9.3f | %6.2fx\n", wh,
            si.notpm, si.resp_sec, si.p90_sec, sias.notpm, sias.resp_sec,
            sias.p90_sec, si.notpm > 0 ? sias.notpm / si.notpm : 0.0);
@@ -109,5 +115,6 @@ int main(int argc, char** argv) {
   printf("Paper (Fig. 5): SI peak 4862 NOTPM @ 450 WH (4.8 s); SIAS peak "
          "6182 NOTPM @ 530 WH (3.3 s); +30%% throughput, later peak, lower "
          "response times.\n");
+  out.Write();
   return 0;
 }

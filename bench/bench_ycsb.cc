@@ -8,7 +8,7 @@
 // more update-heavy the mix, the wider SIAS's advantage in device writes
 // and throughput.
 //
-// Usage: bench_ycsb [records] [operations]
+// Usage: bench_ycsb [records] [operations] [--metrics-out=<file>]
 #include <cstdlib>
 
 #include "bench/bench_common.h"
@@ -26,7 +26,7 @@ struct Cell {
 };
 
 Cell RunMix(VersionScheme scheme, int read_pct, uint64_t records,
-            uint64_t operations) {
+            uint64_t operations, BenchMetricsWriter* out) {
   FlashConfig fc;
   fc.capacity_bytes = 4ull << 30;
   FlashSsd ssd(fc);
@@ -67,20 +67,27 @@ Cell RunMix(VersionScheme scheme, int read_pct, uint64_t records,
   // Flush any trailing dirty state so both schemes account all their bytes.
   VirtualClock flush_clk(load_clk.now() + result->makespan);
   SIAS_CHECK((*db)->Checkpoint(&flush_clk).ok());
-  EmitMetricsLine(std::string("ycsb.") + SchemeName(scheme) + ".r" +
-                      std::to_string(read_pct),
-                  db->get());
+  std::string label =
+      MetricsLabel("ycsb", scheme, "r" + std::to_string(read_pct));
+  EmitMetricsLine(label, db->get());
   Cell cell;
   cell.ops_per_vsec = result->OpsPerVSecond();
   cell.written_mb = Mb(ssd.stats().bytes_written - written_before);
   cell.read_p99_ms =
       static_cast<double>(result->latency[0].Percentile(99)) / kVMillisecond;
+  std::map<std::string, double> numbers;
+  numbers["read_pct"] = read_pct;
+  numbers["ops_per_vsec"] = cell.ops_per_vsec;
+  numbers["written_mb"] = cell.written_mb;
+  numbers["read_p99_ms"] = cell.read_p99_ms;
+  out->Add(label, SchemeName(scheme), &ssd, (*db)->DumpMetrics(), numbers);
   return cell;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  BenchMetricsWriter out("ycsb", &argc, argv);
   uint64_t records = argc > 1 ? strtoull(argv[1], nullptr, 10) : 20000;
   uint64_t operations = argc > 2 ? strtoull(argv[2], nullptr, 10) : 40000;
 
@@ -96,9 +103,10 @@ int main(int argc, char** argv) {
   };
   for (MixPoint mix : {MixPoint{"C 100/0", 100}, MixPoint{"B 95/5", 95},
                        MixPoint{"A 50/50", 50}, MixPoint{"W 5/95", 5}}) {
-    Cell si = RunMix(VersionScheme::kSi, mix.read_pct, records, operations);
+    Cell si =
+        RunMix(VersionScheme::kSi, mix.read_pct, records, operations, &out);
     Cell sias = RunMix(VersionScheme::kSiasChains, mix.read_pct, records,
-                       operations);
+                       operations, &out);
     double red = si.written_mb > 0
                      ? 100.0 * (1.0 - sias.written_mb / si.written_mb)
                      : 0.0;
@@ -108,5 +116,6 @@ int main(int argc, char** argv) {
   }
   printf("\nExpected shape: the write-volume gap between SI and SIAS opens "
          "with the update share and vanishes on the read-only mix.\n");
+  out.Write();
   return 0;
 }

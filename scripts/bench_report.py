@@ -1,0 +1,289 @@
+#!/usr/bin/env python3
+"""Aggregates BENCH_<name>.json files (emitted by the benches' --metrics-out
+flag) into the paper's markdown tables and optionally gates them against a
+checked-in baseline.
+
+Usage:
+  bench_report.py FILE_OR_DIR...                   # print markdown report
+  bench_report.py FILE_OR_DIR... --out report.md   # write it to a file
+  bench_report.py FILE_OR_DIR... --check-baseline scripts/bench_baseline.json
+
+Exit status is non-zero when --check-baseline is given and any check fails,
+so CI can gate on it directly.
+
+File format (see bench/bench_common.h BenchMetricsWriter):
+  {"bench": "<name>", "experiments": [
+     {"label": "<bench>.<scheme>[.<variant>]", "scheme": "...",
+      "device": {..., "write_amplification": W, "telemetry": {...}},
+      "results": {...}, "metrics": {"counters": {...}, ...}}]}
+
+Baseline format (scripts/bench_baseline.json): {"checks": [...]} where each
+check is one of
+  {"type": "wa_leq",      "bench": B, "label": L, "other": M, "slack": S}
+      device WA of L must be <= WA of M + S
+  {"type": "result_geq",  "bench": B, "label": L, "key": K, "min": V}
+  {"type": "result_leq",  "bench": B, "label": L, "key": K, "max": V}
+      results[K] bound (absolute, already including any tolerance)
+  {"type": "reduction_geq", "bench": B, "baseline_label": L0, "label": L,
+   "key": K, "min_pct": P}
+      (1 - results[K](L)/results[K](L0)) * 100 must be >= P
+  {"type": "counter_geq", "bench": B, "label": L, "counter": C, "min": V}
+      metrics.counters[C] bound
+Every check accepts an optional "desc". Checks referencing a bench with no
+loaded file are reported as skipped (not failures) unless "required": true.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_files(paths):
+    """Returns {bench_name: {label: experiment}} from files/dirs/globs."""
+    files = []
+    for p in paths:
+        if os.path.isdir(p):
+            files.extend(sorted(glob.glob(os.path.join(p, "BENCH_*.json"))))
+        else:
+            files.append(p)
+    benches = {}
+    for f in files:
+        with open(f, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        by_label = benches.setdefault(doc["bench"], {})
+        for exp in doc.get("experiments", []):
+            by_label[exp["label"]] = exp
+    return benches
+
+
+def fmt(v, nd=1):
+    if v is None:
+        return "-"
+    return f"{v:.{nd}f}"
+
+
+def wa_of(exp):
+    return exp.get("device", {}).get("write_amplification")
+
+
+def res(exp, key):
+    return exp.get("results", {}).get(key)
+
+
+# ---------------------------------------------------------------------------
+# Markdown tables
+# ---------------------------------------------------------------------------
+
+def report_write_reduction(name, exps):
+    """The paper's Table 1 (write amount + reduction) plus the WA/wear
+    summary the flash-telemetry layer adds."""
+    out = [f"## {name} (paper Table 1)", ""]
+    si = next((e for l, e in exps.items() if e["scheme"] == "SI"), None)
+    if si is None:
+        return out + ["_no SI baseline run in file_", ""]
+    # Window columns come from the SI run's results keys.
+    windows = sorted(
+        int(k[len("written_mb_window"):])
+        for k in si["results"] if k.startswith("written_mb_window"))
+    labels = sorted(exps)
+    header = "| window (vsec) | " + " | ".join(
+        f"{l.split('.', 1)[1]} (MB)" for l in labels) + " | " + " | ".join(
+        f"red {l.split('.', 1)[1]} (%)" for l in labels
+        if exps[l] is not si) + " |"
+    sep = "|" + "---|" * (1 + len(labels) + len(labels) - 1)
+    out += [header, sep]
+    for w in windows:
+        key = f"written_mb_window{w}"
+        vsec = res(si, f"window{w}_vsec")
+        row = [fmt(vsec, 1)]
+        for l in labels:
+            row.append(fmt(res(exps[l], key)))
+        for l in labels:
+            if exps[l] is si:
+                continue
+            base, v = res(si, key), res(exps[l], key)
+            row.append(fmt(100.0 * (1.0 - v / base) if base else None, 0))
+        out.append("| " + " | ".join(row) + " |")
+    out += ["", "### Device write amplification and wear", ""]
+    out += ["| run | WA | GC page moves | block erases | erase p90 | "
+            "trim ops |", "|---|---|---|---|---|---|"]
+    for l in labels:
+        d = exps[l].get("device", {})
+        t = d.get("telemetry", {})
+        out.append(
+            f"| {l} | {fmt(wa_of(exps[l]), 3)} | {d.get('gc_page_moves', 0)}"
+            f" | {d.get('flash_block_erases', 0)} |"
+            f" {t.get('erase_p90', 0)} | {d.get('trim_ops', 0)} |")
+    out.append("")
+    return out
+
+
+def report_ycsb(exps):
+    out = ["## YCSB read/update mix sweep", ""]
+    out += ["| run | ops/vsec | written MB | read p99 (ms) | WA |",
+            "|---|---|---|---|---|"]
+    for l in sorted(exps):
+        e = exps[l]
+        out.append(
+            f"| {l} | {fmt(res(e, 'ops_per_vsec'), 0)} |"
+            f" {fmt(res(e, 'written_mb'))} |"
+            f" {fmt(res(e, 'read_p99_ms'), 2)} | {fmt(wa_of(e), 3)} |")
+    out.append("")
+    return out
+
+
+def report_tpcc(name, exps):
+    out = [f"## {name}: TPC-C throughput", ""]
+    out += ["| run | NOTPM | committed | NewOrder p90 (vsec) | WA |",
+            "|---|---|---|---|---|"]
+    for l in sorted(exps):
+        e = exps[l]
+        out.append(
+            f"| {l} | {fmt(res(e, 'notpm'), 0)} |"
+            f" {fmt(res(e, 'committed'), 0)} |"
+            f" {fmt(res(e, 'new_order_p90_vsec'), 3)} |"
+            f" {fmt(wa_of(e), 3)} |")
+    out.append("")
+    return out
+
+
+def report_generic(name, exps):
+    out = [f"## {name}", ""]
+    for l in sorted(exps):
+        e = exps[l]
+        keys = sorted(e.get("results", {}))
+        out += [f"### {l}", ""]
+        out += ["| result | value |", "|---|---|"]
+        for k in keys:
+            out.append(f"| {k} | {fmt(res(e, k), 4)} |")
+        out.append("")
+    return out
+
+
+def build_report(benches):
+    lines = ["# Bench report", ""]
+    for name in sorted(benches):
+        exps = benches[name]
+        # Prefix match: CI emits the same bench twice under different
+        # configurations via --bench-suffix (e.g. write_reduction_tight).
+        if name.startswith("write_reduction"):
+            lines += report_write_reduction(name, exps)
+        elif name == "ycsb":
+            lines += report_ycsb(exps)
+        elif name in ("tpcc_ssd", "tpcc_hdd"):
+            lines += report_tpcc(name, exps)
+        else:
+            lines += report_generic(name, exps)
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Baseline checks
+# ---------------------------------------------------------------------------
+
+def run_check(check, benches):
+    """Returns (ok, message). Raises KeyError on malformed checks."""
+    bench = benches.get(check["bench"])
+    desc = check.get("desc", check["type"])
+    if bench is None:
+        if check.get("required"):
+            return False, f"{desc}: bench file for '{check['bench']}' missing"
+        return None, f"{desc}: skipped ('{check['bench']}' not loaded)"
+    t = check["type"]
+    if t == "wa_leq":
+        a, b = bench.get(check["label"]), bench.get(check["other"])
+        if a is None or b is None:
+            return False, f"{desc}: label missing"
+        wa, wb = wa_of(a), wa_of(b)
+        slack = check.get("slack", 0.0)
+        ok = wa is not None and wb is not None and wa <= wb + slack
+        return ok, (f"{desc}: WA({check['label']})={fmt(wa, 3)} vs "
+                    f"WA({check['other']})={fmt(wb, 3)} (slack {slack})")
+    if t in ("result_geq", "result_leq"):
+        e = bench.get(check["label"])
+        if e is None:
+            return False, f"{desc}: label {check['label']} missing"
+        v = res(e, check["key"])
+        if v is None:
+            return False, f"{desc}: key {check['key']} missing"
+        if t == "result_geq":
+            ok, bound = v >= check["min"], f">= {check['min']}"
+        else:
+            ok, bound = v <= check["max"], f"<= {check['max']}"
+        return ok, f"{desc}: {check['key']}={fmt(v, 3)} (want {bound})"
+    if t == "reduction_geq":
+        e0 = bench.get(check["baseline_label"])
+        e = bench.get(check["label"])
+        if e0 is None or e is None:
+            return False, f"{desc}: label missing"
+        v0, v = res(e0, check["key"]), res(e, check["key"])
+        if not v0:
+            return False, f"{desc}: baseline {check['key']} is zero/missing"
+        red = 100.0 * (1.0 - v / v0)
+        ok = red >= check["min_pct"]
+        return ok, (f"{desc}: reduction {fmt(red)}% "
+                    f"(want >= {check['min_pct']}%)")
+    if t == "counter_geq":
+        e = bench.get(check["label"])
+        if e is None:
+            return False, f"{desc}: label {check['label']} missing"
+        v = e.get("metrics", {}).get("counters", {}).get(check["counter"])
+        if v is None:
+            return False, f"{desc}: counter {check['counter']} missing"
+        ok = v >= check["min"]
+        return ok, f"{desc}: {check['counter']}={v} (want >= {check['min']})"
+    return False, f"{desc}: unknown check type '{t}'"
+
+
+def check_baseline(baseline_path, benches):
+    with open(baseline_path, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    failures = 0
+    for check in baseline.get("checks", []):
+        ok, msg = run_check(check, benches)
+        if ok is None:
+            print(f"  SKIP  {msg}")
+        elif ok:
+            print(f"  PASS  {msg}")
+        else:
+            failures += 1
+            print(f"  FAIL  {msg}")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("inputs", nargs="+",
+                    help="BENCH_*.json files or directories holding them")
+    ap.add_argument("--out", help="write the markdown report to this file")
+    ap.add_argument("--check-baseline", metavar="BASELINE",
+                    help="gate the loaded results against this baseline")
+    args = ap.parse_args()
+
+    benches = load_files(args.inputs)
+    if not benches:
+        print("no BENCH_*.json inputs found", file=sys.stderr)
+        return 2
+
+    report = build_report(benches)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(report)
+        print(f"report -> {args.out}")
+    else:
+        print(report, end="")
+
+    if args.check_baseline:
+        print(f"baseline: {args.check_baseline}")
+        failures = check_baseline(args.check_baseline, benches)
+        if failures:
+            print(f"{failures} baseline check(s) FAILED")
+            return 1
+        print("all baseline checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -155,6 +155,7 @@ const char* LatchRankName(LatchRank rank) {
     case LatchRank::kDeviceCalendar: return "device-calendar";
     case LatchRank::kDeviceStore: return "device-store";
     case LatchRank::kStats: return "stats";
+    case LatchRank::kMetricsSampler: return "metrics-sampler";
     case LatchRank::kMetricsRegistry: return "metrics-registry";
     case LatchRank::kMetrics: return "metrics";
   }

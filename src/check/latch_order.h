@@ -63,6 +63,7 @@ enum class LatchRank : uint8_t {
   kDeviceCalendar = 90, ///< ChannelCalendar::mu_ (busy marks)
   kDeviceStore = 91,    ///< DataStore::mu_ (payload bytes)
   kStats = 95,          ///< per-component stats mutexes, TraceRecorder
+  kMetricsSampler = 97,  ///< MetricsSampler ring (snapshots the registry)
   kMetricsRegistry = 98,  ///< obs registry map (locks histogram shards)
   kMetrics = 100,       ///< histogram shards / OpTracer (terminal leaves)
 };

@@ -15,18 +15,30 @@ namespace {
 /// shared mvcc.* counters, keeping bench comparisons apples-to-apples.
 struct MvccCounters {
   obs::Counter* reads;
+  obs::Counter* read_misses;
   obs::Counter* versions_appended;
   obs::Counter* version_hops;
   obs::Counter* visibility_checks;
   obs::Counter* ww_conflicts;
+  obs::HistogramMetric* traversal_depth;
+  obs::Counter* gc_pages_examined;
+  obs::Counter* gc_pages_reclaimed;
+  obs::Counter* gc_versions_discarded;
+  obs::Counter* gc_versions_relocated;
 
   MvccCounters() {
     obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
     reads = reg.GetCounter("mvcc.reads");
+    read_misses = reg.GetCounter("mvcc.read_misses");
     versions_appended = reg.GetCounter("mvcc.versions_appended");
     version_hops = reg.GetCounter("mvcc.version_hops");
     visibility_checks = reg.GetCounter("mvcc.visibility_checks");
     ww_conflicts = reg.GetCounter("mvcc.ww_conflicts");
+    traversal_depth = reg.GetHistogram("mvcc.traversal_depth");
+    gc_pages_examined = reg.GetCounter("mvcc.gc.pages_examined");
+    gc_pages_reclaimed = reg.GetCounter("mvcc.gc.pages_reclaimed");
+    gc_versions_discarded = reg.GetCounter("mvcc.gc.versions_discarded");
+    gc_versions_relocated = reg.GetCounter("mvcc.gc.versions_relocated");
   }
 };
 
@@ -77,6 +89,19 @@ Status SiasTable::GetVisible(Transaction* txn, Vid vid, bool* found,
   const Snapshot& snap = txn->snapshot();
   VirtualClock* clk = txn->clock();
 
+  // Traversal telemetry: depth = versions examined before resolving (or
+  // exhausting) the walk; a probe that resolves no visible version is a
+  // read miss. Recorded on every exit path.
+  struct TraversalScope {
+    const bool* found;
+    size_t examined = 0;
+    explicit TraversalScope(const bool* f) : found(f) {}
+    ~TraversalScope() {
+      Obs().traversal_depth->Record(static_cast<VDuration>(examined));
+      if (!*found) Obs().read_misses->Increment();
+    }
+  } trav(found);
+
   for (int retry = 0; retry < 3; ++retry) {
     if (clk != nullptr) clk->Cpu(kCpuVidMapProbe);
     bool raced = false;
@@ -92,6 +117,7 @@ Status SiasTable::GetVisible(Transaction* txn, Vid vid, bool* found,
           break;
         }
         SIAS_RETURN_NOT_OK(s);
+        trav.examined++;
         if (clk != nullptr) clk->Cpu(kCpuVisibilityCheck);
         Obs().visibility_checks->Increment();
         if (SiasVersionVisible(h, snap, clog)) {
@@ -125,6 +151,7 @@ Status SiasTable::GetVisible(Transaction* txn, Vid vid, bool* found,
           break;
         }
         SIAS_RETURN_NOT_OK(s);
+        trav.examined++;
         if (clk != nullptr) clk->Cpu(kCpuVisibilityCheck);
         Obs().visibility_checks->Increment();
         if (SiasVersionVisible(h, snap, clog)) {
@@ -504,6 +531,7 @@ Status SiasTable::GarbageCollect(Xid horizon, VirtualClock* clk,
       guard.Unlatch();
     }
     if (stats != nullptr) stats->pages_examined++;
+    Obs().gc_pages_examined->Increment();
     if (slots.empty()) continue;
 
     // Lock every item referenced by the page; skip the page if any item is
@@ -557,8 +585,13 @@ Status SiasTable::GarbageCollect(Xid horizon, VirtualClock* clk,
     }
 
     // Policy: reclaim the whole page when its live share is small enough to
-    // be worth relocating; otherwise just prune dead slots in place.
+    // be worth relocating. Prune dead slots in place only when the page is
+    // already mostly dead (trending toward reclamation): pruning dirties a
+    // sealed page — an 8 KB device rewrite at the next flush — yet frees no
+    // appendable space, so touching mostly-live pages every vacuum cycle
+    // would multiply the write volume GC is supposed to save.
     bool relocate = live_on_page * 4 <= slots.size();
+    bool prune = live_on_page * 2 <= slots.size();
 
     if (relocate) {
       // Re-insert live versions (oldest-first per chain so predecessor
@@ -590,6 +623,7 @@ Status SiasTable::GarbageCollect(Xid horizon, VirtualClock* clk,
           Tid new_tid = *nr;
           remap[it->tid.Pack()] = new_tid;
           if (stats != nullptr) stats->versions_relocated++;
+          Obs().gc_versions_relocated->Increment();
 
           // Fix the reference to this version.
           if (scheme_ == VersionScheme::kSiasV) {
@@ -680,6 +714,9 @@ Status SiasTable::GarbageCollect(Xid horizon, VirtualClock* clk,
           stats->versions_discarded += discarded - live_on_page;
           stats->pages_reclaimed++;
         }
+        Obs().gc_versions_discarded->Add(
+            static_cast<int64_t>(discarded - live_on_page));
+        Obs().gc_pages_reclaimed->Increment();
       }
       // §6: GC is deterministic and engine-driven; hint the FTL that the
       // old physical blocks are dead so device GC need not relocate them
@@ -690,7 +727,7 @@ Status SiasTable::GarbageCollect(Xid horizon, VirtualClock* clk,
         (void)env_.pool->disk()->device()->Trim(*offset, kPageSize);
       }
       region_.AddFreePage(p);
-    } else {
+    } else if (prune) {
       // In-place pruning of dead slots only.
       auto r = env_.pool->FetchPage(PageId{relation_, p}, clk);
       if (!r.ok()) {
@@ -707,6 +744,7 @@ Status SiasTable::GarbageCollect(Xid horizon, VirtualClock* clk,
         (void)page.DeleteTuple(s.slot);
         changed = true;
         if (stats != nullptr) stats->versions_discarded++;
+        Obs().gc_versions_discarded->Increment();
         if (scheme_ == VersionScheme::kSiasChains && item_dead[s.vid]) {
           // Whole item dead (tombstone below horizon): if this slot is the
           // entrypoint being pruned, drop the mapping with it.

@@ -5,8 +5,30 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace sias {
+
+namespace {
+/// Same vidmap.* names as VidMap: churn comparisons span both schemes.
+struct VidMapCounters {
+  obs::Counter* vids_allocated;
+  obs::Counter* entry_updates;
+  obs::Counter* entry_clears;
+
+  VidMapCounters() {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    vids_allocated = reg.GetCounter("vidmap.vids_allocated");
+    entry_updates = reg.GetCounter("vidmap.entry_updates");
+    entry_clears = reg.GetCounter("vidmap.entry_clears");
+  }
+};
+
+VidMapCounters& Obs() {
+  static VidMapCounters* c = new VidMapCounters();
+  return *c;
+}
+}  // namespace
 
 VidMapV::Bucket* VidMapV::EnsureBucket(Vid vid) {
   return dir_.Ensure(static_cast<size_t>(vid / kEntriesPerBucket));
@@ -19,6 +41,7 @@ const VidMapV::Bucket* VidMapV::BucketFor(Vid vid) const {
 Vid VidMapV::AllocateVid() {
   Vid vid = next_vid_.fetch_add(1, std::memory_order_acq_rel);
   EnsureBucket(vid);
+  Obs().vids_allocated->Increment();
   return vid;
 }
 
@@ -44,6 +67,7 @@ bool VidMapV::PushFront(Vid vid, Tid expected_front, Tid tid) {
   Tid front = vec.empty() ? kInvalidTid : vec.front();
   if (front != expected_front) return false;
   vec.insert(vec.begin(), tid);
+  Obs().entry_updates->Increment();
   return true;
 }
 
@@ -53,6 +77,7 @@ bool VidMapV::PopFrontIf(Vid vid, Tid tid) {
   auto& vec = b->entries[vid % kEntriesPerBucket];
   if (vec.empty() || vec.front() != tid) return false;
   vec.erase(vec.begin());
+  Obs().entry_updates->Increment();
   return true;
 }
 
@@ -63,6 +88,7 @@ bool VidMapV::ReplaceTid(Vid vid, Tid old_tid, Tid new_tid) {
   auto it = std::find(vec.begin(), vec.end(), old_tid);
   if (it == vec.end()) return false;
   *it = new_tid;
+  Obs().entry_updates->Increment();
   return true;
 }
 
@@ -70,13 +96,17 @@ void VidMapV::TruncateAfter(Vid vid, size_t keep) {
   Bucket* b = EnsureBucket(vid);
   SpinLatchGuard g(b->latch);
   auto& vec = b->entries[vid % kEntriesPerBucket];
-  if (vec.size() > keep) vec.resize(keep);
+  if (vec.size() > keep) {
+    vec.resize(keep);
+    Obs().entry_updates->Increment();
+  }
 }
 
 void VidMapV::Clear(Vid vid) {
   Bucket* b = EnsureBucket(vid);
   SpinLatchGuard g(b->latch);
   b->entries[vid % kEntriesPerBucket].clear();
+  Obs().entry_clears->Increment();
 }
 
 void VidMapV::Set(Vid vid, std::vector<Tid> versions) {
@@ -85,6 +115,7 @@ void VidMapV::Set(Vid vid, std::vector<Tid> versions) {
     SpinLatchGuard g(b->latch);
     b->entries[vid % kEntriesPerBucket] = std::move(versions);
   }
+  Obs().entry_updates->Increment();
   Vid cur = next_vid_.load(std::memory_order_relaxed);
   while (cur <= vid && !next_vid_.compare_exchange_weak(
                            cur, vid + 1, std::memory_order_acq_rel)) {

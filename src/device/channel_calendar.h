@@ -25,6 +25,7 @@ class ChannelCalendar {
   VTime Reserve(VTime at, VDuration len) {
     if (len == 0) return at;
     MutexLock g(&mu_);
+    busy_total_ += len;
     // Find the earliest gap of size `len` at or after `at`. Intervals are
     // kept sorted by start and non-overlapping.
     VTime start = at;
@@ -48,6 +49,13 @@ class ChannelCalendar {
     return intervals_.empty() ? 0 : intervals_.back().end;
   }
 
+  /// Cumulative reserved (busy) virtual time across the calendar's lifetime.
+  /// Dividing by the makespan yields the channel's utilisation.
+  VDuration busy_total() const {
+    MutexLock g(&mu_);
+    return busy_total_;
+  }
+
  private:
   struct Interval {
     VTime start;
@@ -59,6 +67,7 @@ class ChannelCalendar {
   /// mu_ while reserving channel time).
   mutable Mutex mu_{LatchRank::kDeviceCalendar};
   std::deque<Interval> intervals_ SIAS_GUARDED_BY(mu_);
+  VDuration busy_total_ SIAS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace sias

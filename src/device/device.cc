@@ -1,5 +1,6 @@
 #include "device/device.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "obs/metrics.h"
@@ -28,6 +29,35 @@ DeviceCounters& Counters() {
 }
 }  // namespace
 
+const FlashObsCounters& FlashCounters() {
+  static FlashObsCounters* c = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    auto* fc = new FlashObsCounters();
+    fc->page_reads = reg.GetCounter("flash.page_reads");
+    fc->page_programs = reg.GetCounter("flash.page_programs");
+    fc->host_page_programs = reg.GetCounter("flash.host_page_programs");
+    fc->gc_page_moves = reg.GetCounter("flash.gc_page_moves");
+    fc->block_erases = reg.GetCounter("flash.block_erases");
+    fc->trims = reg.GetCounter("flash.trims");
+    return fc;
+  }();
+  return *c;
+}
+
+const HddObsCounters& HddCounters() {
+  static HddObsCounters* c = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    auto* hc = new HddObsCounters();
+    hc->seeks = reg.GetCounter("hdd.seeks");
+    hc->sequential_ops = reg.GetCounter("hdd.sequential_ops");
+    hc->seek_ns = reg.GetCounter("hdd.seek_ns");
+    hc->rotation_ns = reg.GetCounter("hdd.rotation_ns");
+    hc->transfer_ns = reg.GetCounter("hdd.transfer_ns");
+    return hc;
+  }();
+  return *c;
+}
+
 void RecordDeviceRead(uint64_t bytes) {
   DeviceCounters& c = Counters();
   c.read_ops->Increment();
@@ -50,12 +80,19 @@ double DeviceStats::WriteAmplification() const {
 DeviceStats& DeviceStats::operator+=(const DeviceStats& o) {
   read_ops += o.read_ops;
   write_ops += o.write_ops;
+  trim_ops += o.trim_ops;
   bytes_read += o.bytes_read;
   bytes_written += o.bytes_written;
   flash_page_reads += o.flash_page_reads;
   flash_page_programs += o.flash_page_programs;
+  host_page_programs += o.host_page_programs;
   flash_block_erases += o.flash_block_erases;
   gc_page_moves += o.gc_page_moves;
+  seeks += o.seeks;
+  sequential_ops += o.sequential_ops;
+  seek_ns += o.seek_ns;
+  rotation_ns += o.rotation_ns;
+  transfer_ns += o.transfer_ns;
   return *this;
 }
 
@@ -73,6 +110,95 @@ std::string DeviceStats::ToString() const {
            static_cast<unsigned long long>(gc_page_moves),
            WriteAmplification());
   return buf;
+}
+
+void DeviceTelemetry::Merge(const DeviceTelemetry& o) {
+  logical_pages += o.logical_pages;
+  physical_pages += o.physical_pages;
+  free_pages += o.free_pages;
+  free_blocks += o.free_blocks;
+  gc_reserve_blocks += o.gc_reserve_blocks;
+  uint64_t blocks_before = total_blocks;
+  total_blocks += o.total_blocks;
+  erase_total += o.erase_total;
+  erase_min = (blocks_before == 0)   ? o.erase_min
+              : (o.total_blocks == 0) ? erase_min
+                                      : std::min(erase_min, o.erase_min);
+  erase_max = std::max(erase_max, o.erase_max);
+  erase_avg = total_blocks == 0 ? 0.0
+                                : static_cast<double>(erase_total) /
+                                      static_cast<double>(total_blocks);
+  if (erase_histogram.size() < o.erase_histogram.size()) {
+    erase_histogram.resize(o.erase_histogram.size(), 0);
+  }
+  for (size_t i = 0; i < o.erase_histogram.size(); ++i) {
+    erase_histogram[i] += o.erase_histogram[i];
+  }
+  RecomputeErasePercentiles();
+  channel_busy_ns.insert(channel_busy_ns.end(), o.channel_busy_ns.begin(),
+                         o.channel_busy_ns.end());
+}
+
+void DeviceTelemetry::RecomputeErasePercentiles() {
+  uint64_t total = 0;
+  for (uint64_t c : erase_histogram) total += c;
+  if (total == 0) {
+    erase_p50 = erase_p90 = erase_p99 = 0;
+    return;
+  }
+  auto pct = [&](double p) -> uint64_t {
+    uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(total));
+    if (rank == 0) rank = 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < erase_histogram.size(); ++i) {
+      seen += erase_histogram[i];
+      if (seen >= rank) {
+        // Bucket 0 holds never-erased blocks; bucket i spans [2^(i-1), 2^i).
+        return i == 0 ? 0 : (1ull << i) - 1;
+      }
+    }
+    return erase_max;
+  };
+  erase_p50 = pct(0.50);
+  erase_p90 = pct(0.90);
+  erase_p99 = pct(0.99);
+}
+
+std::string DeviceTelemetry::ToJson() const {
+  auto u64 = [](uint64_t v) {
+    char buf[32];
+    snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+    return std::string(buf);
+  };
+  std::string out = "{";
+  out += "\"logical_pages\":" + u64(logical_pages);
+  out += ",\"physical_pages\":" + u64(physical_pages);
+  out += ",\"free_pages\":" + u64(free_pages);
+  out += ",\"free_blocks\":" + u64(free_blocks);
+  out += ",\"gc_reserve_blocks\":" + u64(gc_reserve_blocks);
+  out += ",\"total_blocks\":" + u64(total_blocks);
+  out += ",\"erase_total\":" + u64(erase_total);
+  out += ",\"erase_min\":" + u64(erase_min);
+  out += ",\"erase_max\":" + u64(erase_max);
+  char avg[32];
+  snprintf(avg, sizeof(avg), "%.3f", erase_avg);
+  out += ",\"erase_avg\":";
+  out += avg;
+  out += ",\"erase_p50\":" + u64(erase_p50);
+  out += ",\"erase_p90\":" + u64(erase_p90);
+  out += ",\"erase_p99\":" + u64(erase_p99);
+  out += ",\"erase_histogram\":[";
+  for (size_t i = 0; i < erase_histogram.size(); ++i) {
+    if (i != 0) out += ',';
+    out += u64(erase_histogram[i]);
+  }
+  out += "],\"channel_busy_ns\":[";
+  for (size_t i = 0; i < channel_busy_ns.size(); ++i) {
+    if (i != 0) out += ',';
+    out += u64(channel_busy_ns[i]);
+  }
+  out += "]}";
+  return out;
 }
 
 Status StorageDevice::CheckRange(uint64_t offset, size_t len) const {

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "common/types.h"
@@ -19,19 +20,35 @@ namespace sias {
 
 class TraceRecorder;
 
+namespace obs {
+class Counter;
+}  // namespace obs
+
 /// Cumulative device counters. Flash-specific fields stay zero on non-flash
-/// devices.
+/// devices and vice versa.
 struct DeviceStats {
   uint64_t read_ops = 0;
   uint64_t write_ops = 0;
+  uint64_t trim_ops = 0;
   uint64_t bytes_read = 0;
   uint64_t bytes_written = 0;
 
-  // Flash internals.
+  // Flash internals. `host_page_programs` counts NAND programs serving host
+  // writes; `flash_page_programs` additionally includes GC relocations, so
+  // programs/host is the device's write amplification.
   uint64_t flash_page_reads = 0;
   uint64_t flash_page_programs = 0;
+  uint64_t host_page_programs = 0;
   uint64_t flash_block_erases = 0;
   uint64_t gc_page_moves = 0;
+
+  // HDD mechanics: random requests pay seek + rotation; sequential
+  // continuations pay neither. Durations are virtual-time nanoseconds.
+  uint64_t seeks = 0;
+  uint64_t sequential_ops = 0;
+  uint64_t seek_ns = 0;
+  uint64_t rotation_ns = 0;
+  uint64_t transfer_ns = 0;
 
   /// Host-write to flash-program amplification (1.0 = no amplification).
   double WriteAmplification() const;
@@ -40,11 +57,78 @@ struct DeviceStats {
   std::string ToString() const;
 };
 
+/// Point-in-time device internals for telemetry export: space levels, wear
+/// (erase-count) distribution and per-channel occupancy. Composites merge
+/// their members'. Fields a device does not model stay zero/empty.
+struct DeviceTelemetry {
+  // Space accounting, in NAND pages (flash) — over-provisioned GC-reserve
+  // blocks are what keeps relocation off the host pool.
+  uint64_t logical_pages = 0;
+  uint64_t physical_pages = 0;
+  uint64_t free_pages = 0;
+  uint64_t free_blocks = 0;
+  uint64_t gc_reserve_blocks = 0;
+  uint64_t total_blocks = 0;
+
+  // Erase-count (wear) distribution across blocks. The histogram is
+  // log2-bucketed: bucket 0 counts never-erased blocks, bucket i counts
+  // blocks with erase_count in [2^(i-1), 2^i).
+  uint64_t erase_total = 0;
+  uint64_t erase_min = 0;
+  uint64_t erase_max = 0;
+  double erase_avg = 0.0;
+  uint64_t erase_p50 = 0;
+  uint64_t erase_p90 = 0;
+  uint64_t erase_p99 = 0;
+  std::vector<uint64_t> erase_histogram;
+
+  /// Cumulative busy virtual-time per channel (HDD: one entry, the actuator).
+  std::vector<uint64_t> channel_busy_ns;
+
+  /// Combines another device's telemetry into this one (RAID aggregation);
+  /// channels concatenate, wear percentiles are recomputed from the merged
+  /// histogram.
+  void Merge(const DeviceTelemetry& o);
+
+  /// Recomputes erase_p50/p90/p99 from erase_histogram (bucket upper bound
+  /// is the representative value). Merge() calls this; devices that track
+  /// exact percentiles may overwrite them afterwards.
+  void RecomputeErasePercentiles();
+
+  /// One self-contained JSON object (space, wear, channels).
+  std::string ToJson() const;
+};
+
 /// Process-wide device I/O counters (obs registry: device.read_ops,
 /// device.write_ops, device.read_bytes, device.write_bytes). Called by leaf
 /// devices only — composites like Raid0 delegate, so their members count.
 void RecordDeviceRead(uint64_t bytes);
 void RecordDeviceWrite(uint64_t bytes);
+
+/// Process-wide flash-internal counters (obs registry, `flash.*`): NAND page
+/// reads/programs split host vs GC, block erases, GC relocations, TRIMs.
+/// Resolved once; FlashSsd adds to them in batch per host I/O.
+struct FlashObsCounters {
+  obs::Counter* page_reads;
+  obs::Counter* page_programs;
+  obs::Counter* host_page_programs;
+  obs::Counter* gc_page_moves;
+  obs::Counter* block_erases;
+  obs::Counter* trims;
+};
+const FlashObsCounters& FlashCounters();
+
+/// Process-wide HDD mechanics counters (obs registry, `hdd.*`): seek /
+/// sequential-continuation counts and the virtual time spent positioning
+/// versus transferring.
+struct HddObsCounters {
+  obs::Counter* seeks;
+  obs::Counter* sequential_ops;
+  obs::Counter* seek_ns;
+  obs::Counter* rotation_ns;
+  obs::Counter* transfer_ns;
+};
+const HddObsCounters& HddCounters();
 
 /// Abstract simulated block device.
 ///
@@ -77,6 +161,10 @@ class StorageDevice {
 
   virtual uint64_t capacity_bytes() const = 0;
   virtual DeviceStats stats() const = 0;
+
+  /// Point-in-time internals (space levels, wear distribution, channel
+  /// occupancy). Default: empty — devices without modelled internals.
+  virtual DeviceTelemetry telemetry() const { return DeviceTelemetry{}; }
 
   /// Attaches a block-trace recorder (may be nullptr to detach). The
   /// recorder sees every host-level I/O with its virtual start time.

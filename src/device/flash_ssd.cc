@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace sias {
 
@@ -57,13 +58,18 @@ Status FlashSsd::Read(uint64_t offset, size_t len, uint8_t* out,
     stats_.bytes_read += len;
     uint64_t first = offset / config_.flash_page_size;
     uint64_t last = (offset + len - 1) / config_.flash_page_size;
+    uint64_t nand_reads = 0;
     for (uint64_t lpn = first; lpn <= last; ++lpn) {
       uint32_t ppn = l2p_[lpn];
       if (ppn == kUnmapped) continue;  // never-written page: zeros, no NAND op
       stats_.flash_page_reads++;
+      nand_reads++;
       uint32_t ch = blocks_[ppn / config_.pages_per_block].channel;
       VTime start = channels_[ch].busy.Reserve(now, config_.page_read_latency);
       completion = std::max(completion, start + config_.page_read_latency);
+    }
+    if (nand_reads > 0) {
+      FlashCounters().page_reads->Add(static_cast<int64_t>(nand_reads));
     }
   }
   if (clk != nullptr) clk->AdvanceTo(completion);
@@ -121,8 +127,13 @@ Status FlashSsd::Write(uint64_t offset, size_t len, const uint8_t* data,
       page_valid_[ppn] = 1;
       blocks_[ppn / config_.pages_per_block].valid_count++;
       stats_.flash_page_programs++;
+      stats_.host_page_programs++;
       completion = std::max(completion, page_done);
     }
+    FlashCounters().page_programs->Add(
+        static_cast<int64_t>(last - first + 1));
+    FlashCounters().host_page_programs->Add(
+        static_cast<int64_t>(last - first + 1));
   }
   if (clk != nullptr && !background) clk->AdvanceTo(completion);
   return Status::OK();
@@ -130,7 +141,9 @@ Status FlashSsd::Write(uint64_t offset, size_t len, const uint8_t* data,
 
 Status FlashSsd::Trim(uint64_t offset, size_t len) {
   SIAS_RETURN_NOT_OK(CheckRange(offset, len));
+  FlashCounters().trims->Increment();
   MutexLock g(&mu_);
+  stats_.trim_ops++;
   uint64_t first = offset / config_.flash_page_size;
   uint64_t last = (offset + len - 1) / config_.flash_page_size;
   for (uint64_t lpn = first; lpn <= last; ++lpn) {
@@ -253,6 +266,9 @@ void FlashSsd::MaybeGc(uint32_t channel, VTime now, bool /*background*/) {
       stats_.gc_page_moves++;
       stats_.flash_page_reads++;
       stats_.flash_page_programs++;
+      FlashCounters().gc_page_moves->Increment();
+      FlashCounters().page_reads->Increment();
+      FlashCounters().page_programs->Increment();
     }
     SIAS_CHECK(vblk.valid_count == 0);
     // Erase the victim.
@@ -260,6 +276,7 @@ void FlashSsd::MaybeGc(uint32_t channel, VTime now, bool /*background*/) {
     vblk.next_free = 0;
     vblk.erase_count++;
     stats_.flash_block_erases++;
+    FlashCounters().block_erases->Increment();
     // Route the erased block: refill the GC reserve up to 2 blocks first,
     // then return capacity to the host pool.
     if (ch.gc_reserve.size() < 2) {
@@ -290,6 +307,55 @@ WearStats FlashSsd::wear() const {
                       : static_cast<double>(sum) /
                             static_cast<double>(blocks_.size());
   return w;
+}
+
+DeviceTelemetry FlashSsd::telemetry() const {
+  MutexLock g(&mu_);
+  DeviceTelemetry t;
+  t.logical_pages = logical_pages_;
+  t.physical_pages = physical_pages_;
+  t.total_blocks = num_blocks_;
+
+  // Exact wear figures plus the log2 distribution (bucket 0 = never erased,
+  // bucket i = [2^(i-1), 2^i)); percentiles come from a sorted copy so leaf
+  // devices are exact — RAID merges recompute them from the histogram.
+  std::vector<uint32_t> erases;
+  erases.reserve(blocks_.size());
+  t.erase_min = blocks_.empty() ? 0 : ~0ull;
+  for (const Block& b : blocks_) {
+    erases.push_back(b.erase_count);
+    t.erase_total += b.erase_count;
+    t.erase_min = std::min<uint64_t>(t.erase_min, b.erase_count);
+    t.erase_max = std::max<uint64_t>(t.erase_max, b.erase_count);
+    size_t bucket = 0;
+    for (uint32_t e = b.erase_count; e > 0; e >>= 1) bucket++;
+    if (t.erase_histogram.size() <= bucket) {
+      t.erase_histogram.resize(bucket + 1, 0);
+    }
+    t.erase_histogram[bucket]++;
+  }
+  t.erase_avg = blocks_.empty() ? 0.0
+                                : static_cast<double>(t.erase_total) /
+                                      static_cast<double>(blocks_.size());
+  if (!erases.empty()) {
+    std::sort(erases.begin(), erases.end());
+    auto pct = [&](double p) {
+      size_t i = static_cast<size_t>(p * static_cast<double>(erases.size()));
+      return static_cast<uint64_t>(erases[std::min(i, erases.size() - 1)]);
+    };
+    t.erase_p50 = pct(0.50);
+    t.erase_p90 = pct(0.90);
+    t.erase_p99 = pct(0.99);
+  }
+
+  for (const Channel& ch : channels_) {
+    t.free_pages += ch.free_pages;
+    t.free_blocks += ch.free_blocks.size();
+    t.gc_reserve_blocks += ch.gc_reserve.size();
+    if (ch.gc_active != kUnmapped) t.gc_reserve_blocks++;
+    t.channel_busy_ns.push_back(ch.busy.busy_total());
+  }
+  return t;
 }
 
 Status FlashSsd::CheckFtlInvariants() const {

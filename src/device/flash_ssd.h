@@ -59,6 +59,9 @@ class FlashSsd : public StorageDevice {
   DeviceStats stats() const override;
   WearStats wear() const;
 
+  /// Space levels, erase-count distribution and per-channel busy time.
+  DeviceTelemetry telemetry() const override;
+
   const FlashConfig& config() const { return config_; }
 
   /// Internal consistency probe for tests: checks that the logical->physical

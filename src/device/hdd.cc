@@ -2,33 +2,48 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace sias {
 
 VTime Hdd::Service(uint64_t offset, size_t len, VTime now) {
   // Positioning time from the head-distance model.
-  VDuration position;
+  VDuration seek = 0;
+  VDuration rotation = 0;
+  VDuration transfer = static_cast<VDuration>(
+      static_cast<double>(len) * kVSecond /
+      static_cast<double>(config_.transfer_bytes_per_sec));
   {
     MutexLock g(&mu_);
     if (offset == head_pos_) {
-      position = 0;  // sequential continuation
+      stats_.sequential_ops++;  // sequential continuation: no positioning
     } else {
       uint64_t dist = offset > head_pos_ ? offset - head_pos_
                                          : head_pos_ - offset;
       double frac = static_cast<double>(dist) /
                     static_cast<double>(config_.capacity_bytes);
       // Seek time grows with the square root of distance (classic model).
-      position = config_.min_seek +
-                 static_cast<VDuration>(
-                     static_cast<double>(config_.max_seek - config_.min_seek) *
-                     std::sqrt(frac)) +
-                 config_.half_rotation;
+      seek = config_.min_seek +
+             static_cast<VDuration>(
+                 static_cast<double>(config_.max_seek - config_.min_seek) *
+                 std::sqrt(frac));
+      rotation = config_.half_rotation;
+      stats_.seeks++;
+      stats_.seek_ns += static_cast<uint64_t>(seek);
+      stats_.rotation_ns += static_cast<uint64_t>(rotation);
     }
+    stats_.transfer_ns += static_cast<uint64_t>(transfer);
     head_pos_ = offset + len;
   }
-  VDuration transfer = static_cast<VDuration>(
-      static_cast<double>(len) * kVSecond /
-      static_cast<double>(config_.transfer_bytes_per_sec));
-  VDuration service = position + transfer;
+  if (seek > 0) {
+    HddCounters().seeks->Increment();
+    HddCounters().seek_ns->Add(static_cast<int64_t>(seek));
+    HddCounters().rotation_ns->Add(static_cast<int64_t>(rotation));
+  } else {
+    HddCounters().sequential_ops->Increment();
+  }
+  HddCounters().transfer_ns->Add(static_cast<int64_t>(transfer));
+  VDuration service = seek + rotation + transfer;
   VTime start = busy_.Reserve(now, service);
   return start + service;
 }
@@ -75,6 +90,12 @@ Status Hdd::Write(uint64_t offset, size_t len, const uint8_t* data,
 DeviceStats Hdd::stats() const {
   MutexLock g(&mu_);
   return stats_;
+}
+
+DeviceTelemetry Hdd::telemetry() const {
+  DeviceTelemetry t;
+  t.channel_busy_ns.push_back(static_cast<uint64_t>(busy_.busy_total()));
+  return t;
 }
 
 }  // namespace sias

@@ -35,6 +35,9 @@ class Hdd : public StorageDevice {
   uint64_t capacity_bytes() const override { return config_.capacity_bytes; }
   DeviceStats stats() const override;
 
+  /// Actuator occupancy (a single "channel": the head assembly).
+  DeviceTelemetry telemetry() const override;
+
  private:
   VTime Service(uint64_t offset, size_t len, VTime now);
 

@@ -89,4 +89,10 @@ DeviceStats Raid0::stats() const {
   return total;
 }
 
+DeviceTelemetry Raid0::telemetry() const {
+  DeviceTelemetry total;
+  for (const auto& m : members_) total.Merge(m->telemetry());
+  return total;
+}
+
 }  // namespace sias

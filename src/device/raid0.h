@@ -25,6 +25,9 @@ class Raid0 : public StorageDevice {
   uint64_t capacity_bytes() const override { return capacity_; }
   DeviceStats stats() const override;
 
+  /// Member telemetries merged (channels concatenate in member order).
+  DeviceTelemetry telemetry() const override;
+
   size_t num_members() const { return members_.size(); }
   StorageDevice* member(size_t i) { return members_[i].get(); }
 

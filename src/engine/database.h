@@ -54,6 +54,10 @@ struct DatabaseOptions {
   /// Table 1 measures. Append pages (SIAS) are exempt from the budget:
   /// draining sealed pages is the flush-threshold policy itself.
   size_t bgwriter_pages_per_pass = 16;
+  /// Engine-driven GC cadence: Tick() runs Vacuum() (version GC + device
+  /// TRIM of reclaimed append pages) every `vacuum_interval` of virtual
+  /// time. 0 disables it — GC then only runs via explicit Vacuum() calls.
+  VDuration vacuum_interval = 0;
   int lock_timeout_ms = 1000;
   /// Reserved control region at the start of the data device.
   uint64_t control_region_bytes = 4ull << 20;
@@ -159,6 +163,7 @@ class Database {
 
   std::atomic<VTime> next_bgwriter_{0};
   std::atomic<VTime> next_checkpoint_{0};
+  std::atomic<VTime> next_vacuum_{0};
   // Paced-checkpoint state.
   std::deque<PageId> ckpt_queue_ SIAS_GUARDED_BY(maintenance_mu_);
   size_t ckpt_drain_per_pass_ SIAS_GUARDED_BY(maintenance_mu_) = 0;

@@ -13,18 +13,26 @@ namespace {
 /// Scheme-agnostic MVCC counters; SiasTable reports into the same names.
 struct MvccCounters {
   obs::Counter* reads;
+  obs::Counter* read_misses;
   obs::Counter* versions_appended;
   obs::Counter* version_hops;
   obs::Counter* visibility_checks;
   obs::Counter* ww_conflicts;
+  obs::HistogramMetric* traversal_depth;
+  obs::Counter* gc_pages_examined;
+  obs::Counter* gc_versions_discarded;
 
   MvccCounters() {
     obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
     reads = reg.GetCounter("mvcc.reads");
+    read_misses = reg.GetCounter("mvcc.read_misses");
     versions_appended = reg.GetCounter("mvcc.versions_appended");
     version_hops = reg.GetCounter("mvcc.version_hops");
     visibility_checks = reg.GetCounter("mvcc.visibility_checks");
     ww_conflicts = reg.GetCounter("mvcc.ww_conflicts");
+    traversal_depth = reg.GetHistogram("mvcc.traversal_depth");
+    gc_pages_examined = reg.GetCounter("mvcc.gc.pages_examined");
+    gc_versions_discarded = reg.GetCounter("mvcc.gc.versions_discarded");
   }
 };
 
@@ -161,21 +169,26 @@ Result<std::optional<std::string>> SiHeap::Read(Transaction* txn, Vid vid) {
   }
   Obs().reads->Increment();
   // Newest-first: mirrors an index scan returning the latest entry first.
+  size_t examined = 0;
   for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
     TupleHeader h;
     std::string payload;
     Status s = FetchVersion(*it, txn->clock(), &h, &payload);
     if (s.IsNotFound()) continue;  // vacuumed under us
     SIAS_RETURN_NOT_OK(s);
+    examined++;
     txn->clock()->Cpu(kCpuVisibilityCheck);
     Obs().visibility_checks->Increment();
     if (SiTupleVisible(h, txn->snapshot(), *env_.txns->clog())) {
+      Obs().traversal_depth->Record(static_cast<VDuration>(examined));
       return std::optional<std::string>{std::move(payload)};
     }
     Obs().version_hops->Increment();
     MutexLock g(&stats_mu_);
     stats_.version_hops++;
   }
+  Obs().traversal_depth->Record(static_cast<VDuration>(examined));
+  Obs().read_misses->Increment();
   return std::optional<std::string>{};
 }
 
@@ -396,6 +409,7 @@ Status SiHeap::GarbageCollect(Xid horizon, VirtualClock* clk,
     guard.LatchExclusive();
     SlottedPage page = guard.page();
     if (stats != nullptr) stats->pages_examined++;
+    Obs().gc_pages_examined->Increment();
     bool changed = false;
     for (uint16_t s = 0; s < page.slot_count(); ++s) {
       Slice tuple = page.GetTuple(s);
@@ -413,6 +427,7 @@ Status SiHeap::GarbageCollect(Xid horizon, VirtualClock* clk,
       SIAS_CHECK(page.DeleteTuple(s).ok());
       changed = true;
       if (stats != nullptr) stats->versions_discarded++;
+      Obs().gc_versions_discarded->Increment();
       {
         MutexLock g(&map_mu_);
         auto it = versions_.find(h.vid);

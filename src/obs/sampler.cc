@@ -1,0 +1,114 @@
+#include "obs/sampler.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace sias {
+namespace obs {
+
+namespace {
+uint64_t WallUnixMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  *out += buf;
+}
+}  // namespace
+
+MetricsSampler::MetricsSampler(MetricsRegistry* registry, size_t max_samples)
+    : registry_(registry), max_samples_(max_samples) {
+  SIAS_CHECK(registry_ != nullptr);
+  SIAS_CHECK(max_samples_ > 0);
+}
+
+void MetricsSampler::Capture(VTime vnow) {
+  // Snapshot outside mu_ would allow two captures to land out of order;
+  // holding mu_ across the registry snapshot is rank-safe (kMetricsSampler <
+  // kMetricsRegistry < kMetrics) and captures are rare by design.
+  MutexLock g(&mu_);
+  SamplePoint p;
+  p.wall_unix_ms = WallUnixMs();
+  p.vtime = vnow;
+  p.snapshot = registry_->Snapshot();
+  if (samples_.size() >= max_samples_) {
+    samples_.pop_front();
+    dropped_++;
+  }
+  samples_.push_back(std::move(p));
+}
+
+void MetricsSampler::Append(VTime vnow, MetricsSnapshot snapshot) {
+  MutexLock g(&mu_);
+  SamplePoint p;
+  p.wall_unix_ms = WallUnixMs();
+  p.vtime = vnow;
+  p.snapshot = std::move(snapshot);
+  if (samples_.size() >= max_samples_) {
+    samples_.pop_front();
+    dropped_++;
+  }
+  samples_.push_back(std::move(p));
+}
+
+size_t MetricsSampler::size() const {
+  MutexLock g(&mu_);
+  return samples_.size();
+}
+
+uint64_t MetricsSampler::dropped() const {
+  MutexLock g(&mu_);
+  return dropped_;
+}
+
+std::optional<MetricsSampler::SamplePoint> MetricsSampler::Latest() const {
+  MutexLock g(&mu_);
+  if (samples_.empty()) return std::nullopt;
+  return samples_.back();
+}
+
+std::string MetricsSampler::ToJson() const {
+  MutexLock g(&mu_);
+  std::string out = "{\"capacity\":";
+  AppendU64(&out, max_samples_);
+  out += ",\"dropped\":";
+  AppendU64(&out, dropped_);
+  out += ",\"samples\":[";
+  bool first = true;
+  for (const SamplePoint& p : samples_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"wall_unix_ms\":";
+    AppendU64(&out, p.wall_unix_ms);
+    out += ",\"vtime_ns\":";
+    AppendU64(&out, static_cast<uint64_t>(p.vtime));
+    out += ",\"metrics\":";
+    out += p.snapshot.ToJson();
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string MetricsSampler::LatestPrometheus(
+    const std::map<std::string, std::string>& labels) const {
+  std::optional<SamplePoint> latest = Latest();
+  if (!latest.has_value()) return "";
+  return latest->snapshot.ToPrometheusText(labels);
+}
+
+void MetricsSampler::Clear() {
+  MutexLock g(&mu_);
+  samples_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace obs
+}  // namespace sias

@@ -1,0 +1,77 @@
+// MetricsSampler: a bounded in-memory time series of registry snapshots.
+//
+// Each Capture() stamps a snapshot with both clocks — the engine's virtual
+// time (what the simulation reports) and the wall clock (what an operator
+// correlates with) — and appends it to a fixed-capacity ring. When the ring
+// is full the oldest sample is dropped (and counted), so memory stays
+// bounded no matter how long the sampler runs.
+//
+// The series dumps as JSON (one object per sample) for the bench pipeline,
+// and the latest sample exports in Prometheus text exposition format for
+// scrape-style consumers. See docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/latch.h"
+#include "common/types.h"
+#include "obs/metrics.h"
+
+namespace sias {
+namespace obs {
+
+class MetricsSampler {
+ public:
+  struct SamplePoint {
+    uint64_t wall_unix_ms = 0;  ///< wall clock at capture (ms since epoch)
+    VTime vtime = 0;            ///< virtual time supplied by the caller
+    MetricsSnapshot snapshot;
+  };
+
+  /// `registry` must outlive the sampler; `max_samples` bounds memory.
+  explicit MetricsSampler(MetricsRegistry* registry, size_t max_samples = 256);
+
+  /// Snapshots the registry now. `vnow` is the caller's virtual clock (pass
+  /// 0 when no simulation clock applies). Drops the oldest sample when full.
+  void Capture(VTime vnow);
+
+  /// Appends a pre-built snapshot (tests, external sources).
+  void Append(VTime vnow, MetricsSnapshot snapshot);
+
+  size_t size() const;
+  size_t capacity() const { return max_samples_; }
+  /// Samples discarded because the ring was full.
+  uint64_t dropped() const;
+
+  /// Most recent sample, if any.
+  std::optional<SamplePoint> Latest() const;
+
+  /// The whole series as one JSON object:
+  /// {"capacity":N,"dropped":D,"samples":[{"wall_unix_ms":..,"vtime_ns":..,
+  ///  "metrics":{...}},...]}.
+  std::string ToJson() const;
+
+  /// Latest sample in Prometheus text exposition format; `labels` are
+  /// attached to every series (values escaped per the format). Empty string
+  /// when no sample has been captured.
+  std::string LatestPrometheus(
+      const std::map<std::string, std::string>& labels = {}) const;
+
+  void Clear();
+
+ private:
+  MetricsRegistry* registry_;
+  const size_t max_samples_;
+  /// Rank kMetricsSampler: Capture() snapshots the registry (rank
+  /// kMetricsRegistry, then the kMetrics histogram shards) while holding it.
+  mutable Mutex mu_{LatchRank::kMetricsSampler};
+  std::deque<SamplePoint> samples_ SIAS_GUARDED_BY(mu_);
+  uint64_t dropped_ SIAS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace obs
+}  // namespace sias

@@ -2,7 +2,33 @@
 
 #include <chrono>
 
+#include "obs/metrics.h"
+#include "obs/op_trace.h"
+
 namespace sias {
+
+namespace {
+
+// Lock-wait telemetry (resolved once; see docs/OBSERVABILITY.md).
+struct LockObs {
+  obs::Counter* waits;
+  obs::Counter* timeouts;
+  obs::HistogramMetric* wait_vtime;
+
+  LockObs() {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    waits = reg.GetCounter("lock.waits");
+    timeouts = reg.GetCounter("lock.timeouts");
+    wait_vtime = reg.GetHistogram("lock.wait_vtime");
+  }
+};
+
+LockObs& Obs() {
+  static LockObs* obs = new LockObs();
+  return *obs;
+}
+
+}  // namespace
 
 Status LockManager::AcquireExclusive(RelationId relation, Vid vid, Xid xid,
                                      VirtualClock* clk) {
@@ -14,6 +40,8 @@ Status LockManager::AcquireExclusive(RelationId relation, Vid vid, Xid xid,
     state.holder = xid;
     return Status::OK();
   }
+  TRACE_OP("lock", "wait");
+  Obs().waits->Increment();
   state.waiters++;
   auto deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms_);
@@ -35,11 +63,17 @@ Status LockManager::AcquireExclusive(RelationId relation, Vid vid, Xid xid,
   st.waiters--;
   if (!got) {
     if (st.holder == kInvalidXid && st.waiters == 0) locks_.erase(key);
+    Obs().timeouts->Increment();
     return Status::LockTimeout("row lock wait timed out");
   }
+  TRACE_OP("lock", "wakeup");
   st.holder = xid;
   // Model the wait in virtual time: the lock was freed at last_release_vtime.
-  if (clk != nullptr) clk->AdvanceTo(st.last_release_vtime);
+  if (clk != nullptr) {
+    VTime wait_start = clk->now();
+    clk->AdvanceTo(st.last_release_vtime);
+    Obs().wait_vtime->Record(clk->now() - wait_start);
+  }
   return Status::OK();
 }
 

@@ -88,15 +88,20 @@ Status WalWriter::FlushTo(Lsn lsn, VirtualClock* clk) {
   Lsn write_begin = tail_start_ / kPageSize * kPageSize;
   SIAS_CHECK(write_begin == tail_start_);  // tail always starts block-aligned
   std::vector<uint8_t> block(kPageSize, 0);
-  for (Lsn pos = write_begin; pos < write_end; pos += kPageSize) {
-    size_t off = static_cast<size_t>(pos - tail_start_);
-    size_t n = std::min<size_t>(kPageSize, tail_.size() - off);
-    memcpy(block.data(), tail_.data() + off, n);
-    if (n < kPageSize) memset(block.data() + n, 0, kPageSize - n);
-    SIAS_RETURN_NOT_OK(
-        device_->Write(base_ + pos, kPageSize, block.data(), clk));
-    written_bytes_ += kPageSize;
-    blocks_written++;
+  {
+    // The device-write burst is the WAL's "fsync": the log is not durable
+    // until the last block lands.
+    TRACE_OP("wal", "fsync");
+    for (Lsn pos = write_begin; pos < write_end; pos += kPageSize) {
+      size_t off = static_cast<size_t>(pos - tail_start_);
+      size_t n = std::min<size_t>(kPageSize, tail_.size() - off);
+      memcpy(block.data(), tail_.data() + off, n);
+      if (n < kPageSize) memset(block.data() + n, 0, kPageSize - n);
+      SIAS_RETURN_NOT_OK(
+          device_->Write(base_ + pos, kPageSize, block.data(), clk));
+      written_bytes_ += kPageSize;
+      blocks_written++;
+    }
   }
   if (blocks_written > 0) {
     m_flushes_->Increment();

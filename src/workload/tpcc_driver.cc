@@ -120,6 +120,7 @@ Result<TpccResult> TpccDriver::Run() {
               if (local.first_error.ok()) local.first_error = error;
               break;
           }
+          if (cfg_.think_time > 0) term.clock.Advance(cfg_.think_time);
           // Virtual-time maintenance (bgwriter / checkpoint deadlines).
           Status ts = db_->Tick(&term.clock);
           if (!ts.ok() && local.first_error.ok()) {

@@ -22,6 +22,13 @@ struct DriverConfig {
   VTime start_time = 0;
   uint64_t seed = 42;
   int max_retries = 5;     ///< conflict-abort retries per transaction
+  /// Per-transaction keying/think time (TPC-C clause 5.2.5.7), charged to
+  /// the terminal's virtual clock after every transaction. 0 = open
+  /// throttle (measure peak throughput). A nonzero value closes the loop at
+  /// ~terminals/think_time txn/vsec, which equalizes the transaction rate
+  /// across version schemes — the fair control when comparing per-device
+  /// write volume or write amplification.
+  VDuration think_time = 0;
 };
 
 struct TpccResult {

@@ -1,0 +1,293 @@
+// Telemetry-export tests: histogram quantile edge cases (empty,
+// single-sample, beyond-range overflow), MetricsSampler memory bounding
+// under sustained capture, and Prometheus text-exposition conformance
+// (name sanitization, label-value escaping, line-level format round-trip).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+
+namespace sias {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram quantile edge cases
+// ---------------------------------------------------------------------------
+
+TEST(HistogramEdgeTest, EmptyHistogramReportsZeroes) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Min(), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+  EXPECT_EQ(h.Percentile(0), 0u);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.Percentile(100), 0u);
+}
+
+TEST(HistogramEdgeTest, SingleSampleDominatesEveryQuantile) {
+  Histogram h;
+  const VDuration v = 7 * kVMillisecond;
+  h.Record(v);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.Min(), v);
+  EXPECT_EQ(h.Max(), v);
+  EXPECT_DOUBLE_EQ(h.Mean(), static_cast<double>(v));
+  // Buckets are geometric (~4%): every quantile lands in the sample's
+  // bucket, whose reported lower bound is at most one bucket below v.
+  for (double p : {0.0, 50.0, 99.0, 100.0}) {
+    VDuration q = h.Percentile(p);
+    EXPECT_LE(q, v) << "p=" << p;
+    EXPECT_GE(static_cast<double>(q), static_cast<double>(v) / 1.05)
+        << "p=" << p;
+  }
+}
+
+TEST(HistogramEdgeTest, SmallestRepresentableValueHitsFirstBucket) {
+  Histogram h;
+  h.Record(1);
+  EXPECT_EQ(h.Percentile(50), 1u);
+  h.Record(0);  // below the first bound; must not underflow the bucket index
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.Min(), 0u);
+  EXPECT_LE(h.Percentile(50), 1u);
+}
+
+TEST(HistogramEdgeTest, OverflowValuesLandInFinalBucket) {
+  Histogram h;
+  // Both are far beyond the ~5000 s bucket coverage; they must be retained
+  // (counted, reflected in max/mean) rather than dropped or misfiled.
+  const VDuration huge = 100000ull * kVSecond;
+  h.Record(huge);
+  h.Record(~0ull);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.Max(), ~0ull);
+  EXPECT_EQ(h.Min(), huge);
+  // The overflow bucket reports the largest finite bucket bound (the last
+  // geometric step below the 5000 s coverage limit), not a wrapped or
+  // truncated value.
+  EXPECT_GE(h.Percentile(50), 4000ull * kVSecond);
+  EXPECT_LE(h.Percentile(50), 5000ull * kVSecond);
+}
+
+TEST(HistogramEdgeTest, QuantilesAreMonotoneInP) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) {
+    h.Record(static_cast<VDuration>(i) * kVMicrosecond);
+  }
+  VDuration prev = 0;
+  for (double p : {0.0, 10.0, 50.0, 90.0, 99.0, 100.0}) {
+    VDuration q = h.Percentile(p);
+    EXPECT_GE(q, prev) << "p=" << p;
+    prev = q;
+  }
+  EXPECT_LE(h.Percentile(100), h.Max());
+}
+
+TEST(HistogramEdgeTest, ResetReturnsToEmptyState) {
+  Histogram h;
+  h.Record(3 * kVSecond);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(99), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSampler memory bounding
+// ---------------------------------------------------------------------------
+
+TEST(MetricsSamplerTest, StaysBoundedUnderTenThousandCaptures) {
+  MetricsRegistry reg;
+  Counter* ticks = reg.GetCounter("sampler.ticks");
+  constexpr size_t kCapacity = 64;
+  constexpr uint64_t kCaptures = 10000;
+  MetricsSampler sampler(&reg, kCapacity);
+  for (uint64_t i = 0; i < kCaptures; ++i) {
+    ticks->Increment();
+    sampler.Capture(static_cast<VTime>(i) * kVMillisecond);
+  }
+  EXPECT_EQ(sampler.capacity(), kCapacity);
+  EXPECT_EQ(sampler.size(), kCapacity);
+  EXPECT_EQ(sampler.dropped(), kCaptures - kCapacity);
+  // The ring keeps the newest samples: the latest one carries the final
+  // virtual timestamp and the fully-incremented counter.
+  auto latest = sampler.Latest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->vtime, static_cast<VTime>(kCaptures - 1) * kVMillisecond);
+  EXPECT_EQ(latest->snapshot.counters.at("sampler.ticks"),
+            static_cast<int64_t>(kCaptures));
+}
+
+TEST(MetricsSamplerTest, JsonDumpCarriesCapacityDroppedAndSamples) {
+  MetricsRegistry reg;
+  reg.GetCounter("x")->Add(5);
+  MetricsSampler sampler(&reg, 4);
+  for (int i = 0; i < 10; ++i) sampler.Capture(i);
+  std::string json = sampler.ToJson();
+  EXPECT_NE(json.find("\"capacity\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dropped\":6"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"samples\":["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"vtime_ns\":9"), std::string::npos) << json;
+  // Evicted samples must not linger in the dump.
+  EXPECT_EQ(json.find("\"vtime_ns\":5,"), std::string::npos) << json;
+}
+
+TEST(MetricsSamplerTest, ClearEmptiesTheSeries) {
+  MetricsRegistry reg;
+  MetricsSampler sampler(&reg, 8);
+  sampler.Capture(1);
+  sampler.Capture(2);
+  ASSERT_EQ(sampler.size(), 2u);
+  sampler.Clear();
+  EXPECT_EQ(sampler.size(), 0u);
+  EXPECT_FALSE(sampler.Latest().has_value());
+  EXPECT_EQ(sampler.LatestPrometheus(), "");
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition format
+// ---------------------------------------------------------------------------
+
+TEST(PrometheusTest, NameSanitization) {
+  EXPECT_EQ(PrometheusName("mvcc.gc.pages_examined"),
+            "mvcc_gc_pages_examined");
+  EXPECT_EQ(PrometheusName("flash.gc-page-moves"), "flash_gc_page_moves");
+  EXPECT_EQ(PrometheusName("already_fine:subsystem"),
+            "already_fine:subsystem");
+  // Leading digits are illegal in the exposition format.
+  EXPECT_EQ(PrometheusName("9lives"), "_9lives");
+  EXPECT_EQ(PrometheusName("a b\tc"), "a_b_c");
+}
+
+TEST(PrometheusTest, LabelValueEscaping) {
+  EXPECT_EQ(PrometheusEscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(PrometheusEscapeLabelValue("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(PrometheusEscapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(PrometheusEscapeLabelValue("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(PrometheusEscapeLabelValue("\\\"\n"), "\\\\\\\"\\n");
+}
+
+// Minimal exposition-format line validator: `name{labels} value` where the
+// name is [a-zA-Z_:][a-zA-Z0-9_:]*, the optional label block holds
+// key="escaped value" pairs, and the value parses as a number.
+bool ValidExpositionLine(const std::string& line) {
+  size_t i = 0;
+  auto name_start = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  auto name_char = [&](char c) {
+    return name_start(c) || std::isdigit(static_cast<unsigned char>(c));
+  };
+  if (i >= line.size() || !name_start(line[i])) return false;
+  while (i < line.size() && name_char(line[i])) ++i;
+  if (i < line.size() && line[i] == '{') {
+    ++i;
+    while (i < line.size() && line[i] != '}') {
+      if (!name_start(line[i])) return false;
+      while (i < line.size() && name_char(line[i])) ++i;
+      if (i + 1 >= line.size() || line[i] != '=' || line[i + 1] != '"') {
+        return false;
+      }
+      i += 2;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\') {
+          // Only \\, \" and \n are legal escapes.
+          if (i + 1 >= line.size()) return false;
+          char n = line[i + 1];
+          if (n != '\\' && n != '"' && n != 'n') return false;
+          ++i;
+        } else if (line[i] == '\n') {
+          return false;  // raw newline inside a label value
+        }
+        ++i;
+      }
+      if (i >= line.size()) return false;
+      ++i;  // closing quote
+      if (i < line.size() && line[i] == ',') ++i;
+    }
+    if (i >= line.size()) return false;
+    ++i;  // closing brace
+  }
+  if (i >= line.size() || line[i] != ' ') return false;
+  ++i;
+  // Value: a decimal number, optionally signed/fractional/exponent.
+  size_t pos = 0;
+  try {
+    (void)std::stod(line.substr(i), &pos);
+  } catch (...) {
+    return false;
+  }
+  return i + pos == line.size();
+}
+
+TEST(PrometheusTest, SnapshotExportRoundTripsTheFormat) {
+  MetricsRegistry reg;
+  reg.GetCounter("flash.host_page_programs")->Add(1234);
+  reg.GetCounter("9starts.with.digit")->Add(1);
+  reg.GetGauge("db.device.free_blocks")->Set(-7);
+  HistogramMetric* h = reg.GetHistogram("mvcc.visible_depth");
+  for (int i = 1; i <= 100; ++i) h->Record(i * kVMicrosecond);
+
+  std::map<std::string, std::string> labels = {
+      {"bench", "write_reduction"},
+      {"scheme", "SIAS-V \"t2\"\nnext\\line"},
+  };
+  std::string text = reg.Snapshot().ToPrometheusText(labels);
+
+  size_t samples = 0, type_lines = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      ++type_lines;
+      continue;
+    }
+    EXPECT_TRUE(ValidExpositionLine(line)) << "bad line: " << line;
+    ++samples;
+  }
+  // counter + counter + gauge + histogram summary; the histogram emits three
+  // quantiles plus _sum and _count.
+  EXPECT_EQ(type_lines, 4u);
+  EXPECT_EQ(samples, 3u + 3u + 2u);
+  EXPECT_NE(text.find("flash_host_page_programs{"), std::string::npos);
+  EXPECT_NE(text.find("_9starts_with_digit{"), std::string::npos);
+  EXPECT_NE(text.find("db_device_free_blocks{"), std::string::npos) << text;
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_NE(text.find("mvcc_visible_depth_count{"), std::string::npos);
+  EXPECT_NE(text.find("scheme=\"SIAS-V \\\"t2\\\"\\nnext\\\\line\""),
+            std::string::npos)
+      << text;
+}
+
+TEST(PrometheusTest, SamplerLatestExportMatchesFinalCapture) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("ops.total");
+  MetricsSampler sampler(&reg, 2);
+  EXPECT_EQ(sampler.LatestPrometheus(), "");
+  c->Add(10);
+  sampler.Capture(1 * kVSecond);
+  c->Add(32);
+  sampler.Capture(2 * kVSecond);
+  std::string text = sampler.LatestPrometheus({{"host", "ci"}});
+  EXPECT_NE(text.find("ops_total{host=\"ci\"} 42"), std::string::npos)
+      << text;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line.rfind("# ", 0) == 0) continue;
+    EXPECT_TRUE(ValidExpositionLine(line)) << "bad line: " << line;
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace sias
