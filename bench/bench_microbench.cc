@@ -4,6 +4,9 @@
 // paper §4.1.3.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+
 #include "bench/bench_common.h"
 #include "buffer/buffer_pool.h"
 #include "common/logging.h"
@@ -14,6 +17,8 @@
 #include "core/vid_map_v.h"
 #include "device/flash_ssd.h"
 #include "device/mem_device.h"
+#include "fault/fault_injector.h"
+#include "fault/faulty_device.h"
 #include "index/btree.h"
 #include "index/key_codec.h"
 #include "mvcc/tuple.h"
@@ -271,14 +276,111 @@ void BM_LockAcquireRelease(benchmark::State& state) {
 BENCHMARK(BM_LockAcquireRelease);
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Fault-injection overhead gate (--fault-overhead): the disabled-injector
+// fast path (one relaxed atomic load per SIAS_CRASH_POINT site plus the
+// FaultyDevice pass-through) must be free. Measures wall-clock throughput
+// of an update-transaction loop with raw MemDevices vs the same loop behind
+// write-through FaultyDevices with a constructed-but-never-armed injector;
+// scripts/bench_baseline.json gates wrapped/baseline >= 0.99.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+double FaultOverheadPass(bool wrapped) {
+  constexpr int kKeys = 256;
+  constexpr int kTxns = 10000;
+  MemDevice data(1ull << 30);
+  MemDevice wal(1ull << 30);
+  fault::FaultInjector injector(1);  // never armed: the production state
+  fault::FaultyDevice fdata(&data, &injector,
+                            fault::FaultyDevice::Options{false, "data"});
+  fault::FaultyDevice fwal(&wal, &injector,
+                           fault::FaultyDevice::Options{false, "wal"});
+  DatabaseOptions opts;
+  opts.data_device = wrapped ? static_cast<StorageDevice*>(&fdata) : &data;
+  opts.wal_device = wrapped ? static_cast<StorageDevice*>(&fwal) : &wal;
+  auto d = Database::Open(opts);
+  SIAS_CHECK(d.ok());
+  std::unique_ptr<Database> db = std::move(*d);
+  auto t = db->CreateTable(
+      "kv", Schema{{"k", ColumnType::kInt64}, {"v", ColumnType::kString}},
+      VersionScheme::kSiasV);
+  SIAS_CHECK(t.ok());
+  Table* table = *t;
+  VirtualClock clk;
+  std::vector<Vid> vids;
+  for (int64_t k = 0; k < kKeys; ++k) {
+    auto txn = db->Begin(&clk);
+    auto vid = table->Insert(txn.get(), Row{{k, std::string("seed")}});
+    SIAS_CHECK(vid.ok());
+    vids.push_back(*vid);
+    SIAS_CHECK(db->Commit(txn.get()).ok());
+  }
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kTxns; ++i) {
+    auto txn = db->Begin(&clk);
+    int64_t k = i % kKeys;
+    SIAS_CHECK(
+        table->Update(txn.get(), vids[k], Row{{k, "u" + std::to_string(i)}})
+            .ok());
+    SIAS_CHECK(db->Commit(txn.get()).ok());
+  }
+  auto secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+  return static_cast<double>(kTxns) / secs;
+}
+
+void RunFaultOverhead(bench::BenchMetricsWriter* out) {
+  // Interleaved best-of-N: wall-clock noise hits both sides equally and the
+  // best rep approximates the contention-free cost.
+  constexpr int kReps = 7;
+  double base = 0, wrap = 0;
+  FaultOverheadPass(false);  // warm-up (allocator, page cache)
+  for (int r = 0; r < kReps; ++r) {
+    base = std::max(base, FaultOverheadPass(false));
+    wrap = std::max(wrap, FaultOverheadPass(true));
+  }
+  printf("fault-overhead: baseline %.0f txn/s, wrapped %.0f txn/s "
+         "(ratio %.4f)\n",
+         base, wrap, wrap / base);
+  out->Add("microbench.fault_overhead.baseline", "SIAS-V", nullptr,
+           obs::MetricsRegistry::Default().Snapshot(),
+           {{"ops_per_sec", base}});
+  out->Add("microbench.fault_overhead.wrapped", "SIAS-V", nullptr,
+           obs::MetricsRegistry::Default().Snapshot(),
+           {{"ops_per_sec", wrap}});
+}
+
+}  // namespace
 }  // namespace sias
 
 // Custom main instead of BENCHMARK_MAIN(): supports the shared
 // `--metrics-out=<file>` contract — after the google-benchmark run, the
 // process-global metrics registry (vidmap.*, flash.*, btree traversals the
-// kernels above exercised) is dumped as one experiment.
+// kernels above exercised) is dumped as one experiment. `--fault-overhead`
+// runs the injector-overhead measurement instead of the kernel suite.
 int main(int argc, char** argv) {
   sias::bench::BenchMetricsWriter out("microbench", &argc, argv);
+  bool fault_overhead = false;
+  {
+    int keep = 1;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--fault-overhead") == 0) {
+        fault_overhead = true;
+      } else {
+        argv[keep++] = argv[i];
+      }
+    }
+    argc = keep;
+  }
+  if (fault_overhead) {
+    sias::RunFaultOverhead(&out);
+    out.Write();
+    return 0;
+  }
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();

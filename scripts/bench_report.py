@@ -225,6 +225,19 @@ def run_check(check, benches):
         ok = red >= check["min_pct"]
         return ok, (f"{desc}: reduction {fmt(red)}% "
                     f"(want >= {check['min_pct']}%)")
+    if t == "ratio_geq":
+        e0 = bench.get(check["base_label"])
+        e = bench.get(check["label"])
+        if e0 is None or e is None:
+            return False, f"{desc}: label missing"
+        v0, v = res(e0, check["key"]), res(e, check["key"])
+        if not v0:
+            return False, f"{desc}: baseline {check['key']} is zero/missing"
+        ratio = v / v0
+        ok = ratio >= check["min_ratio"]
+        return ok, (f"{desc}: {check['label']}/{check['base_label']} "
+                    f"{check['key']} ratio {fmt(ratio, 4)} "
+                    f"(want >= {check['min_ratio']})")
     if t == "counter_geq":
         e = bench.get(check["label"])
         if e is None:

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Crashgrind: loops the seeded power-cut fuzz (CrashFuzz.RandomDeviceOpPowerCuts
+# in tests/crash_test.cc) over many seed batches, collecting every failure
+# together with the seed that reproduces it (docs/FAULTS.md describes the
+# replay workflow: SIAS_CRASH_SEED=<seed> SIAS_CRASH_ITERS=1).
+#
+# Usage: scripts/crashgrind.sh [-b BUILD_DIR] [-n BATCHES] [-i ITERS] [-s SEED]
+#   -b  build tree holding tests/crash_test      (default: build)
+#   -n  number of seed batches to run            (default: 20)
+#   -i  fuzz iterations per batch                (default: 10)
+#   -s  base seed of the first batch             (default: date-derived)
+# Exit status is the number of failing batches (0 = clean). Failures and
+# their seeds are collected in crashgrind-failures.log.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+build=build
+batches=20
+iters=10
+seed=$(date +%Y%m%d)
+while getopts "b:n:i:s:" opt; do
+  case "$opt" in
+    b) build="$OPTARG" ;;
+    n) batches="$OPTARG" ;;
+    i) iters="$OPTARG" ;;
+    s) seed="$OPTARG" ;;
+    *) echo "usage: $0 [-b build_dir] [-n batches] [-i iters] [-s seed]" >&2
+       exit 2 ;;
+  esac
+done
+
+bin="$build/tests/crash_test"
+if [ ! -x "$bin" ]; then
+  echo "crashgrind: $bin not built (cmake --build $build --target crash_test)" >&2
+  exit 2
+fi
+
+log=crashgrind-failures.log
+: > "$log"
+failures=0
+for ((b = 0; b < batches; b++)); do
+  batch_seed=$((seed + b * 1000003))
+  echo "=== crashgrind batch $((b + 1))/$batches (SIAS_CRASH_SEED=$batch_seed) ==="
+  if ! SIAS_CRASH_SEED="$batch_seed" SIAS_CRASH_ITERS="$iters" \
+       "$bin" --gtest_filter='CrashFuzz.*' --gtest_brief=1 2>&1 | tee /tmp/crashgrind-$$.out; then
+    failures=$((failures + 1))
+    {
+      echo "--- batch seed $batch_seed FAILED ---"
+      # The test prints the exact per-iteration replay line on failure.
+      grep -E "SIAS_CRASH_SEED=|FAILED|invariant" /tmp/crashgrind-$$.out
+      echo
+    } >> "$log"
+  fi
+done
+rm -f /tmp/crashgrind-$$.out
+
+if [ "$failures" -gt 0 ]; then
+  echo "crashgrind: $failures/$batches batches failed; seeds in $log" >&2
+else
+  echo "crashgrind: all $batches batches clean"
+fi
+exit "$failures"

@@ -1,8 +1,15 @@
 #include "buffer/buffer_pool.h"
 
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+
 #include <thread>
 
 #include "common/logging.h"
+#include "fault/crash_point.h"
+#include "fault/debug_ring.h"
+#include "fault/retry.h"
 #include "obs/op_trace.h"
 
 namespace sias {
@@ -109,20 +116,43 @@ Status BufferPool::WriteFrame(Frame& f, VirtualClock* clk,
     SpinBackoff backoff;
     while (!f.latch.TryLockShared()) backoff.Pause();
   }
-  // WAL-before-data: the log must be durable up to the page's LSN.
+  // WAL-before-data: the log must be durable up to the page's LSN. The
+  // crash points bracket the two halves of that protocol — a cut between
+  // them exercises "log durable, data page not".
   Lsn lsn = f.lsn.load(std::memory_order_relaxed);
-  Status s;
-  if (wal_flush_ && lsn != kInvalidLsn) {
+  Status s = fault::CrashPoint("buffer.pre_wal_hook");
+  // Torn-page protection: log the full image ahead of the in-place write
+  // and widen the WAL flush to cover it. If the write below tears, redo
+  // restores the page from this image instead of reading the device.
+  if (s.ok() && fpi_log_) {
+    auto fpi = fpi_log_(f.id, f.data.get(), clk);
+    if (!fpi.ok()) {
+      s = fpi.status();
+    } else if (*fpi != kInvalidLsn) {
+      lsn = lsn == kInvalidLsn ? *fpi : std::max(lsn, *fpi);
+    }
+  }
+  if (s.ok() && wal_flush_ && lsn != kInvalidLsn) {
     s = wal_flush_(lsn, clk);
   }
+  if (s.ok()) s = fault::CrashPoint("buffer.pre_page_write");
   if (s.ok()) {
     SlottedPage(f.data.get()).UpdateChecksum();
     // Maintenance flushes are paced background I/O (StorageDevice::Write);
     // eviction writes sit on the transaction path and pay foreground time.
     bool background = source == FlushSource::kBackgroundWriter ||
                       source == FlushSource::kCheckpoint;
-    s = disk_->WritePage(f.id.relation, f.id.page, f.data.get(), clk,
-                         background);
+    s = fault::RetryTransient("page writeback", clk, [&] {
+      return disk_->WritePage(f.id.relation, f.id.page, f.data.get(), clk,
+                              background);
+    });
+  }
+  if (s.ok()) s = fault::CrashPoint("buffer.post_page_write");
+  if (s.ok()) {
+    fault::DebugRingLog("write_frame", f.id.relation, f.id.page,
+                        SlottedPage(f.data.get()).slot_count() |
+                            (uint64_t(source) << 32),
+                        f.lsn.load(std::memory_order_relaxed));
   }
   if (s.ok()) {
     f.dirty.store(false, std::memory_order_release);
@@ -180,7 +210,9 @@ Result<PageGuard> BufferPool::FetchPage(PageId id, VirtualClock* clk) {
   m_misses_->Increment();
   SIAS_ASSIGN_OR_RETURN(size_t idx, FindVictim(clk));
   Frame& f = frames_[idx];
-  SIAS_RETURN_NOT_OK(disk_->ReadPage(id.relation, id.page, f.data.get(), clk));
+  SIAS_RETURN_NOT_OK(fault::RetryTransient("page read", clk, [&] {
+    return disk_->ReadPage(id.relation, id.page, f.data.get(), clk);
+  }));
   SlottedPage sp(f.data.get());
   if (!sp.VerifyChecksum()) {
     return Status::Corruption("page checksum mismatch " + id.ToString());
@@ -214,6 +246,45 @@ Result<PageGuard> BufferPool::NewPage(RelationId relation, VirtualClock* clk,
   f.pins.store(1, std::memory_order_release);
   table_[id] = idx;
   return PageGuard(this, idx, id);
+}
+
+Status BufferPool::RestorePage(PageId id, const uint8_t* image,
+                               VirtualClock* clk) {
+  auto count = disk_->PageCount(id.relation);
+  if (!count.ok()) return count.status();
+  while (*count <= id.page) {
+    // The page's first-ever write was cut before the control block caught
+    // up: re-extend the relation so the image has a durable home again.
+    SIAS_RETURN_NOT_OK(disk_->AllocatePage(id.relation).status());
+    count = disk_->PageCount(id.relation);
+    if (!count.ok()) return count.status();
+  }
+  MutexLock lock(&mu_);
+  auto it = table_.find(id);
+  size_t idx;
+  if (it != table_.end()) {
+    idx = it->second;
+  } else {
+    SIAS_ASSIGN_OR_RETURN(idx, FindVictim(clk));
+  }
+  Frame& f = frames_[idx];
+  Lsn image_lsn = SlottedPage(const_cast<uint8_t*>(image)).header()->lsn;
+  if (it != table_.end()) {
+    Lsn have = f.lsn.load(std::memory_order_relaxed);
+    if (have != kInvalidLsn && have >= image_lsn) return Status::OK();
+  }
+  std::memcpy(f.data.get(), image, kPageSize);
+  f.id = id;
+  f.valid = true;
+  f.dirty.store(true, std::memory_order_relaxed);
+  f.referenced = true;
+  f.lsn.store(image_lsn, std::memory_order_relaxed);
+  if (it == table_.end()) {
+    f.sticky = false;
+    f.pins.store(0, std::memory_order_release);
+    table_[id] = idx;
+  }
+  return Status::OK();
 }
 
 Status BufferPool::FlushPage(PageId id, VirtualClock* clk,

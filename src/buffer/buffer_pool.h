@@ -100,8 +100,21 @@ class BufferPool {
   /// the device, enforcing write-ahead logging. May be empty.
   using WalFlushHook = std::function<Status(Lsn, VirtualClock*)>;
 
+  /// Invoked with a page's id and stabilized image right before the page is
+  /// written to the device; appends a full-page-image WAL record and returns
+  /// its LSN (or kInvalidLsn to skip, e.g. while recovery replays the log).
+  /// The pool then extends the WAL-before-data flush to cover that record,
+  /// so a torn in-place page write always has a durable image to recover
+  /// from. May be empty.
+  using FpiHook = std::function<Result<Lsn>(PageId, const uint8_t*,
+                                            VirtualClock*)>;
+
   BufferPool(DiskManager* disk, size_t num_frames,
              WalFlushHook wal_flush = {});
+
+  /// Installs the full-page-image hook (engine setup, before concurrent
+  /// use).
+  void SetFpiHook(FpiHook hook) { fpi_log_ = std::move(hook); }
   ~BufferPool();
 
   /// Fetches an existing page, reading it from the device on a miss.
@@ -111,6 +124,15 @@ class BufferPool {
   /// initialized and dirty.
   Result<PageGuard> NewPage(RelationId relation, VirtualClock* clk,
                             uint32_t page_flags = 0);
+
+  /// Installs `image` (one full page) as the in-memory state of `id`
+  /// without reading the device — recovery's torn-page restore. Extends the
+  /// relation if the page was never durably allocated, skips the copy when
+  /// a resident frame already carries a newer LSN (un-logged GC
+  /// re-initializations must not be regressed), and leaves the frame dirty
+  /// so the next flush rewrites the (possibly torn) durable copy. Only
+  /// called from single-threaded recovery.
+  Status RestorePage(PageId id, const uint8_t* image, VirtualClock* clk);
 
   /// Writes one dirty page out (no-op if clean or absent).
   Status FlushPage(PageId id, VirtualClock* clk,
@@ -179,6 +201,7 @@ class BufferPool {
 
   DiskManager* disk_;
   WalFlushHook wal_flush_;
+  FpiHook fpi_log_;
 
   mutable Mutex mu_{LatchRank::kBufferPool};
   std::vector<Frame> frames_;

@@ -151,6 +151,7 @@ const char* LatchRankName(LatchRank rank) {
     case LatchRank::kBucketDir: return "bucket-dir";
     case LatchRank::kLockManager: return "lock-manager";
     case LatchRank::kDisk: return "disk";
+    case LatchRank::kFaultyDevice: return "faulty-device";
     case LatchRank::kDevice: return "device";
     case LatchRank::kDeviceCalendar: return "device-calendar";
     case LatchRank::kDeviceStore: return "device-store";

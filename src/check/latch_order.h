@@ -59,6 +59,7 @@ enum class LatchRank : uint8_t {
   kBucketDir = 70,      ///< BucketDirectory growth (VidMap/VidMapV/Clog)
   kLockManager = 75,    ///< LockManager::mu_ (row-lock table)
   kDisk = 80,           ///< DiskManager::mu_ (extent table)
+  kFaultyDevice = 83,   ///< fault::FaultyDevice::mu_ (volatile write cache)
   kDevice = 85,         ///< FlashSsd/Hdd::mu_ (FTL / head state)
   kDeviceCalendar = 90, ///< ChannelCalendar::mu_ (busy marks)
   kDeviceStore = 91,    ///< DataStore::mu_ (payload bytes)

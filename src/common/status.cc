@@ -16,6 +16,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Corruption";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kIoErrorTransient:
+      return "IoErrorTransient";
     case StatusCode::kOutOfSpace:
       return "OutOfSpace";
     case StatusCode::kNotSupported:

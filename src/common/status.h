@@ -15,6 +15,10 @@ enum class StatusCode : uint8_t {
   kAlreadyExists,
   kCorruption,
   kIoError,
+  /// A device error that is expected to clear on retry (fault-injected
+  /// flaky I/O). Consumers retry with bounded backoff (src/fault/retry.h);
+  /// an exhausted budget surfaces this code to the caller.
+  kIoErrorTransient,
   kOutOfSpace,
   kNotSupported,
   /// Snapshot-Isolation write-write conflict: first-updater-wins aborted the
@@ -50,6 +54,9 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status TransientIoError(std::string msg) {
+    return Status(StatusCode::kIoErrorTransient, std::move(msg));
+  }
   static Status OutOfSpace(std::string msg) {
     return Status(StatusCode::kOutOfSpace, std::move(msg));
   }
@@ -81,6 +88,9 @@ class Status {
     return code() == StatusCode::kSerializationFailure;
   }
   bool IsLockTimeout() const { return code() == StatusCode::kLockTimeout; }
+  bool IsTransientIoError() const {
+    return code() == StatusCode::kIoErrorTransient;
+  }
   /// True for the retryable TPC-C abort classes (conflict / lock timeout).
   bool IsRetryable() const {
     return IsSerializationFailure() || IsLockTimeout();

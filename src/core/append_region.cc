@@ -1,6 +1,8 @@
 #include "core/append_region.h"
 
 #include "common/logging.h"
+#include "fault/crash_point.h"
+#include "fault/debug_ring.h"
 #include "storage/page.h"
 
 namespace sias {
@@ -8,6 +10,7 @@ namespace sias {
 Status AppendRegion::OpenNewPageLocked(VirtualClock* clk) {
   // Seal the previous page: it stays dirty in the pool but becomes
   // eviction-eligible; the flush policy decides when it hits the device.
+  SIAS_CRASH_POINT("region.pre_seal");
   if (open_page_ != kInvalidPageNumber) {
     (void)pool_->SetSticky(PageId{relation_, open_page_}, false);
     stats_.pages_sealed++;
@@ -24,7 +27,13 @@ Status AppendRegion::OpenNewPageLocked(VirtualClock* clk) {
     guard = std::move(*r);
     guard.LatchExclusive();
     guard.page().Init(relation_, page, kPageFlagAppendRegion);
-    guard.MarkDirty();
+    // Un-logged re-initialization: stamp the fresh generation with the
+    // current WAL position so a flushed-but-still-empty recycled page
+    // outranks the previous generation's redo records (see the matching
+    // stamp on the GC reclaim path).
+    guard.MarkDirty(wal_ != nullptr ? wal_->current_lsn() : kInvalidLsn);
+    fault::DebugRingLog("region_recycle", relation_, page,
+                        wal_ != nullptr ? wal_->current_lsn() : 0);
     guard.Unlatch();
     open_page_ = page;
     stats_.pages_recycled++;
@@ -35,7 +44,11 @@ Status AppendRegion::OpenNewPageLocked(VirtualClock* clk) {
     open_page_ = guard.id().page;
   }
   stats_.pages_opened++;
-  return pool_->SetSticky(PageId{relation_, open_page_}, true);
+  SIAS_RETURN_NOT_OK(pool_->SetSticky(PageId{relation_, open_page_}, true));
+  // The fresh open page exists only in memory until a flush policy persists
+  // it; a cut here loses the page but not the WAL records that fill it.
+  SIAS_CRASH_POINT("region.post_open");
+  return Status::OK();
 }
 
 Result<Tid> AppendRegion::Append(Slice tuple, Xid xid, uint64_t aux,

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "mvcc/visibility.h"
+#include "fault/debug_ring.h"
 #include "obs/metrics.h"
 #include "obs/op_trace.h"
 
@@ -411,11 +412,27 @@ Result<std::vector<Tid>> SiasTable::ChainOf(Vid vid, VirtualClock* clk) {
     return map_v_.Get(vid);
   }
   Tid tid = map_.Get(vid);
+  Xid newer_xmin = kInvalidXid;  // xmin of the previously visited version
   while (tid.valid()) {
-    chain.push_back(tid);
     TupleHeader h;
     Status s = FetchVersion(tid, clk, &h, nullptr);
-    if (!s.ok()) break;
+    if (!s.ok()) break;  // dangling tail: rest already reclaimed
+    if (h.vid != vid && !chain.empty()) {
+      // The anchor's predecessor pointer is allowed to dangle into a page
+      // GC reclaimed and recycled (see LiveVersions): the slot now holds an
+      // unrelated item. Treat it like a reclaimed tail, not a link.
+      break;
+    }
+    if (h.vid != vid) {
+      return Status::Corruption("vid map entry resolves to wrong item");
+    }
+    if (newer_xmin != kInvalidXid && h.xmin >= newer_xmin) {
+      // A predecessor must be strictly older; this is a recycled slot that
+      // happens to hold the same item again. Stop before it loops.
+      break;
+    }
+    chain.push_back(tid);
+    newer_xmin = h.xmin;
     tid = h.pred();
     if (chain.size() > 1u << 20) {
       return Status::Corruption("version chain cycle");
@@ -708,7 +725,16 @@ Status SiasTable::GarbageCollect(Xid horizon, VirtualClock* clk,
           }
         }
         page.Init(relation_, p, kPageFlagAppendRegion);
-        guard.MarkDirty();
+        // The reclaim itself is not WAL-logged, so the emptied image must
+        // outrank every record that filled the old generation: stamp it
+        // with the current WAL position. Redo then skips those stale
+        // inserts via the ordinary LSN gate (their live versions were
+        // relocated above, under WAL records of their own), instead of
+        // replaying them into a page that no longer holds them.
+        guard.MarkDirty(env_.wal != nullptr ? env_.wal->current_lsn()
+                                            : kInvalidLsn);
+        fault::DebugRingLog("gc_reclaim", relation_, p,
+                            env_.wal != nullptr ? env_.wal->current_lsn() : 0);
         guard.Unlatch();
         if (stats != nullptr) {
           stats->versions_discarded += discarded - live_on_page;
@@ -794,6 +820,14 @@ Status SiasTable::ApplyInsert(Tid tid, uint64_t vid_aux, Slice tuple,
     guard.Unlatch();
     return Status::OK();
   }
+  // GC recycling re-Init()s an emptied append page without a WAL record of
+  // its own. An insert redo at slot 0 that is *newer* than the surviving
+  // page image (the LSN gate above already passed) can only mean the page
+  // was recycled in between — replay the re-initialization here, otherwise
+  // the old generation's slots shadow the new one's.
+  if (tid.slot == 0 && page.slot_count() > 0) {
+    page.Init(relation_, tid.page, kPageFlagAppendRegion);
+  }
   Status result = Status::OK();
   if (tid.slot < page.slot_count()) {
     result = page.OverwriteTuple(tid.slot, tuple);
@@ -801,7 +835,12 @@ Status SiasTable::ApplyInsert(Tid tid, uint64_t vid_aux, Slice tuple,
     uint16_t slot = page.InsertTuple(tuple);
     if (slot != tid.slot) result = Status::Corruption("redo slot mismatch");
   } else {
-    result = Status::Corruption("redo slot gap");
+    result = Status::Corruption(
+        "redo slot gap page=" + std::to_string(tid.page) +
+        " slot=" + std::to_string(tid.slot) +
+        " slot_count=" + std::to_string(page.slot_count()) +
+        " page_lsn=" + std::to_string(page.header()->lsn) +
+        " rec_lsn=" + std::to_string(lsn));
   }
   if (result.ok()) guard.MarkDirty(lsn);
   guard.Unlatch();

@@ -159,6 +159,16 @@ class StorageDevice {
     return Status::OK();
   }
 
+  /// Durability barrier (fsync): every Write issued before the call has
+  /// reached stable storage when it returns. The simulated devices persist
+  /// writes immediately, so the default is a no-op; volatile write-back
+  /// decorators (fault::FaultyDevice) override it to drain their cache, and
+  /// composites fan it out to their members.
+  virtual Status Sync(VirtualClock* clk) {
+    (void)clk;
+    return Status::OK();
+  }
+
   virtual uint64_t capacity_bytes() const = 0;
   virtual DeviceStats stats() const = 0;
 

@@ -83,6 +83,13 @@ Status Raid0::Trim(uint64_t offset, size_t len) {
   return Status::OK();
 }
 
+Status Raid0::Sync(VirtualClock* clk) {
+  for (const auto& m : members_) {
+    SIAS_RETURN_NOT_OK(m->Sync(clk));
+  }
+  return Status::OK();
+}
+
 DeviceStats Raid0::stats() const {
   DeviceStats total;
   for (const auto& m : members_) total += m->stats();

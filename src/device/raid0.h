@@ -21,6 +21,7 @@ class Raid0 : public StorageDevice {
   Status Write(uint64_t offset, size_t len, const uint8_t* data,
                VirtualClock* clk, bool background = false) override;
   Status Trim(uint64_t offset, size_t len) override;
+  Status Sync(VirtualClock* clk) override;
 
   uint64_t capacity_bytes() const override { return capacity_; }
   DeviceStats stats() const override;

@@ -1,16 +1,25 @@
 #include "engine/database.h"
 
 #include <cstring>
+#include <optional>
 
 #include "common/coding.h"
 #include "common/crc32c.h"
 #include "common/logging.h"
+#include "fault/crash_point.h"
+#include "fault/debug_ring.h"
+#include "fault/retry.h"
 #include "obs/op_trace.h"
 
 namespace sias {
 
 namespace {
 constexpr uint64_t kControlMagic = 0x534941534442ull;  // "SIASDB"
+
+// Control-block slot layout:
+//   [magic u64][seq u64][ckpt_lsn u64][dm_len u32][dm bytes]
+//   [clog_len u32][clog bytes][next_xid u64][crc u32 over everything before]
+constexpr size_t kControlFixedHead = 8 + 8 + 8 + 4;  // magic..dm_len
 }
 
 Database::Database(const DatabaseOptions& opts)
@@ -37,6 +46,28 @@ Result<std::unique_ptr<Database>> Database::Open(const DatabaseOptions& opts) {
               return wal->FlushTo(lsn, clk);
             })
           : BufferPool::WalFlushHook{});
+  if (wal != nullptr) {
+    // Full-page images ahead of every in-place page write (torn-page
+    // protection; see WalRecordType::kPageImage). Disabled while recovery
+    // itself runs — the writer is not resumed yet, and redo restores pages
+    // from the images already in the log.
+    db->pool_->SetFpiHook([db = db.get()](PageId id, const uint8_t* image,
+                                          VirtualClock* clk) -> Result<Lsn> {
+      (void)clk;
+      if (!db->fpi_enabled_.load(std::memory_order_acquire)) {
+        return kInvalidLsn;
+      }
+      WalRecord rec;
+      rec.type = WalRecordType::kPageImage;
+      rec.relation = id.relation;
+      rec.tid = Tid{id.page, 0};
+      rec.body.assign(reinterpret_cast<const char*>(image), kPageSize);
+      SIAS_ASSIGN_OR_RETURN(Lsn lsn, db->wal_->Append(rec));
+      obs::MetricsRegistry::Default().GetCounter("wal.fpi_records")
+          ->Increment();
+      return lsn;
+    });
+  }
 
   // Commit hook: append the commit record and group-commit flush it —
   // the transaction's durability point.
@@ -47,7 +78,13 @@ Result<std::unique_ptr<Database>> Database::Open(const DatabaseOptions& opts) {
     rec.type = WalRecordType::kTxnCommit;
     rec.xid = txn->xid();
     SIAS_ASSIGN_OR_RETURN(Lsn lsn, db->wal_->Append(rec));
-    return db->wal_->FlushTo(lsn, txn->clock());
+    // A cut between these two points is the classic lost-commit window: the
+    // commit record is appended but not durable, so recovery must abort the
+    // transaction; after the flush it must be visible.
+    SIAS_CRASH_POINT("txn.commit.pre_flush");
+    SIAS_RETURN_NOT_OK(db->wal_->FlushTo(lsn, txn->clock()));
+    SIAS_CRASH_POINT("txn.commit.post_flush");
+    return Status::OK();
   });
   db->txns_.set_abort_hook([db = db.get()](Transaction* txn) {
     if (db->wal_ == nullptr) return Status::OK();
@@ -156,6 +193,7 @@ Status Database::Tick(VirtualClock* clk) {
 Status Database::BgWriterPass(VirtualClock* clk) {
   TRACE_OP("maintenance", "bgwriter_pass");
   MutexLock g(&maintenance_mu_);
+  SIAS_CRASH_POINT("bgwriter.pass");
   bgwriter_passes_.fetch_add(1, std::memory_order_relaxed);
   SIAS_RETURN_NOT_OK(DrainCheckpointLocked(clk));
 
@@ -205,6 +243,8 @@ Status Database::BgWriterPass(VirtualClock* clk) {
 Status Database::Checkpoint(VirtualClock* clk) {
   TRACE_OP("maintenance", "checkpoint");
   MutexLock g(&maintenance_mu_);
+  SIAS_CRASH_POINT("ckpt.begin");
+  fault::DebugRingLog("ckpt_sharp", wal_ != nullptr ? wal_->current_lsn() : 0);
   checkpoints_.fetch_add(1, std::memory_order_relaxed);
   // A sharp checkpoint subsumes any paced one in flight.
   ckpt_queue_.clear();
@@ -214,12 +254,17 @@ Status Database::Checkpoint(VirtualClock* clk) {
   if (wal_ != nullptr) {
     SIAS_RETURN_NOT_OK(wal_->FlushTo(wal_->current_lsn(), clk));
   }
+  // Pages and log are out; a cut here leaves the previous control block
+  // ruling, so redo re-covers this checkpoint's window.
+  SIAS_CRASH_POINT("ckpt.pages_flushed");
   return WriteControlBlock(checkpoint_lsn, clk);
 }
 
 Status Database::StartPacedCheckpoint(VirtualClock* clk) {
   MutexLock g(&maintenance_mu_);
   if (ckpt_active_) return Status::OK();  // previous drain still running
+  SIAS_CRASH_POINT("ckpt.paced.start");
+  fault::DebugRingLog("ckpt_paced", wal_ != nullptr ? wal_->current_lsn() : 0);
   checkpoints_.fetch_add(1, std::memory_order_relaxed);
   pending_ckpt_lsn_ = wal_ != nullptr ? wal_->current_lsn() : 0;
   ckpt_queue_.clear();
@@ -238,6 +283,7 @@ Status Database::StartPacedCheckpoint(VirtualClock* clk) {
 
 Status Database::DrainCheckpointLocked(VirtualClock* clk) {
   if (!ckpt_active_) return Status::OK();
+  SIAS_CRASH_POINT("ckpt.paced.drain_pass");
   size_t n = std::min(ckpt_drain_per_pass_, ckpt_queue_.size());
   for (size_t i = 0; i < n; ++i) {
     PageId id = ckpt_queue_.front();
@@ -250,14 +296,27 @@ Status Database::DrainCheckpointLocked(VirtualClock* clk) {
     if (wal_ != nullptr) {
       SIAS_RETURN_NOT_OK(wal_->FlushTo(wal_->current_lsn(), clk));
     }
+    // A cut here kills the checkpoint after its pages went out but before
+    // it is declared: recovery must still replay from the previous one.
+    SIAS_CRASH_POINT("ckpt.paced.pre_complete");
     SIAS_RETURN_NOT_OK(WriteControlBlock(pending_ckpt_lsn_, clk));
   }
   return Status::OK();
 }
 
 Status Database::WriteControlBlock(Lsn checkpoint_lsn, VirtualClock* clk) {
+  // Barrier first: the checkpointed data pages (and on a write-back device,
+  // everything still sitting in its volatile cache) must be durable before
+  // a control block that claims redo can start past them.
+  SIAS_CRASH_POINT("control.pre_sync");
+  SIAS_RETURN_NOT_OK(fault::RetryTransient("control-block pre-sync", clk, [&] {
+    return opts_.data_device->Sync(clk);
+  }));
+
+  uint64_t seq = control_seq_.load(std::memory_order_relaxed) + 1;
   std::string blob;
   PutFixed64(&blob, kControlMagic);
+  PutFixed64(&blob, seq);
   PutFixed64(&blob, checkpoint_lsn);
   std::string dm;
   disk_->Serialize(&dm);
@@ -269,53 +328,111 @@ Status Database::WriteControlBlock(Lsn checkpoint_lsn, VirtualClock* clk) {
   blob += cl;
   PutFixed64(&blob, txns_.NextXid());
   PutFixed32(&blob, MaskCrc(Crc32c(blob.data(), blob.size())));
-  if (blob.size() > opts_.control_region_bytes) {
-    return Status::OutOfSpace("control block exceeds reserved region");
+  const uint64_t slot_bytes = opts_.control_region_bytes / 2;
+  if (blob.size() > slot_bytes) {
+    return Status::OutOfSpace("control block exceeds its slot");
   }
-  // Pad to whole pages and write at device offset 0.
+  // Ping-pong: a crash while this slot is being written (torn or lost in a
+  // volatile cache) leaves the other slot — the previous checkpoint —
+  // intact and newest-by-sequence.
+  SIAS_CRASH_POINT("control.pre_write");
+  uint64_t slot_offset = (seq % 2) * slot_bytes;
   size_t padded = (blob.size() + kPageSize - 1) / kPageSize * kPageSize;
   std::vector<uint8_t> buf(padded, 0);
   memcpy(buf.data(), blob.data(), blob.size());
-  return opts_.data_device->Write(0, padded, buf.data(), clk);
+  SIAS_RETURN_NOT_OK(fault::RetryTransient("control-block write", clk, [&] {
+    return opts_.data_device->Write(slot_offset, padded, buf.data(), clk);
+  }));
+  SIAS_RETURN_NOT_OK(fault::RetryTransient("control-block sync", clk, [&] {
+    return opts_.data_device->Sync(clk);
+  }));
+  control_seq_.store(seq, std::memory_order_relaxed);
+  fault::DebugRingLog("control_block", seq, checkpoint_lsn);
+  SIAS_CRASH_POINT("control.post_write");
+  return Status::OK();
 }
 
 Result<Lsn> Database::ReadControlBlock() {
-  // Read the fixed header first to learn the blob size.
-  std::vector<uint8_t> head(kPageSize);
-  SIAS_RETURN_NOT_OK(opts_.data_device->Read(0, kPageSize, head.data(),
-                                             nullptr));
-  if (DecodeFixed64(head.data()) != kControlMagic) {
+  // Parse both slots; the highest-sequence one with a valid CRC wins. A
+  // fresh device has neither; a crash mid-write leaves at most the slot
+  // being written invalid.
+  const uint64_t slot_bytes = opts_.control_region_bytes / 2;
+  struct Parsed {
+    uint64_t seq;
+    Lsn lsn;
+    uint32_t dm_len, clog_len;
+    std::vector<uint8_t> bytes;
+  };
+  std::optional<Parsed> best;
+  for (int slot = 0; slot < 2; ++slot) {
+    uint64_t off = slot * slot_bytes;
+    std::vector<uint8_t> head(kPageSize);
+    SIAS_RETURN_NOT_OK(fault::RetryTransient("control-block read", nullptr,
+                                             [&] {
+      return opts_.data_device->Read(off, kPageSize, head.data(), nullptr);
+    }));
+    if (DecodeFixed64(head.data()) != kControlMagic) continue;
+    uint32_t dm_len = DecodeFixed32(head.data() + 24);
+    uint64_t need = kControlFixedHead + dm_len + 4;
+    if (need + 12 > slot_bytes) continue;  // garbage length
+    std::vector<uint8_t> blob((need + kPageSize - 1) / kPageSize * kPageSize);
+    SIAS_RETURN_NOT_OK(
+        opts_.data_device->Read(off, blob.size(), blob.data(), nullptr));
+    uint32_t clog_len = DecodeFixed32(blob.data() + kControlFixedHead + dm_len);
+    uint64_t total = kControlFixedHead + dm_len + 4 + clog_len + 8 + 4;
+    if (total > slot_bytes) continue;
+    std::vector<uint8_t> full((total + kPageSize - 1) / kPageSize * kPageSize);
+    SIAS_RETURN_NOT_OK(
+        opts_.data_device->Read(off, full.size(), full.data(), nullptr));
+    uint32_t crc = DecodeFixed32(full.data() + total - 4);
+    if (MaskCrc(Crc32c(full.data(), total - 4)) != crc) continue;  // torn slot
+    uint64_t seq = DecodeFixed64(full.data() + 8);
+    if (!best.has_value() || seq > best->seq) {
+      best = Parsed{seq, DecodeFixed64(full.data() + 16), dm_len, clog_len,
+                    std::move(full)};
+    }
+  }
+  if (!best.has_value()) {
     return Status::NotFound("no control block (fresh database)");
   }
-  uint32_t dm_len = DecodeFixed32(head.data() + 16);
-  // Total = 8 magic + 8 lsn + 4 + dm + 4 + clog + 8 next_xid + 4 crc.
-  // Read enough pages to cover it; dm/clog lengths chain.
-  uint64_t need = 20ull + dm_len + 4;
-  std::vector<uint8_t> blob((need + kPageSize - 1) / kPageSize * kPageSize);
+  const uint8_t* p = best->bytes.data();
   SIAS_RETURN_NOT_OK(
-      opts_.data_device->Read(0, blob.size(), blob.data(), nullptr));
-  uint32_t clog_len = DecodeFixed32(blob.data() + 20 + dm_len);
-  uint64_t total = 20ull + dm_len + 4 + clog_len + 8 + 4;
-  std::vector<uint8_t> full((total + kPageSize - 1) / kPageSize * kPageSize);
-  SIAS_RETURN_NOT_OK(
-      opts_.data_device->Read(0, full.size(), full.data(), nullptr));
-  uint32_t crc = DecodeFixed32(full.data() + total - 4);
-  if (MaskCrc(Crc32c(full.data(), total - 4)) != crc) {
-    return Status::Corruption("control block checksum mismatch");
-  }
-  // Restore state.
-  SIAS_RETURN_NOT_OK(
-      disk_->Deserialize(Slice(full.data() + 20, dm_len)));
-  SIAS_RETURN_NOT_OK(
-      clog_.Deserialize(Slice(full.data() + 24 + dm_len, clog_len)));
-  txns_.AdvanceNextXid(DecodeFixed64(full.data() + 24 + dm_len + clog_len));
-  return DecodeFixed64(full.data() + 8);  // checkpoint lsn
+      disk_->Deserialize(Slice(p + kControlFixedHead, best->dm_len)));
+  SIAS_RETURN_NOT_OK(clog_.Deserialize(
+      Slice(p + kControlFixedHead + best->dm_len + 4, best->clog_len)));
+  txns_.AdvanceNextXid(
+      DecodeFixed64(p + kControlFixedHead + best->dm_len + 4 + best->clog_len));
+  control_seq_.store(best->seq, std::memory_order_relaxed);
+  return best->lsn;
 }
 
-Status Database::Recover() {
+Status Database::Recover(const RecoverOptions& ropts) {
   if (opts_.wal_device == nullptr) {
     return Status::NotSupported("recovery requires a WAL device");
   }
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  reg.GetCounter("db.recovery.runs")->Increment();
+  // Flushes issued by recovery itself (evictions, the prepass seeding)
+  // must not append page images: the WAL writer is not resumed yet.
+  fpi_enabled_.store(false, std::memory_order_release);
+  struct FpiReenable {
+    std::atomic<bool>* flag;
+    ~FpiReenable() { flag->store(true, std::memory_order_release); }
+  } fpi_reenable{&fpi_enabled_};
+  // Recovery clock: redo and rebuild I/O is charged here so the run's
+  // virtual-time cost is observable (db.recovery.vtime_ns).
+  VirtualClock clk;
+
+  // 0) Discard any paced-checkpoint state: the drain that was in flight
+  // when the engine died must not resume against the recovered pool (its
+  // queued page ids may no longer be dirty — or exist).
+  {
+    MutexLock g(&maintenance_mu_);
+    ckpt_queue_.clear();
+    ckpt_active_ = false;
+    pending_ckpt_lsn_ = kInvalidLsn;
+  }
+
   // 1) Control block: disk map + clog snapshot + checkpoint LSN.
   Lsn start_lsn = 0;
   auto cb = ReadControlBlock();
@@ -324,6 +441,7 @@ Status Database::Recover() {
   } else if (cb.status().code() != StatusCode::kNotFound) {
     return cb.status();
   }
+  fault::DebugRingLog("recover_start", start_lsn);
 
   // Build relation -> heap routing from the catalog.
   std::unordered_map<RelationId, MvccTable*> route;
@@ -334,18 +452,61 @@ Status Database::Recover() {
     }
   }
 
-  // 2) Redo pass.
+  // 2a) Torn-page prepass: collect the newest full-page image per page in
+  // the redo window and seed the pool with it. WAL-before-data guarantees
+  // that any torn in-place write left a durable image here, so after this
+  // pass every page the redo loop touches reads clean — a checksum mismatch
+  // that still surfaces is real, unrecoverable corruption and stays loud.
+  uint64_t pages_restored = 0;
+  {
+    std::unordered_map<PageId, std::string> images;
+    WalReader prepass(opts_.wal_device, 0, opts_.wal_limit_bytes, start_lsn);
+    for (;;) {
+      auto rec = prepass.Next();
+      if (!rec.ok()) return rec.status();
+      if (!rec->has_value()) break;
+      WalRecord& r = **rec;
+      if (r.type != WalRecordType::kPageImage) continue;
+      if (r.body.size() != kPageSize) {
+        return Status::Corruption("page-image record of wrong size");
+      }
+      images[PageId{r.relation, r.tid.page}] = std::move(r.body);
+    }
+    for (auto& [id, body] : images) {
+      SIAS_RETURN_NOT_OK(pool_->RestorePage(
+          id, reinterpret_cast<const uint8_t*>(body.data()), &clk));
+      pages_restored++;
+      fault::DebugRingLog("fpi_restore", id.relation, id.page);
+    }
+  }
+
+  // 2b) Redo pass.
   WalReader reader(opts_.wal_device, 0, opts_.wal_limit_bytes, start_lsn);
   Xid max_seen_xid = kFirstNormalXid;
+  uint64_t records_replayed = 0;
+  int64_t heap_redo_index = 0;
   for (;;) {
     auto rec = reader.Next();
     if (!rec.ok()) return rec.status();
     if (!rec->has_value()) break;
     const WalRecord& r = **rec;
+    records_replayed++;
+    fault::DebugRingLog("redo", uint64_t(r.type) | (r.xid << 8), r.relation,
+                        r.tid.Pack(), reader.lsn());
     if (r.xid != kInvalidXid) {
       max_seen_xid = std::max(max_seen_xid, r.xid);
       clog_.Extend(r.xid);
     }
+    // Sabotage knob (crash tests): drop this heap redo record on the floor
+    // to prove the invariant suite catches a recovery that loses work.
+    bool skip_apply = false;
+    if (r.type == WalRecordType::kHeapInsert ||
+        r.type == WalRecordType::kHeapOverwrite ||
+        r.type == WalRecordType::kHeapSlotDelete) {
+      skip_apply = heap_redo_index == ropts.skip_redo_record;
+      heap_redo_index++;
+    }
+    if (skip_apply) continue;
     switch (r.type) {
       case WalRecordType::kTxnCommit:
         clog_.SetCommitted(r.xid);
@@ -396,6 +557,10 @@ Status Database::Recover() {
       case WalRecordType::kCheckpoint:
       case WalRecordType::kIndexInsert:
         break;
+      case WalRecordType::kPageImage:
+        // Applied by the prepass (newest image per page wins; older images
+        // must not regress un-logged GC re-initializations).
+        break;
     }
   }
 
@@ -407,13 +572,16 @@ Status Database::Recover() {
   // checkpoint) is aborted.
   txns_.AdvanceNextXid(max_seen_xid + 1);
   clog_.Extend(txns_.NextXid());
+  uint64_t xids_aborted = 0;
   for (Xid x = kFirstNormalXid; x < txns_.NextXid(); ++x) {
-    if (clog_.Get(x) == TxnStatus::kInProgress) clog_.SetAborted(x);
+    if (clog_.Get(x) == TxnStatus::kInProgress) {
+      clog_.SetAborted(x);
+      xids_aborted++;
+    }
   }
 
   // 4) Rebuild in-memory access structures from the heap ("all information
   // required for a reconstruction is stored on each tuple version", §6).
-  VirtualClock clk;
   auto recovery_txn = txns_.Begin(&clk);
   {
     MutexLock g(&catalog_mu_);
@@ -428,11 +596,20 @@ Status Database::Recover() {
       SIAS_RETURN_NOT_OK(table->RebuildIndexes(recovery_txn.get(), &clk));
     }
   }
-  return txns_.Commit(recovery_txn.get());
+  Status done = txns_.Commit(recovery_txn.get());
+  reg.GetGauge("db.recovery.records_replayed")
+      ->Set(static_cast<int64_t>(records_replayed));
+  reg.GetGauge("db.recovery.pages_restored")
+      ->Set(static_cast<int64_t>(pages_restored));
+  reg.GetGauge("db.recovery.xids_aborted")
+      ->Set(static_cast<int64_t>(xids_aborted));
+  reg.GetGauge("db.recovery.vtime_ns")->Set(static_cast<int64_t>(clk.now()));
+  return done;
 }
 
 Status Database::Vacuum(VirtualClock* clk, GcStats* stats) {
   TRACE_OP("maintenance", "vacuum");
+  SIAS_CRASH_POINT("vacuum.begin");
   Xid horizon = txns_.GcHorizon();
   std::vector<Table*> tables;
   {

@@ -64,6 +64,15 @@ struct DatabaseOptions {
   uint64_t wal_limit_bytes = 4ull << 30;
 };
 
+/// Knobs for Database::Recover. The sabotage knob exists for the crash-test
+/// suite: it proves the post-recovery invariant checks actually catch a
+/// recovery that silently loses a redo record.
+struct RecoverOptions {
+  /// Test-only: skip applying the Nth (0-based) heap redo record. The
+  /// resulting database must FAIL the crash-consistency invariants.
+  int64_t skip_redo_record = -1;
+};
+
 struct DatabaseStats {
   DeviceStats device;
   BufferPoolStats pool;
@@ -120,7 +129,12 @@ class Database {
   /// Crash recovery: restores the control block, replays the WAL, aborts
   /// in-flight transactions, rebuilds VidMaps/locators and indexes.
   /// Call after re-declaring all tables and indexes (same creation order).
-  Status Recover();
+  /// Idempotent: redo is LSN-gated per page and the rebuild passes recreate
+  /// their structures from scratch, so running it twice (or after a paced
+  /// checkpoint died mid-drain) converges to the same state. Progress is
+  /// exported through the db.recovery.* gauges.
+  Status Recover() { return Recover(RecoverOptions{}); }
+  Status Recover(const RecoverOptions& ropts);
 
   TransactionManager* txns() { return &txns_; }
   BufferPool* pool() { return pool_.get(); }
@@ -140,8 +154,19 @@ class Database {
  private:
   explicit Database(const DatabaseOptions& opts);
 
+  /// Control block, dual-slot ping-pong: writes alternate between two
+  /// half-region slots under a monotone sequence number, so a crash mid-
+  /// write (torn control block) always leaves the previous slot intact.
+  /// ReadControlBlock picks the highest-sequence slot with a valid CRC.
   Status WriteControlBlock(Lsn checkpoint_lsn, VirtualClock* clk);
   Result<Lsn> ReadControlBlock();
+
+  /// Sequence number of the last control block written; the next write
+  /// lands in slot (seq+1) % 2.
+  std::atomic<uint64_t> control_seq_{0};
+  /// Gates full-page-image logging: recovery replays the log with the WAL
+  /// writer not yet resumed, so its own evictions/flushes must not append.
+  std::atomic<bool> fpi_enabled_{true};
 
   DatabaseOptions opts_;
   std::unique_ptr<DiskManager> disk_;

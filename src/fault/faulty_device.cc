@@ -1,0 +1,230 @@
+#include "fault/faulty_device.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "fault/debug_ring.h"
+#include "obs/metrics.h"
+
+namespace sias {
+namespace fault {
+
+FaultyDevice::FaultyDevice(StorageDevice* inner, FaultInjector* injector,
+                           Options options)
+    : inner_(inner), injector_(injector), options_(std::move(options)) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  m_cached_writes_ = reg.GetCounter("fault.device.cached_writes");
+  m_synced_writes_ = reg.GetCounter("fault.device.synced_writes");
+  m_dropped_writes_ = reg.GetCounter("fault.device.dropped_writes");
+  if (injector_ != nullptr) injector_->RegisterDevice(this);
+}
+
+FaultyDevice::~FaultyDevice() {
+  if (injector_ != nullptr) injector_->UnregisterDevice(this);
+}
+
+uint64_t FaultyDevice::pending_bytes() const {
+  MutexLock g(&mu_);
+  return pending_bytes_;
+}
+
+Status FaultyDevice::Read(uint64_t offset, size_t len, uint8_t* out,
+                          VirtualClock* clk) {
+  if (crashed()) return Status::IoError("device is powered off");
+  std::optional<AppliedFault> fault;
+  if (injector_ != nullptr && injector_->armed()) {
+    fault = injector_->OnDeviceOp(OpClass::kRead, options_.tag, offset, len);
+  }
+  if (fault.has_value()) {
+    switch (fault->kind) {
+      case FaultKind::kPowerCut:
+        injector_->TriggerPowerCut(fault->tear);
+        return Status::IoError("power cut during read");
+      case FaultKind::kTransientIoError:
+        return Status::TransientIoError("injected transient read error");
+      case FaultKind::kLatencySpike:
+        if (clk != nullptr) clk->Advance(fault->latency);
+        break;
+      default:
+        break;  // kBitFlip applies after the read; torn/partial are write-only
+    }
+  }
+  if (!options_.write_back) {
+    // Pass-through mode never has volatile state: no latch on the fast path.
+    SIAS_RETURN_NOT_OK(inner_->Read(offset, len, out, clk));
+  } else {
+    MutexLock g(&mu_);
+    SIAS_RETURN_NOT_OK(inner_->Read(offset, len, out, clk));
+    // Overlay pending (volatile) writes in FIFO order so the engine
+    // observes its own unsynced data.
+    for (const PendingWrite& pw : pending_) {
+      uint64_t lo = std::max(offset, pw.offset);
+      uint64_t hi = std::min(offset + len, pw.offset + pw.data.size());
+      if (lo >= hi) continue;
+      std::memcpy(out + (lo - offset), pw.data.data() + (lo - pw.offset),
+                  hi - lo);
+    }
+  }
+  if (fault.has_value() && fault->kind == FaultKind::kBitFlip && len > 0) {
+    out[(fault->arg / 8) % len] ^= uint8_t(1) << (fault->arg % 8);
+  }
+  return Status::OK();
+}
+
+Status FaultyDevice::Write(uint64_t offset, size_t len, const uint8_t* data,
+                           VirtualClock* clk, bool background) {
+  if (crashed()) return Status::IoError("device is powered off");
+  SIAS_RETURN_NOT_OK(CheckRange(offset, len));
+  std::optional<AppliedFault> fault;
+  if (injector_ != nullptr && injector_->armed()) {
+    fault = injector_->OnDeviceOp(OpClass::kWrite, options_.tag, offset, len);
+  }
+  // Data-mutation faults rewrite the payload (or its effective length)
+  // before it is cached/forwarded; the op still reports success — that is
+  // the point of silent corruption.
+  std::vector<uint8_t> mutated;
+  size_t effective_len = len;
+  if (fault.has_value()) {
+    switch (fault->kind) {
+      case FaultKind::kPowerCut:
+        injector_->TriggerPowerCut(fault->tear);
+        return Status::IoError("power cut during write");
+      case FaultKind::kTransientIoError:
+        return Status::TransientIoError("injected transient write error");
+      case FaultKind::kLatencySpike:
+        if (clk != nullptr) clk->Advance(fault->latency);
+        break;
+      case FaultKind::kTornWrite:
+        // Keep a sector-aligned prefix; arg is the sector count to keep.
+        effective_len = size_t(fault->arg) * kSectorBytes;
+        break;
+      case FaultKind::kPartialSectorWrite: {
+        // Keep `arg` bytes of new data; the rest of that sector keeps its
+        // previous contents, so the persisted range stays sector-aligned.
+        size_t keep = std::min<size_t>(fault->arg, len);
+        size_t rounded = ((keep + kSectorBytes - 1) / kSectorBytes) *
+                         kSectorBytes;
+        rounded = std::max<size_t>(rounded, kSectorBytes);
+        rounded = std::min(rounded, len);
+        mutated.resize(rounded);
+        {
+          MutexLock g(&mu_);
+          Status st = inner_->Read(offset, rounded, mutated.data(), nullptr);
+          if (!st.ok()) std::memset(mutated.data(), 0, rounded);
+          for (const PendingWrite& pw : pending_) {
+            uint64_t lo = std::max(offset, pw.offset);
+            uint64_t hi =
+                std::min(offset + rounded, pw.offset + pw.data.size());
+            if (lo >= hi) continue;
+            std::memcpy(mutated.data() + (lo - offset),
+                        pw.data.data() + (lo - pw.offset), hi - lo);
+          }
+        }
+        std::memcpy(mutated.data(), data, keep);
+        data = mutated.data();
+        effective_len = rounded;
+        break;
+      }
+      case FaultKind::kBitFlip:
+        mutated.assign(data, data + len);
+        mutated[(fault->arg / 8) % len] ^= uint8_t(1) << (fault->arg % 8);
+        data = mutated.data();
+        break;
+    }
+  }
+  if (effective_len == 0) return Status::OK();  // fully torn away
+  if (!options_.write_back) {
+    return inner_->Write(offset, effective_len, data, clk, background);
+  }
+  // Write-back: the payload lands in the volatile cache at memory speed;
+  // durability (and its virtual-time cost) is deferred to Sync().
+  MutexLock g(&mu_);
+  DebugRingLog("dev_cache_write", options_.tag.size(), offset, effective_len);
+  pending_.push_back(PendingWrite{offset, {data, data + effective_len}});
+  pending_bytes_ += effective_len;
+  m_cached_writes_->Increment();
+  return Status::OK();
+}
+
+Status FaultyDevice::Trim(uint64_t offset, size_t len) {
+  if (crashed()) return Status::IoError("device is powered off");
+  return inner_->Trim(offset, len);
+}
+
+Status FaultyDevice::Sync(VirtualClock* clk) {
+  if (crashed()) return Status::IoError("device is powered off");
+  if (injector_ != nullptr && injector_->armed()) {
+    std::optional<AppliedFault> fault =
+        injector_->OnDeviceOp(OpClass::kSync, options_.tag, 0, 0);
+    if (fault.has_value()) {
+      switch (fault->kind) {
+        case FaultKind::kPowerCut:
+          injector_->TriggerPowerCut(fault->tear);
+          return Status::IoError("power cut during sync");
+        case FaultKind::kTransientIoError:
+          return Status::TransientIoError("injected transient sync error");
+        case FaultKind::kLatencySpike:
+          if (clk != nullptr) clk->Advance(fault->latency);
+          break;
+        default:
+          break;  // data-mutation kinds do not apply to a barrier
+      }
+    }
+  }
+  if (!options_.write_back) return inner_->Sync(clk);
+  MutexLock g(&mu_);
+  DebugRingLog("dev_sync", options_.tag.size(), pending_.size());
+  SIAS_RETURN_NOT_OK(FlushPrefixLocked(pending_.size(), 0, clk));
+  m_synced_writes_->Add(pending_.size());
+  pending_.clear();
+  pending_bytes_ = 0;
+  return inner_->Sync(clk);
+}
+
+Status FaultyDevice::FlushPrefixLocked(size_t n, size_t tear_sectors,
+                                       VirtualClock* clk) {
+  for (size_t i = 0; i < n; ++i) {
+    const PendingWrite& pw = pending_[i];
+    SIAS_RETURN_NOT_OK(
+        inner_->Write(pw.offset, pw.data.size(), pw.data.data(), clk));
+  }
+  if (tear_sectors > 0 && n < pending_.size()) {
+    const PendingWrite& pw = pending_[n];
+    size_t bytes = std::min(tear_sectors * kSectorBytes, pw.data.size());
+    SIAS_RETURN_NOT_OK(inner_->Write(pw.offset, bytes, pw.data.data(), clk));
+  }
+  return Status::OK();
+}
+
+void FaultyDevice::PowerCut(uint64_t plan_seed, bool tear) {
+  MutexLock g(&mu_);
+  if (crashed_.exchange(true, std::memory_order_acq_rel)) return;
+  Random plan(plan_seed);
+  const size_t n = pending_.size();
+  // The cache controller had already retired some FIFO prefix of the queue;
+  // everything after it is lost. Uniform over [0, n] so "nothing survived"
+  // and "everything survived" are both reachable.
+  const size_t keep = n > 0 ? size_t(plan.Uniform(0, n)) : 0;
+  size_t tear_sectors = 0;
+  if (tear && keep < n) {
+    uint64_t sectors = pending_[keep].data.size() / kSectorBytes;
+    if (sectors > 1) tear_sectors = size_t(plan.Uniform(1, sectors - 1));
+  }
+  DebugRingLog("power_cut", options_.tag.size(), n, keep, tear_sectors);
+  Status st = FlushPrefixLocked(keep, tear_sectors, nullptr);
+  SIAS_CHECK(st.ok());  // the inner device has no failure mode here
+  m_dropped_writes_->Add(n - keep);
+  pending_.clear();
+  pending_bytes_ = 0;
+}
+
+void FaultyDevice::Revive() {
+  MutexLock g(&mu_);
+  pending_.clear();
+  pending_bytes_ = 0;
+  crashed_.store(false, std::memory_order_release);
+}
+
+}  // namespace fault
+}  // namespace sias

@@ -1,0 +1,21 @@
+#include "fault/retry.h"
+
+#include "obs/metrics.h"
+
+namespace sias {
+namespace fault {
+namespace internal {
+
+const RetryCounters& Counters() {
+  static const RetryCounters c = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    return RetryCounters{reg.GetCounter("fault.retry.attempts"),
+                         reg.GetCounter("fault.retry.recovered"),
+                         reg.GetCounter("fault.retry.exhausted")};
+  }();
+  return c;
+}
+
+}  // namespace internal
+}  // namespace fault
+}  // namespace sias

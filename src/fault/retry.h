@@ -1,0 +1,69 @@
+// Bounded retry with exponential virtual-time backoff for transient I/O
+// errors (StatusCode::kIoErrorTransient).
+//
+// The buffer pool and the WAL writer wrap their device calls in
+// RetryTransient: a burst of injected transient errors shorter than the
+// budget is absorbed invisibly (counted under fault.retry.*); an exhausted
+// budget surfaces the last transient error as a plain kIoError so callers
+// unwind through their normal error paths. Non-transient statuses pass
+// through untouched on the first attempt — the disabled-injector cost is
+// one branch on the returned Status.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "common/vclock.h"
+
+namespace sias {
+
+namespace obs {
+class Counter;
+}  // namespace obs
+
+namespace fault {
+
+/// Total attempts (first try + retries) before giving up.
+inline constexpr int kRetryAttempts = 6;
+/// Backoff before the first retry; doubles per retry (100us, 200us, ... in
+/// virtual time, charged to the caller's clock).
+inline constexpr VDuration kRetryBackoffBase = 100 * kVMicrosecond;
+
+namespace internal {
+struct RetryCounters {
+  obs::Counter* attempts;   ///< fault.retry.attempts (retries issued)
+  obs::Counter* recovered;  ///< fault.retry.recovered (ops saved by a retry)
+  obs::Counter* exhausted;  ///< fault.retry.exhausted (budget ran out)
+};
+/// Registry lookups resolved once; only touched on the retry path.
+const RetryCounters& Counters();
+}  // namespace internal
+
+/// Runs `op` (a callable returning Status) up to kRetryAttempts times,
+/// backing off exponentially in virtual time between attempts (clk may be
+/// nullptr). `what` labels the operation in the exhausted-budget error.
+template <typename Op>
+Status RetryTransient(const char* what, VirtualClock* clk, Op&& op) {
+  Status st = op();
+  if (!st.IsTransientIoError()) return st;  // fast path: no injector armed
+  VDuration backoff = kRetryBackoffBase;
+  for (int attempt = 1; attempt < kRetryAttempts; ++attempt) {
+    internal::Counters().attempts->Increment();
+    if (clk != nullptr) clk->Advance(backoff);
+    backoff *= 2;
+    st = op();
+    if (!st.IsTransientIoError()) {
+      if (st.ok()) internal::Counters().recovered->Increment();
+      return st;
+    }
+  }
+  internal::Counters().exhausted->Increment();
+  return Status::IoError(std::string(what) +
+                         ": transient I/O error persisted past retry budget: " +
+                         std::string(st.message()));
+}
+
+}  // namespace fault
+}  // namespace sias

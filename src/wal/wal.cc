@@ -1,10 +1,14 @@
 #include "wal/wal.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/coding.h"
 #include "common/crc32c.h"
 #include "common/logging.h"
+#include "fault/crash_point.h"
+#include "fault/debug_ring.h"
+#include "fault/retry.h"
 #include "obs/op_trace.h"
 
 namespace sias {
@@ -14,6 +18,17 @@ namespace {
 //               [page u32][slot u16][aux u64][body ...]
 constexpr size_t kFrameHeader = 4 + 4;
 constexpr size_t kFixedFields = 1 + 8 + 4 + 4 + 2 + 8;
+
+/// How far past a damaged record the reader searches for intact records
+/// before declaring the damage a benign torn tail. Any mid-log damage is
+/// followed immediately by the rest of the durable log, so a modest window
+/// suffices; it only bounds the cost of the (rare) failure path.
+constexpr size_t kCorruptionLookahead = 256 * 1024;
+
+/// Stale-block sweep in Resume(): stop zeroing after this many consecutive
+/// all-zero blocks. One interior block of a giant record body could be all
+/// zeros; two in a row cannot (bodies are at most a page).
+constexpr int kZeroRunStop = 2;
 }  // namespace
 
 void EncodeWalRecord(const WalRecord& record, std::string* out) {
@@ -66,12 +81,40 @@ Status WalWriter::Resume(Lsn lsn) {
   if (lsn > block_start) {
     SIAS_RETURN_NOT_OK(
         device_->Read(base_ + block_start, kPageSize, tail_.data(), nullptr));
+    // Truncate on disk too: stale record bytes of a previous generation may
+    // sit between `lsn` and the block end, fully inside this block.
+    std::fill(tail_.begin() + static_cast<size_t>(lsn - block_start),
+              tail_.end(), 0);
+    SIAS_RETURN_NOT_OK(
+        device_->Write(base_ + block_start, kPageSize, tail_.data(), nullptr));
   }
   tail_.resize(static_cast<size_t>(lsn - block_start));
   tail_start_ = block_start;
   next_lsn_ = lsn;
   flushed_lsn_ = lsn;
-  return Status::OK();
+  // Zero stale blocks beyond the frontier: if a previous, longer log
+  // generation wrote past `lsn`, its leftover records would later look like
+  // "intact records past the damage" to WalReader's corruption check. The
+  // sweep stops at the first run of all-zero blocks (nothing staler
+  // follows, by this same invariant) and the writes are synced so a power
+  // cut cannot resurrect the stale bytes. Recovery-time I/O, so no clock.
+  Lsn sweep = (lsn + kPageSize - 1) / kPageSize * kPageSize;
+  std::vector<uint8_t> blockbuf(kPageSize);
+  const std::vector<uint8_t> zeros(kPageSize, 0);
+  int zero_run = 0;
+  for (; sweep + kPageSize <= limit_ && zero_run < kZeroRunStop;
+       sweep += kPageSize) {
+    SIAS_RETURN_NOT_OK(
+        device_->Read(base_ + sweep, kPageSize, blockbuf.data(), nullptr));
+    if (blockbuf == zeros) {
+      zero_run++;
+      continue;
+    }
+    zero_run = 0;
+    SIAS_RETURN_NOT_OK(
+        device_->Write(base_ + sweep, kPageSize, zeros.data(), nullptr));
+  }
+  return device_->Sync(nullptr);
 }
 
 Status WalWriter::FlushTo(Lsn lsn, VirtualClock* clk) {
@@ -92,23 +135,32 @@ Status WalWriter::FlushTo(Lsn lsn, VirtualClock* clk) {
     // The device-write burst is the WAL's "fsync": the log is not durable
     // until the last block lands.
     TRACE_OP("wal", "fsync");
+    SIAS_CRASH_POINT("wal.pre_block_write");
     for (Lsn pos = write_begin; pos < write_end; pos += kPageSize) {
       size_t off = static_cast<size_t>(pos - tail_start_);
       size_t n = std::min<size_t>(kPageSize, tail_.size() - off);
       memcpy(block.data(), tail_.data() + off, n);
       if (n < kPageSize) memset(block.data() + n, 0, kPageSize - n);
-      SIAS_RETURN_NOT_OK(
-          device_->Write(base_ + pos, kPageSize, block.data(), clk));
+      SIAS_RETURN_NOT_OK(fault::RetryTransient("wal block write", clk, [&] {
+        return device_->Write(base_ + pos, kPageSize, block.data(), clk);
+      }));
       written_bytes_ += kPageSize;
       blocks_written++;
     }
   }
+  // The barrier that makes the burst durable: a power cut before the Sync
+  // loses (a suffix of) this flush; after it, the log is safe to `lsn`.
+  SIAS_CRASH_POINT("wal.pre_fsync");
+  SIAS_RETURN_NOT_OK(fault::RetryTransient(
+      "wal fsync", clk, [&] { return device_->Sync(clk); }));
+  SIAS_CRASH_POINT("wal.post_fsync");
   if (blocks_written > 0) {
     m_flushes_->Increment();
     m_written_bytes_->Add(static_cast<int64_t>(blocks_written * kPageSize));
     if (clk != nullptr) m_flush_latency_->Record(clk->now() - flush_start);
   }
   flushed_lsn_ = lsn;
+  fault::DebugRingLog("wal_flush", lsn, blocks_written);
   // Retain the partially-filled last block in the tail; drop full blocks.
   Lsn new_tail_start = write_end;
   if (new_tail_start > next_lsn_) {
@@ -175,22 +227,49 @@ Status WalReader::Refill(size_t need) {
   return Status::OK();
 }
 
+Result<std::optional<WalRecord>> WalReader::StopAtDamage(const char* why) {
+  // Pull in the look-ahead window (a short read near the region end just
+  // shrinks it), then try every byte offset as a candidate record start.
+  // The log region is zeros past the valid tail (WalWriter::Resume restores
+  // that invariant after each recovery), so after a benign torn tail no
+  // candidate can CRC-check; an intact record here means the damage sits
+  // inside the durable log and redo must not silently truncate at it.
+  SIAS_RETURN_NOT_OK(Refill(kCorruptionLookahead));
+  size_t off = static_cast<size_t>(lsn_ - buf_start_);
+  size_t end = std::min(buf_.size(), off + kCorruptionLookahead);
+  for (size_t c = off + 1; c + kFrameHeader + kFixedFields <= end; ++c) {
+    uint32_t total = DecodeFixed32(buf_.data() + c);
+    if (total < kFrameHeader + kFixedFields || total > 1u << 24) continue;
+    if (c + total > end) continue;
+    uint32_t crc = DecodeFixed32(buf_.data() + c + 4);
+    if (MaskCrc(Crc32c(buf_.data() + c + kFrameHeader,
+                       total - kFrameHeader)) == crc) {
+      return Status::Corruption(
+          "WAL record at lsn " + std::to_string(lsn_) + " is damaged (" +
+          why + ") but an intact record follows at lsn " +
+          std::to_string(buf_start_ + c) +
+          ": mid-log corruption, refusing to recover past it");
+    }
+  }
+  return std::optional<WalRecord>{};  // torn tail: end of valid log
+}
+
 Result<std::optional<WalRecord>> WalReader::Next() {
   SIAS_RETURN_NOT_OK(Refill(kFrameHeader));
   size_t off = static_cast<size_t>(lsn_ - buf_start_);
   if (buf_.size() < off + kFrameHeader) return std::optional<WalRecord>{};
   uint32_t total = DecodeFixed32(buf_.data() + off);
   if (total < kFrameHeader + kFixedFields || total > 1u << 24) {
-    return std::optional<WalRecord>{};  // zeroed/garbage tail: end of log
+    return StopAtDamage("implausible length");
   }
   SIAS_RETURN_NOT_OK(Refill(total));
   off = static_cast<size_t>(lsn_ - buf_start_);
-  if (buf_.size() < off + total) return std::optional<WalRecord>{};
+  if (buf_.size() < off + total) return StopAtDamage("truncated record");
   uint32_t crc = DecodeFixed32(buf_.data() + off + 4);
   const uint8_t* payload = buf_.data() + off + kFrameHeader;
   size_t payload_len = total - kFrameHeader;
   if (MaskCrc(Crc32c(payload, payload_len)) != crc) {
-    return std::optional<WalRecord>{};  // torn record: end of valid log
+    return StopAtDamage("checksum mismatch");
   }
   WalRecord rec;
   const uint8_t* p = payload;

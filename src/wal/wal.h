@@ -35,6 +35,12 @@ enum class WalRecordType : uint8_t {
   kCheckpoint = 6,
   /// Index insert: body = key bytes, value in tid/aux.
   kIndexInsert = 7,
+  /// Full page image, logged right before a data-page write hits the
+  /// device (torn-page protection). `relation`/`tid.page` name the page and
+  /// `body` holds its complete 8 KB image. Because WAL-before-data flushes
+  /// the log through this record before the page write is issued, every
+  /// torn in-place write is covered by a durable image in the redo window.
+  kPageImage = 8,
 };
 
 /// One logical WAL record.
@@ -61,7 +67,12 @@ class WalWriter {
 
   /// Positions the writer at `lsn` (the end of the valid log found by
   /// recovery) so new records extend the existing stream instead of
-  /// overwriting it. Re-reads the partial tail block from the device.
+  /// overwriting it. Re-reads the partial tail block from the device, then
+  /// zeroes any stale blocks from a longer previous log generation beyond
+  /// the frontier and syncs. That restores the invariant WalReader's
+  /// corruption detection depends on: past the valid tail the region is
+  /// zeros, so any intact record found after damage proves the damage sits
+  /// *inside* the durable log (see Next()).
   Status Resume(Lsn lsn);
 
   /// Makes the log durable up to `lsn` (group commit: a single flush covers
@@ -100,14 +111,20 @@ class WalWriter {
   obs::HistogramMetric* m_flush_latency_;
 };
 
-/// Sequential reader over the log region; stops at the first invalid record
-/// (torn tail after a crash).
+/// Sequential reader over the log region. A parse or CRC failure is
+/// classified before the reader gives up: a benign torn tail (the crash cut
+/// the log mid-record; nothing valid follows) ends iteration quietly, while
+/// damage *before* the last durable record — bit rot, a skipped block —
+/// surfaces as kCorruption so recovery fails loudly instead of silently
+/// truncating committed history.
 class WalReader {
  public:
   WalReader(StorageDevice* device, uint64_t base_offset, uint64_t limit_bytes,
             Lsn start_lsn = 0);
 
-  /// Returns the next record, or std::nullopt at end-of-log.
+  /// Returns the next record, std::nullopt at end-of-log (region end or a
+  /// benign torn tail), or kCorruption when intact records exist beyond the
+  /// first damaged one.
   Result<std::optional<WalRecord>> Next();
 
   /// LSN after the last successfully read record.
@@ -115,6 +132,11 @@ class WalReader {
 
  private:
   Status Refill(size_t need);
+
+  /// Called when the record at lsn_ fails to parse or CRC-check: scans the
+  /// look-ahead window for any intact record. One found → the damage is
+  /// mid-log → kCorruption; none → benign torn tail → nullopt.
+  Result<std::optional<WalRecord>> StopAtDamage(const char* why);
 
   StorageDevice* device_;
   uint64_t base_;

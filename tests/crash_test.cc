@@ -1,0 +1,319 @@
+// Crash-consistency suite built on fault::CrashRunner (docs/FAULTS.md):
+//  * a crash matrix sweeping every registered crash point the workload
+//    reaches, across all three version schemes and both flush policies —
+//    each cut must recover with the invariant suite green;
+//  * a sabotage check proving the invariants CATCH a recovery that loses a
+//    redo record (RecoverOptions::skip_redo_record);
+//  * seeded randomized device-op power cuts (the fuzz loop behind
+//    scripts/crashgrind.sh) — failures print their seed for replay;
+//  * transient-I/O robustness: bursts within the retry budget are invisible
+//    to callers, exhausted budgets surface as clean Status errors;
+//  * Recover() idempotence (double recovery, paced checkpoint mid-flight)
+//    and the db.recovery.* gauges.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fault/crash_runner.h"
+#include "fault/retry.h"
+#include "obs/metrics.h"
+
+namespace sias {
+namespace fault {
+namespace {
+
+std::string SchemeTag(VersionScheme s) {
+  std::string n = ToString(s);
+  for (auto& c : n) {
+    if (c == '-') c = '_';
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Crash matrix: every reachable crash point x scheme x flush policy.
+// ---------------------------------------------------------------------------
+
+class CrashMatrixTest
+    : public ::testing::TestWithParam<std::tuple<VersionScheme, FlushPolicy>> {
+};
+
+TEST_P(CrashMatrixTest, EveryCrashPointRecovers) {
+  auto [scheme, policy] = GetParam();
+  CrashConfig base;
+  base.scheme = scheme;
+  base.flush_policy = policy;
+  base.seed = 0xC0FFEE;
+
+  auto points = DiscoverCrashPoints(base);
+  ASSERT_TRUE(points.ok()) << points.status().ToString();
+  ASSERT_GE(points->size(), 12u)
+      << "the workload must reach at least 12 distinct crash points";
+
+  for (const std::string& point : *points) {
+    SCOPED_TRACE("crash point: " + point);
+    CrashConfig cfg = base;
+    cfg.crash_point = point;
+    // Cut at a later hit for the hot points so real state has accumulated.
+    cfg.nth = (point.rfind("wal.", 0) == 0 || point.rfind("txn.", 0) == 0 ||
+               point.rfind("region.", 0) == 0)
+                  ? 17
+                  : 1;
+    CrashRunner runner(cfg);
+    Status s = runner.RunWorkload();
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    if (!runner.report().crashed) continue;  // nth beyond the hit count
+    s = runner.ReopenAndRecover();
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    s = runner.CheckInvariants();
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndPolicies, CrashMatrixTest,
+    ::testing::Combine(::testing::Values(VersionScheme::kSi,
+                                         VersionScheme::kSiasChains,
+                                         VersionScheme::kSiasV),
+                       ::testing::Values(FlushPolicy::kT2Checkpoint,
+                                         FlushPolicy::kT1BackgroundWriter)),
+    [](const auto& info) {
+      return SchemeTag(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == FlushPolicy::kT2Checkpoint ? "_t2"
+                                                                    : "_t1");
+    });
+
+TEST(CrashMatrix, TornPowerCutsRecoverToo) {
+  // Sector-level tearing of the first dropped cached write: the WAL's CRC
+  // framing must classify the torn block as a benign tail.
+  for (VersionScheme scheme :
+       {VersionScheme::kSi, VersionScheme::kSiasChains, VersionScheme::kSiasV}) {
+    SCOPED_TRACE(SchemeTag(scheme));
+    CrashConfig cfg;
+    cfg.scheme = scheme;
+    cfg.seed = 0xBADCAB;
+    cfg.crash_point = "wal.pre_fsync";
+    cfg.nth = 9;
+    cfg.tear = true;
+    CrashRunner runner(cfg);
+    ASSERT_TRUE(runner.RunWorkload().ok());
+    ASSERT_TRUE(runner.report().crashed);
+    ASSERT_TRUE(runner.ReopenAndRecover().ok());
+    Status s = runner.CheckInvariants();
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The invariants must have teeth: a recovery that silently skips one heap
+// redo record has to FAIL the suite.
+// ---------------------------------------------------------------------------
+
+TEST(CrashSabotage, SkippedRedoRecordIsCaught) {
+  CrashConfig cfg;
+  cfg.scheme = VersionScheme::kSiasChains;
+  cfg.seed = 0x5AB07A6E;
+  // Cut before the first checkpoint: every heap record must come back
+  // through WAL redo, so skipping one is guaranteed to lose state.
+  cfg.crash_point = "txn.commit.pre_flush";
+  cfg.nth = 20;
+  CrashRunner runner(cfg);
+  ASSERT_TRUE(runner.RunWorkload().ok());
+  ASSERT_TRUE(runner.report().crashed);
+  ASSERT_GT(runner.report().committed, 5);
+
+  RecoverOptions sabotage;
+  sabotage.skip_redo_record = 0;
+  Status rec = runner.ReopenAndRecover(sabotage);
+  if (rec.ok()) {
+    Status inv = runner.CheckInvariants();
+    EXPECT_FALSE(inv.ok())
+        << "a recovery that lost a redo record passed the invariant suite";
+  }
+  // (A loud Recover() failure would be an equally valid catch.)
+}
+
+// ---------------------------------------------------------------------------
+// Seeded randomized power-cut fuzz (mirrored by scripts/crashgrind.sh).
+// ---------------------------------------------------------------------------
+
+// Seeds that once exposed real recovery bugs, pinned forever: un-logged GC
+// page reclaim/recycle shadowing redo (needs the WAL-LSN stamp on re-Init),
+// ChainOf walking a dangling anchor predecessor into a recycled page, and
+// torn in-place page writes (need the full-page-image prepass).
+TEST(CrashFuzz, RegressionSeeds) {
+  for (uint64_t seed : {20332078ull, 21332081ull, 26332096ull, 39260864ull,
+                        41260870ull, 46300480ull}) {
+    SCOPED_TRACE("replay with SIAS_CRASH_SEED=" + std::to_string(seed) +
+                 " SIAS_CRASH_ITERS=1");
+    CrashConfig cfg;
+    cfg.scheme = static_cast<VersionScheme>(seed % 3);
+    cfg.flush_policy = (seed / 3) % 2 == 0 ? FlushPolicy::kT2Checkpoint
+                                           : FlushPolicy::kT1BackgroundWriter;
+    cfg.seed = seed;
+    FaultRule cut;
+    cut.kind = FaultKind::kPowerCut;
+    cut.op = OpClass::kWrite;
+    cut.nth = 1 + seed % 400;
+    cut.tear = seed % 5 == 0;
+    cfg.extra_rules.push_back(cut);
+    CrashRunner runner(cfg);
+    ASSERT_TRUE(runner.RunWorkload().ok());
+    if (!runner.report().crashed) continue;
+    Status s = runner.ReopenAndRecover();
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    s = runner.CheckInvariants();
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+}
+
+TEST(CrashFuzz, RandomDeviceOpPowerCuts) {
+  uint64_t base_seed = 20260807;
+  if (const char* env = std::getenv("SIAS_CRASH_SEED")) {
+    base_seed = std::strtoull(env, nullptr, 10);
+  }
+  int iters = 10;
+  if (const char* env = std::getenv("SIAS_CRASH_ITERS")) {
+    iters = std::atoi(env);
+  }
+  for (int i = 0; i < iters; ++i) {
+    uint64_t seed = base_seed + 7919ull * i;
+    SCOPED_TRACE("replay with SIAS_CRASH_SEED=" + std::to_string(seed) +
+                 " SIAS_CRASH_ITERS=1");
+    CrashConfig cfg;
+    cfg.scheme = static_cast<VersionScheme>(seed % 3);
+    cfg.flush_policy = (seed / 3) % 2 == 0 ? FlushPolicy::kT2Checkpoint
+                                           : FlushPolicy::kT1BackgroundWriter;
+    cfg.seed = seed;
+    FaultRule cut;
+    cut.kind = FaultKind::kPowerCut;
+    cut.op = OpClass::kWrite;
+    cut.nth = 1 + seed % 400;
+    cut.tear = seed % 5 == 0;
+    cfg.extra_rules.push_back(cut);
+    CrashRunner runner(cfg);
+    ASSERT_TRUE(runner.RunWorkload().ok());
+    if (!runner.report().crashed) continue;  // nth beyond the op count
+    Status s = runner.ReopenAndRecover();
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    s = runner.CheckInvariants();
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transient I/O errors: bounded retries absorb bursts; exhausted budgets
+// surface as clean errors (never crashes, never silent corruption).
+// ---------------------------------------------------------------------------
+
+TEST(TransientFaults, BurstWithinRetryBudgetIsInvisible) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  int64_t recovered_before = reg.GetCounter("fault.retry.recovered")->Value();
+
+  CrashConfig cfg;
+  cfg.scheme = VersionScheme::kSiasV;
+  cfg.seed = 0x7EA;
+  FaultRule burst;
+  burst.kind = FaultKind::kTransientIoError;
+  burst.op = OpClass::kWrite;
+  burst.device_tag = "wal";
+  burst.nth = 5;
+  burst.repeat = 3;  // three consecutive failures < kRetryAttempts
+  cfg.extra_rules.push_back(burst);
+
+  CrashRunner runner(cfg);
+  Status s = runner.RunWorkload();
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_FALSE(runner.report().crashed);
+  EXPECT_GT(runner.report().committed, 0);
+  EXPECT_GT(reg.GetCounter("fault.retry.recovered")->Value(), recovered_before)
+      << "the burst should have been absorbed by the retry loop";
+}
+
+TEST(TransientFaults, ExhaustedRetryBudgetIsACleanError) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  int64_t exhausted_before = reg.GetCounter("fault.retry.exhausted")->Value();
+
+  CrashConfig cfg;
+  cfg.scheme = VersionScheme::kSiasV;
+  cfg.seed = 0x7EB;
+  FaultRule storm;
+  storm.kind = FaultKind::kTransientIoError;
+  storm.op = OpClass::kWrite;
+  storm.device_tag = "wal";
+  storm.nth = 5;
+  storm.repeat = -1;  // every WAL write from the 5th on fails
+  cfg.extra_rules.push_back(storm);
+
+  CrashRunner runner(cfg);
+  Status s = runner.RunWorkload();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError) << s.ToString();
+  EXPECT_NE(s.message().find("retry budget"), std::string::npos)
+      << s.ToString();
+  EXPECT_GT(reg.GetCounter("fault.retry.exhausted")->Value(),
+            exhausted_before);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery idempotence + observability.
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryIdempotence, DoubleRecoverConverges) {
+  CrashConfig cfg;
+  cfg.scheme = VersionScheme::kSiasV;
+  cfg.seed = 0xD0;
+  cfg.crash_point = "wal.post_fsync";
+  cfg.nth = 23;
+  CrashRunner runner(cfg);
+  ASSERT_TRUE(runner.RunWorkload().ok());
+  ASSERT_TRUE(runner.report().crashed);
+  ASSERT_TRUE(runner.ReopenAndRecover().ok());
+  ASSERT_TRUE(runner.CheckInvariants().ok());
+  // Recover again on the already-recovered engine: redo is LSN-gated and
+  // the rebuilds recreate their structures, so the state must not change.
+  ASSERT_TRUE(runner.db()->Recover().ok());
+  Status s = runner.CheckInvariants();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(RecoveryIdempotence, PacedCheckpointMidFlight) {
+  // Die while the paced checkpoint drain is in progress; the control block
+  // still points at the previous checkpoint, so replay covers the queue.
+  CrashConfig cfg;
+  cfg.scheme = VersionScheme::kSiasChains;
+  cfg.seed = 0xD1;
+  cfg.crash_point = "ckpt.paced.drain_pass";
+  CrashRunner runner(cfg);
+  ASSERT_TRUE(runner.RunWorkload().ok());
+  ASSERT_TRUE(runner.report().crashed);
+  ASSERT_TRUE(runner.ReopenAndRecover().ok());
+  ASSERT_TRUE(runner.CheckInvariants().ok());
+  ASSERT_TRUE(runner.db()->Recover().ok());
+  Status s = runner.CheckInvariants();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(RecoveryObservability, GaugesExported) {
+  CrashConfig cfg;
+  cfg.scheme = VersionScheme::kSiasV;
+  cfg.seed = 0xD2;
+  cfg.crash_point = "txn.commit.post_flush";
+  cfg.nth = 15;
+  CrashRunner runner(cfg);
+  ASSERT_TRUE(runner.RunWorkload().ok());
+  ASSERT_TRUE(runner.report().crashed);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  int64_t runs_before = reg.GetCounter("db.recovery.runs")->Value();
+  ASSERT_TRUE(runner.ReopenAndRecover().ok());
+  EXPECT_EQ(reg.GetCounter("db.recovery.runs")->Value(), runs_before + 1);
+  EXPECT_GT(reg.GetGauge("db.recovery.records_replayed")->Value(), 0);
+  EXPECT_GT(reg.GetGauge("db.recovery.vtime_ns")->Value(), 0);
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace sias

@@ -1,6 +1,8 @@
 // Randomized robustness suites for the WAL and the recovery path:
 //  * arbitrary corruption anywhere in the log must never crash the reader
-//    or yield a record that was not written (CRC integrity property);
+//    or yield a record that was not written (CRC integrity property) — and
+//    corruption *inside* the log (intact records follow the damage) must be
+//    reported loudly as kCorruption, never silently truncated;
 //  * randomized crash points (device snapshots mid-run) must always recover
 //    to a committed-prefix state.
 #include <gtest/gtest.h>
@@ -27,6 +29,7 @@ TEST_P(WalCorruptionTest, ReaderSurvivesArbitraryCorruption) {
   // Write a few hundred records with recognizable bodies.
   std::vector<std::string> bodies;
   Lsn last = 0;
+  Lsn last_record_start = 0;
   for (int i = 0; i < 300; ++i) {
     WalRecord rec;
     rec.type = WalRecordType::kHeapInsert;
@@ -36,36 +39,57 @@ TEST_P(WalCorruptionTest, ReaderSurvivesArbitraryCorruption) {
     rec.body = "body-" + std::to_string(i) +
                std::string(rng.Uniform(0, 200), 'x');
     bodies.push_back(rec.body);
+    last_record_start = last;
     auto l = writer.Append(rec);
     ASSERT_TRUE(l.ok());
     last = *l;
   }
   ASSERT_TRUE(writer.FlushTo(last, &clk).ok());
 
-  // Corrupt a handful of random bytes.
+  // Corrupt a handful of random bytes, tracking whether any landed strictly
+  // before the final record (= unambiguously mid-log).
+  bool hit_mid_log = false;
   for (int hit = 0; hit < 5; ++hit) {
     uint64_t offset = rng.Uniform(0, last - 1) / 512 * 512;
     std::vector<uint8_t> blk(512);
     ASSERT_TRUE(device.Read(offset, 512, blk.data(), nullptr).ok());
-    blk[rng.Uniform(0, 511)] ^= static_cast<uint8_t>(rng.Uniform(1, 255));
+    uint64_t byte = rng.Uniform(0, 511);
+    blk[byte] ^= static_cast<uint8_t>(rng.Uniform(1, 255));
     ASSERT_TRUE(device.Write(offset, 512, blk.data(), nullptr).ok());
+    if (offset + byte < last_record_start) hit_mid_log = true;
   }
 
-  // The reader must return a prefix of the written records, bit-exact,
-  // and stop cleanly at the first corruption.
+  // The reader must return a prefix of the written records, bit-exact, and
+  // then stop at the first damaged one. Damage planted mid-log (valid
+  // records follow it) must surface as kCorruption; only damage in the very
+  // last record can legitimately read as a benign torn tail.
   WalReader reader(&device, 0, 16ull << 20);
   size_t i = 0;
+  bool corruption_reported = false;
   for (;;) {
     auto rec = reader.Next();
-    ASSERT_TRUE(rec.ok());
+    if (!rec.ok()) {
+      EXPECT_EQ(rec.status().code(), StatusCode::kCorruption)
+          << rec.status().ToString();
+      corruption_reported = true;
+      break;
+    }
     if (!rec->has_value()) break;
     ASSERT_LT(i, bodies.size());
     EXPECT_EQ((*rec)->body, bodies[i]) << "record " << i;
     i++;
   }
-  // Something was corrupted, so the prefix is likely (not certainly)
-  // shorter than the full log; either way no garbage came through.
+  // No garbage came through, and the reader stopped at (or before) the
+  // damage...
   EXPECT_LE(i, bodies.size());
+  // ...loudly whenever a flip landed before the final record: valid records
+  // follow such damage, so reading past it quietly (or stopping at it as a
+  // "torn tail") would silently truncate durable history.
+  if (hit_mid_log) {
+    EXPECT_TRUE(corruption_reported)
+        << "mid-log corruption was not reported (read " << i << "/"
+        << bodies.size() << " records)";
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WalCorruptionTest,

@@ -132,6 +132,60 @@ TEST_F(WalTest, TornTailStopsReader) {
   EXPECT_EQ(reader.lsn(), *l1);
 }
 
+TEST_F(WalTest, MidLogCorruptionIsLoud) {
+  // Damage *before* the last synced record must not read as a torn tail:
+  // silently truncating there would lose durable commits. Regression test
+  // for the reader classifying every CRC failure as end-of-log.
+  auto l1 = writer_.Append(MakeInsert(2, 1, Tid{0, 0}, "first"));
+  auto l2 = writer_.Append(MakeInsert(3, 1, Tid{0, 1}, "second"));
+  auto l3 = writer_.Append(MakeInsert(4, 1, Tid{0, 2}, "third"));
+  ASSERT_TRUE(writer_.FlushTo(*l3, &clk_).ok());
+  // Corrupt a byte inside the FIRST record; two intact records follow.
+  std::vector<uint8_t> blk(kPageSize);
+  ASSERT_TRUE(device_.Read(0, kPageSize, blk.data(), nullptr).ok());
+  blk[12] ^= 0xff;
+  ASSERT_TRUE(device_.Write(0, kPageSize, blk.data(), nullptr).ok());
+  (void)l1;
+  (void)l2;
+
+  WalReader reader(&device_, 0, 64ull << 20);
+  auto r = reader.Next();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption)
+      << r.status().ToString();
+}
+
+TEST_F(WalTest, ResumeZeroesStaleTailForCorruptionDetection) {
+  // A shorter recovered log must not leave the previous generation's
+  // records beyond its end — they would later read as "intact records past
+  // the damage" and turn every benign torn tail into a false corruption
+  // report. Resume() zeroes them.
+  std::string big(3000, 'z');
+  std::vector<Lsn> ends;
+  for (int i = 0; i < 10; ++i) {
+    auto l = writer_.Append(MakeInsert(2 + i, 1, Tid{0, 0}, big));
+    ASSERT_TRUE(l.ok());
+    ends.push_back(*l);
+  }
+  ASSERT_TRUE(writer_.FlushTo(ends.back(), &clk_).ok());
+
+  // Pretend recovery only found the first four records valid.
+  WalWriter resumed(&device_, 0, 64ull << 20);
+  ASSERT_TRUE(resumed.Resume(ends[3]).ok());
+
+  // The reader now sees records 1-4, then a benign end of log — record 5's
+  // head may survive in the resume block, but nothing valid follows it.
+  WalReader reader(&device_, 0, 64ull << 20);
+  int n = 0;
+  for (;;) {
+    auto r = reader.Next();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    if (!r->has_value()) break;
+    n++;
+  }
+  EXPECT_EQ(n, 4);
+}
+
 TEST_F(WalTest, RegionFullReported) {
   WalWriter tiny(&device_, 0, 256);
   auto l1 = tiny.Append(MakeInsert(2, 1, Tid{0, 0}, std::string(100, 'a')));
