@@ -1,0 +1,176 @@
+// Read-scaling microbench for the epoch-based latch-free snapshot read path.
+//
+// Loads a SIAS-V table whose pages all fit in the buffer pool, then runs
+// read-only snapshot transactions from 1, 2, 4 and 8 wall-clock threads.
+// With the latch-free path every read resolves through the optimistic
+// buffer-pool fetch (pin + seqlock revalidate) and atomic tuple decode —
+// no page latch, no map latch, no stats mutex — so aggregate throughput
+// should scale with cores until memory bandwidth, not latching, is the
+// limit. Two gated claims (scripts/bench_baseline.json):
+//
+//   * scaling_headroom >= 1.0 — the t8/t1 throughput ratio meets a
+//     hardware-aware target (3x on >=8 cores, degrading gracefully down to
+//     "no collapse under oversubscription" on 1 core);
+//   * mvcc.read_latch_acquisitions == 0 — the whole measured read phase
+//     never once fell back to the latched fetch path.
+//
+// Wall-clock time (std::chrono) is measured here, not virtual device time:
+// latch contention is invisible to the virtual clock.
+//
+// Usage: bench_read_scaling [records] [reads_per_thread]
+//                           [--metrics-out=<file>]
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "buffer/buffer_pool.h"
+#include "core/sias_table.h"
+#include "device/mem_device.h"
+#include "mvcc/epoch.h"
+#include "storage/disk_manager.h"
+#include "txn/clog.h"
+#include "txn/lock_manager.h"
+#include "txn/txn_manager.h"
+
+using namespace sias;
+using namespace sias::bench;
+
+namespace {
+
+constexpr RelationId kRelation = 1;
+
+struct Rig {
+  MemDevice device{1ull << 30};
+  DiskManager disk{&device};
+  BufferPool pool{&disk, 2048,
+                  [](Lsn, VirtualClock*) { return Status::OK(); }};
+  Clog clog;
+  LockManager locks{200};
+  TransactionManager txns{&clog, &locks};
+  std::unique_ptr<SiasTable> table;
+  std::vector<Vid> vids;
+};
+
+/// Hardware-aware scaling target for the t8/t1 ratio: near-linear scaling
+/// can only show on machines that actually have the cores; on small hosts
+/// the gate degrades to "oversubscription must not collapse throughput".
+double ScalingTarget(unsigned hw) {
+  if (hw >= 8) return 3.0;
+  if (hw >= 4) return 2.0;
+  if (hw >= 2) return 1.3;
+  return 0.75;
+}
+
+double RunPhase(Rig* rig, int threads, int reads_per_thread, uint64_t seed) {
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([rig, t, reads_per_thread, seed] {
+      Random rng(seed ^ (0x9E3779B97F4A7C15ull * (t + 1)));
+      VirtualClock clk;
+      auto txn = rig->txns.Begin(&clk);
+      for (int i = 0; i < reads_per_thread; ++i) {
+        Vid v = rig->vids[rng.Uniform(0, rig->vids.size() - 1)];
+        auto r = rig->table->Read(txn.get(), v);
+        SIAS_CHECK_MSG(r.ok(), "%s", r.status().ToString().c_str());
+        SIAS_CHECK(r->has_value());
+      }
+      SIAS_CHECK(rig->txns.Commit(txn.get()).ok());
+    });
+  }
+  for (auto& w : workers) w.join();
+  std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - start;
+  double total = static_cast<double>(threads) * reads_per_thread;
+  return total / wall.count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchMetricsWriter out("read_scaling", &argc, argv);
+  uint64_t records = argc > 1 ? strtoull(argv[1], nullptr, 10) : 8192;
+  int reads_per_thread =
+      argc > 2 ? static_cast<int>(strtoull(argv[2], nullptr, 10)) : 80000;
+  const uint64_t seed = 42;
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  printf("read scaling: latch-free snapshot reads, SIAS-V, %llu records, "
+         "%d reads/thread, %u hardware threads\n",
+         static_cast<unsigned long long>(records), reads_per_thread, hw);
+
+  Rig rig;
+  SIAS_CHECK(rig.disk.CreateRelation(kRelation).ok());
+  rig.table = std::make_unique<SiasTable>(
+      kRelation, TableEnv{&rig.pool, &rig.txns, nullptr},
+      VersionScheme::kSiasV);
+  {
+    // Load: all pages stay pool-resident (2048 frames vs ~records/100
+    // pages), so the measured phases never touch the device.
+    VirtualClock clk;
+    std::string payload(64, 'v');
+    for (uint64_t i = 0; i < records;) {
+      auto txn = rig.txns.Begin(&clk);
+      for (uint64_t j = 0; j < 1024 && i < records; ++j, ++i) {
+        auto vid = rig.table->Insert(txn.get(), Slice(payload));
+        SIAS_CHECK(vid.ok());
+        rig.vids.push_back(*vid);
+      }
+      SIAS_CHECK(rig.txns.Commit(txn.get()).ok());
+    }
+  }
+  // Warm pass: touch every item once so the measured phases start from a
+  // fully published buffer-pool index, then scope the counters to the
+  // measurement (the latch-acquisition gate covers ONLY the read phases).
+  (void)RunPhase(&rig, 1, static_cast<int>(records), seed);
+  obs::MetricsRegistry::Default().ResetAll();
+
+  printf("%8s | %14s | %8s\n", "threads", "reads/sec", "vs t1");
+  double thr1 = 0.0;
+  double thr8 = 0.0;
+  for (int threads : {1, 2, 4, 8}) {
+    double thr = RunPhase(&rig, threads, reads_per_thread, seed + threads);
+    if (threads == 1) thr1 = thr;
+    if (threads == 8) thr8 = thr;
+    printf("%8d | %14.0f | %7.2fx\n", threads, thr,
+           thr1 > 0 ? thr / thr1 : 0.0);
+
+    obs::MetricsSnapshot snap = obs::MetricsRegistry::Default().Snapshot();
+    std::map<std::string, double> numbers;
+    numbers["threads"] = threads;
+    numbers["reads_per_sec"] = thr;
+    numbers["speedup_vs_t1"] = thr1 > 0 ? thr / thr1 : 0.0;
+    numbers["read_latch_acquisitions"] = static_cast<double>(
+        snap.counters.count("mvcc.read_latch_acquisitions")
+            ? snap.counters.at("mvcc.read_latch_acquisitions")
+            : 0);
+    if (threads == 8) {
+      double scaling = thr1 > 0 ? thr8 / thr1 : 0.0;
+      double target = ScalingTarget(hw);
+      numbers["scaling_x8"] = scaling;
+      numbers["scaling_target"] = target;
+      numbers["scaling_headroom"] = target > 0 ? scaling / target : 0.0;
+      numbers["hw_threads"] = hw;
+    }
+    out.Add(MetricsLabel("read_scaling", VersionScheme::kSiasV,
+                         "t" + std::to_string(threads)),
+            SchemeName(VersionScheme::kSiasV), nullptr, snap, numbers);
+  }
+
+  double scaling = thr1 > 0 ? thr8 / thr1 : 0.0;
+  obs::MetricsSnapshot final_snap = obs::MetricsRegistry::Default().Snapshot();
+  int64_t latched =
+      final_snap.counters.count("mvcc.read_latch_acquisitions")
+          ? final_snap.counters.at("mvcc.read_latch_acquisitions")
+          : 0;
+  printf("\nscaling t8/t1: %.2fx (target %.2fx on %u hw threads, headroom "
+         "%.2f); latched read fallbacks across all phases: %lld\n",
+         scaling, ScalingTarget(hw), hw, scaling / ScalingTarget(hw),
+         static_cast<long long>(latched));
+
+  out.Write();
+  return 0;
+}

@@ -28,6 +28,7 @@ check is one of
    "key": K, "min_pct": P}
       (1 - results[K](L)/results[K](L0)) * 100 must be >= P
   {"type": "counter_geq", "bench": B, "label": L, "counter": C, "min": V}
+  {"type": "counter_leq", "bench": B, "label": L, "counter": C, "max": V}
       metrics.counters[C] bound
 Every check accepts an optional "desc". Checks referencing a bench with no
 loaded file are reported as skipped (not failures) unless "required": true.
@@ -238,15 +239,18 @@ def run_check(check, benches):
         return ok, (f"{desc}: {check['label']}/{check['base_label']} "
                     f"{check['key']} ratio {fmt(ratio, 4)} "
                     f"(want >= {check['min_ratio']})")
-    if t == "counter_geq":
+    if t in ("counter_geq", "counter_leq"):
         e = bench.get(check["label"])
         if e is None:
             return False, f"{desc}: label {check['label']} missing"
         v = e.get("metrics", {}).get("counters", {}).get(check["counter"])
         if v is None:
             return False, f"{desc}: counter {check['counter']} missing"
-        ok = v >= check["min"]
-        return ok, f"{desc}: {check['counter']}={v} (want >= {check['min']})"
+        if t == "counter_geq":
+            ok, bound = v >= check["min"], f">= {check['min']}"
+        else:
+            ok, bound = v <= check["max"], f"<= {check['max']}"
+        return ok, f"{desc}: {check['counter']}={v} (want {bound})"
     return False, f"{desc}: unknown check type '{t}'"
 
 

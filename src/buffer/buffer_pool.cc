@@ -14,6 +14,13 @@
 
 namespace sias {
 
+namespace {
+/// Bounded linear-probe window for the lock-free side index. At <= 25%
+/// load a cluster this long is vanishingly rare; on overflow the page is
+/// simply not optimistically reachable and readers take the locked path.
+constexpr size_t kIndexProbes = 16;
+}  // namespace
+
 PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
   if (this != &other) {
     Release();
@@ -83,6 +90,10 @@ BufferPool::BufferPool(DiskManager* disk, size_t num_frames,
   for (auto& f : frames_) {
     f.data = std::make_unique<uint8_t[]>(kPageSize);
   }
+  size_t cap = 1;
+  while (cap < num_frames * 4) cap <<= 1;
+  index_ = std::vector<std::atomic<uint32_t>>(cap);
+  index_mask_ = cap - 1;
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
   m_hits_ = reg.GetCounter("buffer.hits");
   m_misses_ = reg.GetCounter("buffer.misses");
@@ -94,6 +105,66 @@ BufferPool::~BufferPool() = default;
 
 void BufferPool::Unpin(size_t frame) {
   frames_[frame].pins.fetch_sub(1, std::memory_order_release);
+}
+
+void BufferPool::IndexInsert(PageId id, size_t frame) {
+  size_t h = PageIdHash{}(id)&index_mask_;
+  for (size_t k = 0; k < kIndexProbes; ++k) {
+    std::atomic<uint32_t>& e = index_[(h + k) & index_mask_];
+    if (e.load(std::memory_order_relaxed) == 0) {
+      e.store(static_cast<uint32_t>(frame + 1), std::memory_order_seq_cst);
+      return;
+    }
+  }
+  // Window full: skip — see kIndexProbes.
+}
+
+void BufferPool::IndexErase(PageId id, size_t frame) {
+  size_t h = PageIdHash{}(id)&index_mask_;
+  uint32_t want = static_cast<uint32_t>(frame + 1);
+  for (size_t k = 0; k < kIndexProbes; ++k) {
+    std::atomic<uint32_t>& e = index_[(h + k) & index_mask_];
+    if (e.load(std::memory_order_relaxed) == want) {
+      e.store(0, std::memory_order_seq_cst);
+      return;
+    }
+  }
+}
+
+void BufferPool::PublishFrame(size_t idx, PageId id) {
+  Frame& f = frames_[idx];
+  f.tag.store(PackTag(id), std::memory_order_seq_cst);
+  IndexInsert(id, idx);
+  uint64_t s = f.stamp.fetch_add(1, std::memory_order_seq_cst);
+  SIAS_CHECK((s & 1) == 1);  // frame must have been transitioning
+}
+
+bool BufferPool::TryFetchCached(PageId id, PageGuard* out) {
+  uint64_t want = PackTag(id);
+  size_t h = PageIdHash{}(id)&index_mask_;
+  for (size_t k = 0; k < kIndexProbes; ++k) {
+    uint32_t e = index_[(h + k) & index_mask_].load(std::memory_order_seq_cst);
+    if (e == 0) continue;  // erase punches holes; scan the whole window
+    size_t idx = e - 1;
+    Frame& f = frames_[idx];
+    uint64_t s1 = f.stamp.load(std::memory_order_seq_cst);
+    if ((s1 & 1) != 0) continue;  // transitioning
+    if (f.tag.load(std::memory_order_seq_cst) != want) continue;
+    // Pin, then re-validate: eviction bumps the stamp odd *before*
+    // re-checking pins, so if the stamp is still s1 here, the evictor is
+    // guaranteed to observe this pin and abort (Dekker; Frame comment).
+    f.pins.fetch_add(1, std::memory_order_seq_cst);
+    if (f.stamp.load(std::memory_order_seq_cst) != s1) {
+      Unpin(idx);
+      continue;
+    }
+    f.referenced.store(true, std::memory_order_relaxed);
+    lockfree_hits_.fetch_add(1, std::memory_order_relaxed);
+    m_hits_->Increment();
+    *out = PageGuard(this, idx, id);
+    return true;
+  }
+  return false;
 }
 
 Status BufferPool::WriteFrame(Frame& f, VirtualClock* clk,
@@ -175,16 +246,33 @@ Result<size_t> BufferPool::FindVictim(VirtualClock* clk) {
       Frame& f = frames_[clock_hand_];
       size_t idx = clock_hand_;
       clock_hand_ = (clock_hand_ + 1) % frames_.size();
-      if (!f.valid) return idx;
+      if (!f.valid) {
+        // Never-installed (or already-evicted) frame. The installer expects
+        // a transitioning frame, so make sure the stamp is odd.
+        if ((f.stamp.load(std::memory_order_seq_cst) & 1) == 0) {
+          f.stamp.fetch_add(1, std::memory_order_seq_cst);
+        }
+        return idx;
+      }
       if (f.pins.load(std::memory_order_acquire) > 0 || f.sticky) continue;
-      if (f.referenced) {
-        f.referenced = false;
+      if (f.referenced.load(std::memory_order_relaxed)) {
+        f.referenced.store(false, std::memory_order_relaxed);
         continue;
       }
       if (f.dirty.load(std::memory_order_acquire)) {
         if (!allow_dirty) continue;
         SIAS_RETURN_NOT_OK(WriteFrame(f, clk, FlushSource::kEviction));
       }
+      // Unpublish for lock-free readers: bump the stamp odd, then re-check
+      // pins. An optimistic reader pins first and re-reads the stamp, so
+      // under seq_cst at most one side proceeds (see Frame).
+      f.stamp.fetch_add(1, std::memory_order_seq_cst);
+      if (f.pins.load(std::memory_order_seq_cst) > 0) {
+        f.stamp.fetch_add(1, std::memory_order_seq_cst);  // back to stable
+        continue;
+      }
+      f.tag.store(kNoTag, std::memory_order_seq_cst);
+      IndexErase(f.id, idx);
       table_.erase(f.id);
       f.valid = false;
       stats_.evictions++;
@@ -201,7 +289,7 @@ Result<PageGuard> BufferPool::FetchPage(PageId id, VirtualClock* clk) {
   if (it != table_.end()) {
     Frame& f = frames_[it->second];
     f.pins.fetch_add(1, std::memory_order_acquire);
-    f.referenced = true;
+    f.referenced.store(true, std::memory_order_relaxed);
     stats_.hits++;
     m_hits_->Increment();
     return PageGuard(this, it->second, id);
@@ -221,10 +309,14 @@ Result<PageGuard> BufferPool::FetchPage(PageId id, VirtualClock* clk) {
   f.valid = true;
   f.dirty.store(false, std::memory_order_relaxed);
   f.sticky = false;
-  f.referenced = true;
+  f.referenced.store(true, std::memory_order_relaxed);
   f.lsn.store(sp.header()->lsn, std::memory_order_relaxed);
-  f.pins.store(1, std::memory_order_release);
+  // fetch_add, not store: a lock-free reader may hold a transient
+  // optimistic pin (it will fail stamp validation and unpin); a plain
+  // store would clobber it and let the pin count go negative.
+  f.pins.fetch_add(1, std::memory_order_acq_rel);
   table_[id] = idx;
+  PublishFrame(idx, id);
   return PageGuard(this, idx, id);
 }
 
@@ -232,7 +324,29 @@ Result<PageGuard> BufferPool::NewPage(RelationId relation, VirtualClock* clk,
                                       uint32_t page_flags) {
   MutexLock lock(&mu_);
   SIAS_ASSIGN_OR_RETURN(PageNumber page_no, disk_->AllocatePage(relation));
-  SIAS_ASSIGN_OR_RETURN(size_t idx, FindVictim(clk));
+  size_t idx;
+  auto existing = table_.find(PageId{relation, page_no});
+  if (existing != table_.end()) {
+    // The allocator handed out a page number that is still resident: redo
+    // re-extends a relation over a warm pool after the control block rolled
+    // the disk map back (a second Recover() on a live engine). Reuse that
+    // frame — victimizing a fresh one would leave the old frame published
+    // for lock-free readers under the same tag, and the two copies diverge.
+    idx = existing->second;
+    Frame& old = frames_[idx];
+    old.stamp.fetch_add(1, std::memory_order_seq_cst);  // transitioning
+    // Only transient optimistic pins can exist here (recovery is
+    // single-threaded; no guard outlives its caller): they re-validate the
+    // stamp and unpin, so this drains promptly.
+    SpinBackoff backoff;
+    while (old.pins.load(std::memory_order_seq_cst) > 0) backoff.Pause();
+    old.tag.store(kNoTag, std::memory_order_seq_cst);
+    IndexErase(old.id, idx);
+    table_.erase(existing);
+    old.valid = false;
+  } else {
+    SIAS_ASSIGN_OR_RETURN(idx, FindVictim(clk));
+  }
   Frame& f = frames_[idx];
   SlottedPage sp(f.data.get());
   sp.Init(relation, page_no, page_flags);
@@ -241,10 +355,11 @@ Result<PageGuard> BufferPool::NewPage(RelationId relation, VirtualClock* clk,
   f.valid = true;
   f.dirty.store(true, std::memory_order_relaxed);
   f.sticky = false;
-  f.referenced = true;
+  f.referenced.store(true, std::memory_order_relaxed);
   f.lsn.store(kInvalidLsn, std::memory_order_relaxed);
-  f.pins.store(1, std::memory_order_release);
+  f.pins.fetch_add(1, std::memory_order_acq_rel);  // see FetchPage
   table_[id] = idx;
+  PublishFrame(idx, id);
   return PageGuard(this, idx, id);
 }
 
@@ -277,12 +392,13 @@ Status BufferPool::RestorePage(PageId id, const uint8_t* image,
   f.id = id;
   f.valid = true;
   f.dirty.store(true, std::memory_order_relaxed);
-  f.referenced = true;
+  f.referenced.store(true, std::memory_order_relaxed);
   f.lsn.store(image_lsn, std::memory_order_relaxed);
   if (it == table_.end()) {
     f.sticky = false;
-    f.pins.store(0, std::memory_order_release);
+    f.pins.store(0, std::memory_order_release);  // single-threaded recovery
     table_[id] = idx;
+    PublishFrame(idx, id);
   }
   return Status::OK();
 }
@@ -330,8 +446,8 @@ std::vector<BufferPool::DirtyPageInfo> BufferPool::DirtyPagesWithFlags(
     if (f.valid && f.dirty.load(std::memory_order_acquire)) {
       out.push_back(DirtyPageInfo{
           f.id, reinterpret_cast<const PageHeader*>(f.data.get())->flags,
-          f.referenced, f.sticky});
-      if (clear_referenced) f.referenced = false;
+          f.referenced.load(std::memory_order_relaxed), f.sticky});
+      if (clear_referenced) f.referenced.store(false, std::memory_order_relaxed);
     }
   }
   return out;
@@ -348,7 +464,9 @@ std::vector<PageId> BufferPool::DirtyPages() const {
 
 BufferPoolStats BufferPool::stats() const {
   MutexLock lock(&mu_);
-  return stats_;
+  BufferPoolStats out = stats_;
+  out.hits += lockfree_hits_.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace sias

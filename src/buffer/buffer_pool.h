@@ -120,6 +120,16 @@ class BufferPool {
   /// Fetches an existing page, reading it from the device on a miss.
   Result<PageGuard> FetchPage(PageId id, VirtualClock* clk);
 
+  /// Latch-free, mutex-free fetch of a *resident* page: probes a lock-free
+  /// side index, then validates frame identity with the stamp/tag protocol
+  /// (see Frame) around a pin. On success `*out` holds a pinned, unlatched
+  /// guard whose frame cannot be evicted until release; the caller may
+  /// read page content through the atomic tuple accessors only. Returns
+  /// false (out untouched) when the page is not resident, mid-transition,
+  /// or lost the race — callers fall back to FetchPage and count the latch
+  /// acquisition.
+  bool TryFetchCached(PageId id, PageGuard* out);
+
   /// Allocates a brand new page at the end of `relation` and returns it
   /// initialized and dirty.
   Result<PageGuard> NewPage(RelationId relation, VirtualClock* clk,
@@ -170,20 +180,36 @@ class BufferPool {
  private:
   friend class PageGuard;
 
+  /// Frame tag value meaning "no page installed" (never a real PageId).
+  static constexpr uint64_t kNoTag = ~0ull;
+
   struct Frame {
-    // id/valid/sticky/referenced are guarded by the pool's mu_; Frame is a
-    // nested type, so the analysis cannot name the owning pool's capability
-    // here — the rank checker and TSan cover these.
+    // id/valid/sticky are guarded by the pool's mu_; Frame is a nested
+    // type, so the analysis cannot name the owning pool's capability here —
+    // the rank checker and TSan cover these.
     PageId id{};
     bool valid = false;
     bool sticky = false;
-    bool referenced = false;
+    /// Clock-sweep reference bit; also set by the lock-free fetch, hence
+    /// atomic (relaxed — it is a heuristic, not a correctness bit).
+    std::atomic<bool> referenced{false};
     /// dirty/lsn are set by PageGuard::MarkDirty under the page latch (not
     /// the pool mutex) and read by the flush paths under mu_: atomics keep
     /// the two sides race-free without widening any lock.
     std::atomic<bool> dirty{false};
     std::atomic<Lsn> lsn{kInvalidLsn};
     std::atomic<int> pins{0};
+    /// Identity validation for TryFetchCached (seq_cst on both sides, with
+    /// `tag` and `pins` — the reader/evictor exclusion is Dekker-style):
+    /// even = a page is stably installed, odd = the frame is transitioning
+    /// (being evicted / refilled). Monotone, so a reader comparing the
+    /// stamp before and after its pin can never be fooled by reuse (no
+    /// ABA). Eviction bumps it odd *then* re-checks pins; the lock-free
+    /// reader pins *then* re-reads the stamp — at most one side proceeds.
+    std::atomic<uint64_t> stamp{0};
+    /// Packed PageId of the installed page, kNoTag when none. Written
+    /// under mu_ while the stamp is odd.
+    std::atomic<uint64_t> tag{kNoTag};
     PageLatch latch;
     std::unique_ptr<uint8_t[]> data;
   };
@@ -199,6 +225,17 @@ class BufferPool {
                     bool* busy = nullptr) SIAS_REQUIRES(mu_);
   void Unpin(size_t frame);
 
+  static uint64_t PackTag(PageId id) {
+    return (static_cast<uint64_t>(id.relation) << 32) | id.page;
+  }
+  /// Lock-free side index maintenance (writers hold mu_; readers probe
+  /// the atomics directly). Entry = frame index + 1; 0 = empty.
+  void IndexInsert(PageId id, size_t frame) SIAS_REQUIRES(mu_);
+  void IndexErase(PageId id, size_t frame) SIAS_REQUIRES(mu_);
+  /// Installs a fetched/new page in frame `idx` for lock-free readers and
+  /// re-evens the stamp (frame must be transitioning, i.e. stamp odd).
+  void PublishFrame(size_t idx, PageId id) SIAS_REQUIRES(mu_);
+
   DiskManager* disk_;
   WalFlushHook wal_flush_;
   FpiHook fpi_log_;
@@ -206,8 +243,14 @@ class BufferPool {
   mutable Mutex mu_{LatchRank::kBufferPool};
   std::vector<Frame> frames_;
   std::unordered_map<PageId, size_t> table_ SIAS_GUARDED_BY(mu_);
+  /// Open-addressed PageId -> frame map probed without mu_ by
+  /// TryFetchCached; power-of-two size >= 4x frames, bounded linear probe.
+  std::vector<std::atomic<uint32_t>> index_;
+  size_t index_mask_ = 0;
   size_t clock_hand_ SIAS_GUARDED_BY(mu_) = 0;
   BufferPoolStats stats_ SIAS_GUARDED_BY(mu_);
+  /// Hits served by TryFetchCached (merged into stats().hits).
+  std::atomic<uint64_t> lockfree_hits_{0};
 
   obs::Counter* m_hits_;
   obs::Counter* m_misses_;

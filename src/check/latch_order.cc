@@ -155,6 +155,7 @@ const char* LatchRankName(LatchRank rank) {
     case LatchRank::kDevice: return "device";
     case LatchRank::kDeviceCalendar: return "device-calendar";
     case LatchRank::kDeviceStore: return "device-store";
+    case LatchRank::kEpochQueue: return "epoch-queue";
     case LatchRank::kStats: return "stats";
     case LatchRank::kMetricsSampler: return "metrics-sampler";
     case LatchRank::kMetricsRegistry: return "metrics-registry";
@@ -236,6 +237,33 @@ void AssertHeld(const void* latch) {
 }
 
 size_t HeldCount() { return tl_held.size(); }
+
+namespace {
+thread_local size_t tl_epoch_depth = 0;
+}  // namespace
+
+void OnEpochEnter() {
+  if (tl_epoch_depth++ > 0) return;  // nested entries pin nothing new
+  for (const HeldEntry& held : tl_held) {
+    if (held.try_only) continue;  // try-acquires never block an epoch pin
+    if (held.rank == LatchRank::kUnranked) continue;
+    if (static_cast<uint8_t>(held.rank) >=
+        static_cast<uint8_t>(LatchRank::kPage)) {
+      Violation("epoch entered under a storage-layer latch (rank >= kPage)",
+                nullptr, held.rank, &held);
+    }
+  }
+}
+
+void OnEpochExit() {
+  if (tl_epoch_depth == 0) {
+    Violation("epoch exit without a matching enter", nullptr,
+              LatchRank::kUnranked, nullptr);
+  }
+  tl_epoch_depth--;
+}
+
+size_t EpochDepth() { return tl_epoch_depth; }
 
 }  // namespace check
 }  // namespace sias

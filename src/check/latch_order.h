@@ -53,7 +53,8 @@ enum class LatchRank : uint8_t {
   kPage = 40,           ///< buffer Frame::latch (heap + index pages)
   kSiHeapMap = 45,      ///< SiHeap::map_mu_ (version locators)
   kSiHeapFsm = 50,      ///< SiHeap::fsm_mu_ (free-space map)
-  kVidMapSlot = 55,     ///< VidMapV bucket SpinLatch (paper §4.1.3)
+  kVidMapSlot = 55,     ///< RETIRED: VidMapV is RCU now (epoch-based, no
+                        ///< per-slot latch); value kept for tests/history
   kBufferPool = 60,     ///< BufferPool::mu_ (frame table, clock hand)
   kWal = 65,            ///< WalWriter::mu_ (log tail)
   kBucketDir = 70,      ///< BucketDirectory growth (VidMap/VidMapV/Clog)
@@ -63,6 +64,7 @@ enum class LatchRank : uint8_t {
   kDevice = 85,         ///< FlashSsd/Hdd::mu_ (FTL / head state)
   kDeviceCalendar = 90, ///< ChannelCalendar::mu_ (busy marks)
   kDeviceStore = 91,    ///< DataStore::mu_ (payload bytes)
+  kEpochQueue = 93,     ///< EpochManager::queue_mu_ (deferred-free list)
   kStats = 95,          ///< per-component stats mutexes, TraceRecorder
   kMetricsSampler = 97,  ///< MetricsSampler ring (snapshots the registry)
   kMetricsRegistry = 98,  ///< obs registry map (locks histogram shards)
@@ -101,6 +103,26 @@ void AssertHeld(const void* latch);
 
 /// Number of latches the calling thread currently holds (tests).
 size_t HeldCount();
+
+// -- Epoch-aware rules ------------------------------------------------------
+// The latch-free read path (src/mvcc/epoch.h) pins an epoch instead of
+// taking latches. Epochs are not locks — they never block and cannot
+// deadlock — but they have an ordering discipline of their own: an epoch
+// must be entered *above* the storage layer. Entering one while holding a
+// page / pool / region / WAL / device latch would (a) extend the epoch pin
+// across arbitrary latch waits, delaying all deferred reclamation, and
+// (b) invert the conceptual order, because deferred-free callbacks acquire
+// exactly those storage latches when they finally run.
+
+/// Records epoch entry for the calling thread (depth counted). Aborts if
+/// the thread holds any blocking-acquired ranked latch of rank >= kPage.
+void OnEpochEnter();
+
+/// Records epoch exit for the calling thread.
+void OnEpochExit();
+
+/// Epoch nesting depth recorded for the calling thread (tests).
+size_t EpochDepth();
 
 }  // namespace check
 }  // namespace sias

@@ -91,6 +91,11 @@ Result<Tid> AppendRegion::Append(Slice tuple, Xid xid, uint64_t aux,
 }
 
 void AppendRegion::AddFreePage(PageNumber page) {
+  // Recycle-after-epoch-drain invariant: GC hands a reclaimed page to the
+  // free list only from its epoch-deferred wipe callback, i.e. after every
+  // reader that could still hold a stale pointer into the page has exited
+  // its epoch (src/mvcc/epoch.h). New appends may therefore overwrite the
+  // page's bytes without racing any latch-free reader.
   MutexLock g(&mu_);
   free_pages_.push_back(page);
 }

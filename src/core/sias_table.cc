@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "mvcc/epoch.h"
 #include "mvcc/visibility.h"
 #include "fault/debug_ring.h"
 #include "obs/metrics.h"
@@ -17,6 +18,9 @@ namespace {
 struct MvccCounters {
   obs::Counter* reads;
   obs::Counter* read_misses;
+  /// Latched fallbacks taken by the snapshot read path (cold page, probe
+  /// overflow, lost optimistic race). 0 on a warm read-only workload.
+  obs::Counter* read_latch_acquisitions;
   obs::Counter* versions_appended;
   obs::Counter* version_hops;
   obs::Counter* visibility_checks;
@@ -31,6 +35,7 @@ struct MvccCounters {
     obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
     reads = reg.GetCounter("mvcc.reads");
     read_misses = reg.GetCounter("mvcc.read_misses");
+    read_latch_acquisitions = reg.GetCounter("mvcc.read_latch_acquisitions");
     versions_appended = reg.GetCounter("mvcc.versions_appended");
     version_hops = reg.GetCounter("mvcc.version_hops");
     visibility_checks = reg.GetCounter("mvcc.visibility_checks");
@@ -47,7 +52,20 @@ MvccCounters& Obs() {
   static MvccCounters* c = new MvccCounters();
   return *c;
 }
+
+/// See SiasTable::SetReadPauseHookForTest.
+std::atomic<void (*)(Vid)> g_read_pause_hook{nullptr};
+
+inline void ReadPausePoint(Vid vid) {
+  if (void (*hook)(Vid) = g_read_pause_hook.load(std::memory_order_relaxed)) {
+    hook(vid);
+  }
+}
 }  // namespace
+
+void SiasTable::SetReadPauseHookForTest(void (*hook)(Vid)) {
+  g_read_pause_hook.store(hook, std::memory_order_seq_cst);
+}
 
 SiasTable::SiasTable(RelationId relation, TableEnv env, VersionScheme scheme)
     : relation_(relation),
@@ -56,6 +74,14 @@ SiasTable::SiasTable(RelationId relation, TableEnv env, VersionScheme scheme)
       region_(relation, env.pool, env.wal) {
   SIAS_CHECK(scheme == VersionScheme::kSiasChains ||
              scheme == VersionScheme::kSiasV);
+}
+
+SiasTable::~SiasTable() {
+  // Run every deferred wipe / vector free while this table, its append
+  // region and the buffer pool are still alive. The queue is global, so
+  // this also drains other tables' work — safe, because every table drains
+  // before it dies.
+  EpochManager::Global().Quiesce();
 }
 
 Tid SiasTable::Entrypoint(Vid vid) const {
@@ -83,6 +109,45 @@ Status SiasTable::FetchVersion(Tid tid, VirtualClock* clk,
   return Status::OK();
 }
 
+bool SiasTable::FetchVersionLatchFree(Tid tid, TupleHeader* header,
+                                      std::string* payload, Status* status) {
+  PageGuard guard;
+  if (!env_.pool->TryFetchCached(PageId{relation_, tid.page}, &guard)) {
+    return false;
+  }
+  // Pinned but unlatched: every read below must go through an atomic
+  // accessor or target bytes that are immutable while this page is
+  // reachable. Slot publication is an atomic slot-count release store,
+  // slot kills are one atomic word, and chain GC rewrites the header's
+  // pred word atomically (tuple.h); payload bytes never change between
+  // publication and the (epoch-deferred) wipe.
+  Slice tuple = SlottedPage(guard.data()).GetTupleAtomic(tid.slot);
+  if (tuple.empty() || !DecodeTupleHeaderAtomic(tuple, header)) {
+    *status = Status::NotFound("version slot dead");
+    return true;
+  }
+  if (payload != nullptr) {
+    Slice p = TuplePayload(tuple);
+    payload->assign(reinterpret_cast<const char*>(p.data()), p.size());
+  }
+  *status = Status::OK();
+  return true;
+}
+
+Status SiasTable::FetchVersionReadPath(Tid tid, VirtualClock* clk,
+                                       TupleHeader* header,
+                                       std::string* payload) {
+  Status s;
+  if (FetchVersionLatchFree(tid, header, payload, &s)) {
+    if (s.ok() && payload != nullptr && clk != nullptr) {
+      clk->Cpu(kCpuTupleCopy);
+    }
+    return s;
+  }
+  Obs().read_latch_acquisitions->Increment();
+  return FetchVersion(tid, clk, header, payload);
+}
+
 Status SiasTable::GetVisible(Transaction* txn, Vid vid, bool* found,
                              VersionRef* ref, std::string* payload) {
   *found = false;
@@ -103,21 +168,51 @@ Status SiasTable::GetVisible(Transaction* txn, Vid vid, bool* found,
     }
   } trav(found);
 
+  // Epoch pin for the whole walk: the map pointer loaded below, every page
+  // it references and every predecessor those versions point at stay
+  // physically intact until this thread exits the epoch — vacuum's wipes
+  // and vector frees queue behind it (src/mvcc/epoch.h). No page latch is
+  // taken on the hot path.
+  EpochGuard epoch;
+
   for (int retry = 0; retry < 3; ++retry) {
     if (clk != nullptr) clk->Cpu(kCpuVidMapProbe);
     bool raced = false;
     if (scheme_ == VersionScheme::kSiasChains) {
       // Algorithm 1: start at the entrypoint, follow *ptr until visible.
+      // The walk stops at or above every snapshot's horizon anchor, so it
+      // never follows the anchor's (possibly dangling) predecessor.
       Tid tid = map_.Get(vid);
+      ReadPausePoint(vid);
       bool first = true;
+      Xid newer_xmin = kInvalidXid;
       while (tid.valid()) {
         TupleHeader h;
-        Status s = FetchVersion(tid, clk, &h, nullptr);
+        Status s = FetchVersionReadPath(tid, clk, &h, nullptr);
         if (s.IsNotFound()) {
-          raced = true;  // GC relocated under us: restart from the map
+          // Anchor slot: the map entry raced with a concurrent prune —
+          // restart from the map. A *predecessor* pointing at a dead slot
+          // is the durable dangling-tail state (the anchor's pred may
+          // dangle into a reclaimed page by design, ChainOf has the same
+          // guard): the rest of the chain is gone, nothing visible there.
+          if (first) raced = true;
           break;
         }
         SIAS_RETURN_NOT_OK(s);
+        if (h.vid != vid) {
+          // Same split: a stale anchor is a race, a predecessor resolving
+          // to a foreign item is a recycled page at the dangling tail.
+          if (first) raced = true;
+          break;
+        }
+        if (newer_xmin != kInvalidXid && h.xmin > newer_xmin) {
+          // A predecessor is never newer; this is a recycled slot holding
+          // the item again. Equal xmin is a real link — one transaction may
+          // stack several versions of the same item (e.g. a New-Order with
+          // a duplicate item id updates the same stock row twice).
+          break;
+        }
+        newer_xmin = h.xmin;
         trav.examined++;
         if (clk != nullptr) clk->Cpu(kCpuVisibilityCheck);
         Obs().visibility_checks->Increment();
@@ -125,15 +220,14 @@ Status SiasTable::GetVisible(Transaction* txn, Vid vid, bool* found,
           ref->tid = tid;
           ref->header = h;
           if (payload != nullptr) {
-            SIAS_RETURN_NOT_OK(FetchVersion(tid, clk, &h, payload));
+            SIAS_RETURN_NOT_OK(FetchVersionReadPath(tid, clk, &h, payload));
           }
           *found = true;
           return Status::OK();
         }
         if (!first) {
           Obs().version_hops->Increment();
-          MutexLock g(&stats_mu_);
-          stats_.version_hops++;
+          read_version_hops_.fetch_add(1, std::memory_order_relaxed);
         }
         first = false;
         tid = h.pred();
@@ -142,16 +236,21 @@ Status SiasTable::GetVisible(Transaction* txn, Vid vid, bool* found,
     } else {
       // SIAS-V: the map holds the version vector; walk it newest-first.
       std::vector<Tid> versions = map_v_.Get(vid);
+      ReadPausePoint(vid);
       bool first = true;
       raced = false;
       for (Tid tid : versions) {
         TupleHeader h;
-        Status s = FetchVersion(tid, clk, &h, nullptr);
+        Status s = FetchVersionReadPath(tid, clk, &h, nullptr);
         if (s.IsNotFound()) {
           raced = true;
           break;
         }
         SIAS_RETURN_NOT_OK(s);
+        if (h.vid != vid) {
+          raced = true;
+          break;
+        }
         trav.examined++;
         if (clk != nullptr) clk->Cpu(kCpuVisibilityCheck);
         Obs().visibility_checks->Increment();
@@ -159,15 +258,14 @@ Status SiasTable::GetVisible(Transaction* txn, Vid vid, bool* found,
           ref->tid = tid;
           ref->header = h;
           if (payload != nullptr) {
-            SIAS_RETURN_NOT_OK(FetchVersion(tid, clk, &h, payload));
+            SIAS_RETURN_NOT_OK(FetchVersionReadPath(tid, clk, &h, payload));
           }
           *found = true;
           return Status::OK();
         }
         if (!first) {
           Obs().version_hops->Increment();
-          MutexLock g(&stats_mu_);
-          stats_.version_hops++;
+          read_version_hops_.fetch_add(1, std::memory_order_relaxed);
         }
         first = false;
       }
@@ -318,10 +416,7 @@ Status SiasTable::Delete(Transaction* txn, Vid vid) {
 Result<std::optional<std::string>> SiasTable::Read(Transaction* txn,
                                                    Vid vid) {
   TRACE_OP("mvcc", "sias_read");
-  {
-    MutexLock g(&stats_mu_);
-    stats_.reads++;
-  }
+  reads_.fetch_add(1, std::memory_order_relaxed);
   Obs().reads->Increment();
   bool found = false;
   VersionRef ref;
@@ -408,6 +503,10 @@ Vid SiasTable::vid_bound() const {
 
 Result<std::vector<Tid>> SiasTable::ChainOf(Vid vid, VirtualClock* clk) {
   std::vector<Tid> chain;
+  // Same latch-free traversal as the read path (epoch pin, no page latch);
+  // the guards below keep it well-defined even across a dangling anchor
+  // predecessor into a recycled page.
+  EpochGuard epoch;
   if (scheme_ == VersionScheme::kSiasV) {
     return map_v_.Get(vid);
   }
@@ -415,7 +514,7 @@ Result<std::vector<Tid>> SiasTable::ChainOf(Vid vid, VirtualClock* clk) {
   Xid newer_xmin = kInvalidXid;  // xmin of the previously visited version
   while (tid.valid()) {
     TupleHeader h;
-    Status s = FetchVersion(tid, clk, &h, nullptr);
+    Status s = FetchVersionReadPath(tid, clk, &h, nullptr);
     if (!s.ok()) break;  // dangling tail: rest already reclaimed
     if (h.vid != vid && !chain.empty()) {
       // The anchor's predecessor pointer is allowed to dangle into a page
@@ -426,9 +525,11 @@ Result<std::vector<Tid>> SiasTable::ChainOf(Vid vid, VirtualClock* clk) {
     if (h.vid != vid) {
       return Status::Corruption("vid map entry resolves to wrong item");
     }
-    if (newer_xmin != kInvalidXid && h.xmin >= newer_xmin) {
-      // A predecessor must be strictly older; this is a recycled slot that
-      // happens to hold the same item again. Stop before it loops.
+    if (newer_xmin != kInvalidXid && h.xmin > newer_xmin) {
+      // A predecessor is never newer; this is a recycled slot that happens
+      // to hold the same item again. Equal xmin stays a link (one txn can
+      // stack versions); preds always reference earlier appends, so no
+      // cycle arises. Stop before a newer-xmin recycled slot loops.
       break;
     }
     chain.push_back(tid);
@@ -441,7 +542,9 @@ Result<std::vector<Tid>> SiasTable::ChainOf(Vid vid, VirtualClock* clk) {
   return chain;
 }
 
-Status SiasTable::LiveVersions(Vid vid, Xid horizon, VirtualClock* clk,
+Status SiasTable::LiveVersions(Vid vid, Xid horizon,
+                               const std::vector<std::pair<Xid, Xid>>* bounds,
+                               VirtualClock* clk,
                                std::vector<VersionRef>* live,
                                bool* whole_item_dead) {
   live->clear();
@@ -503,9 +606,51 @@ Status SiasTable::LiveVersions(Vid vid, Xid horizon, VirtualClock* clk,
       if (h.is_tombstone() && live->size() == 1) {
         live->clear();
         *whole_item_dead = true;
+        return Status::OK();
       }
-      return Status::OK();
+      break;  // anchor reached: never follow older entries
     }
+  }
+
+  // Mid-vector reclamation (range tracking): a committed version v that has
+  // a newer kept committed version s is the visible version of an active
+  // transaction (lo = oldest xid its snapshot holds in-progress,
+  // hi = xid + 1) only if v could be visible (v.xmin < hi) while s might
+  // not definitely shadow it (s.xmin >= lo; s.xmin < lo means s committed
+  // before every transaction that snapshot considers concurrent, so s is
+  // certainly visible and hides v). Future snapshots always resolve to s
+  // or newer. If no active pair needs v, it is dead despite sitting above
+  // the horizon anchor — this also retires the anchor itself once nothing
+  // old enough remains. The newest version is always kept.
+  if (bounds != nullptr && live->size() > 1) {
+    std::vector<VersionRef> kept;
+    kept.reserve(live->size());
+    kept.push_back(live->front());
+    // Index into `kept` of the newest kept committed version, if any.
+    size_t shadow = clog.Get(live->front().header.xmin) ==
+                            TxnStatus::kCommitted
+                        ? 0
+                        : SIZE_MAX;
+    for (size_t i = 1; i < live->size(); ++i) {
+      const VersionRef& v = (*live)[i];
+      bool committed = clog.Get(v.header.xmin) == TxnStatus::kCommitted;
+      bool drop = false;
+      if (committed && shadow != SIZE_MAX) {
+        Xid s_xmin = kept[shadow].header.xmin;
+        drop = true;
+        for (const auto& [lo, hi] : *bounds) {
+          if (v.header.xmin < hi && s_xmin >= lo) {
+            drop = false;
+            break;
+          }
+        }
+      }
+      if (!drop) {
+        kept.push_back(v);
+        if (committed) shadow = kept.size() - 1;
+      }
+    }
+    *live = std::move(kept);
   }
   return Status::OK();
 }
@@ -522,9 +667,20 @@ Status SiasTable::GarbageCollect(Xid horizon, VirtualClock* clk,
   region_.SealOpenPage();
   PageId open = region_.open_page();
   LockManager* locks = env_.txns->locks();
+  // Active snapshot bounds for SIAS-V mid-vector reclamation, sampled once:
+  // transactions starting later always resolve to a version GC keeps.
+  std::vector<std::pair<Xid, Xid>> bounds = env_.txns->ActiveSnapshotBounds();
 
   for (PageNumber p = 0; p < *count; ++p) {
     if (open.valid() && open.page == p) continue;  // still filling
+    bool pending;
+    {
+      MutexLock g(&stats_mu_);
+      pending = gc_pending_.count(p) != 0;
+    }
+    // Logically empty, physical wipe still queued behind the epoch
+    // horizon: re-examining would double-reclaim.
+    if (pending) continue;
 
     // Pass 1: inventory of the page.
     struct SlotInfo {
@@ -580,7 +736,7 @@ Status SiasTable::GarbageCollect(Xid horizon, VirtualClock* clk,
     for (Vid v : vids) {
       std::vector<VersionRef> live;
       bool dead = false;
-      ls_status = LiveVersions(v, horizon, clk, &live, &dead);
+      ls_status = LiveVersions(v, horizon, &bounds, clk, &live, &dead);
       if (!ls_status.ok()) break;
       live_sets[v] = std::move(live);
       item_dead[v] = dead;
@@ -703,72 +859,87 @@ Status SiasTable::GarbageCollect(Xid horizon, VirtualClock* clk,
             map_v_.Set(v, std::move(kept));
           }
         } else if (scheme_ == VersionScheme::kSiasV) {
-          // Truncate dead suffix (everything beyond the live set).
-          map_v_.TruncateAfter(v, live.size());
-        }
-      }
-      // Discard the page wholesale and recycle it.
-      {
-        auto r = env_.pool->FetchPage(PageId{relation_, p}, clk);
-        if (!r.ok()) {
-          unlock_all();
-          return r.status();
-        }
-        PageGuard guard = std::move(*r);
-        guard.LatchExclusive();
-        SlottedPage page = guard.page();
-        uint64_t discarded = 0;
-        for (uint16_t s = 0; s < page.slot_count(); ++s) {
-          if (!page.GetTuple(s).empty()) {
-            (void)page.DeleteTuple(s);
-            discarded++;
+          // Rebuild the vector to exactly the kept live set — mid-vector
+          // reclamation can punch holes, so a suffix truncation is not
+          // enough — with relocated versions remapped to their new homes.
+          std::vector<Tid> vec;
+          vec.reserve(live.size());
+          for (const auto& ref : live) {
+            auto rm = remap.find(ref.tid.Pack());
+            vec.push_back(rm == remap.end() ? ref.tid : rm->second);
           }
+          map_v_.Set(v, std::move(vec));
         }
-        page.Init(relation_, p, kPageFlagAppendRegion);
-        // The reclaim itself is not WAL-logged, so the emptied image must
-        // outrank every record that filled the old generation: stamp it
-        // with the current WAL position. Redo then skips those stale
-        // inserts via the ordinary LSN gate (their live versions were
-        // relocated above, under WAL records of their own), instead of
-        // replaying them into a page that no longer holds them.
-        guard.MarkDirty(env_.wal != nullptr ? env_.wal->current_lsn()
-                                            : kInvalidLsn);
-        fault::DebugRingLog("gc_reclaim", relation_, p,
-                            env_.wal != nullptr ? env_.wal->current_lsn() : 0);
-        guard.Unlatch();
-        if (stats != nullptr) {
-          stats->versions_discarded += discarded - live_on_page;
-          stats->pages_reclaimed++;
+      }
+      // Unpublish is complete: no map path references this page any more.
+      // The physical wipe must wait until every reader pinned in an epoch
+      // that may still hold a stale vector copy or chain pointer has
+      // exited, so it is retired through the epoch queue. Until the
+      // callback runs, the page keeps its old bytes (stale readers see
+      // consistent data) and stays out of the append region's free list
+      // (no premature recycling under a pinned reader). Stats are counted
+      // at enqueue: the reclamation decision is made here.
+      {
+        MutexLock g(&stats_mu_);
+        bool inserted = gc_pending_.insert(p).second;
+        SIAS_CHECK(inserted);
+      }
+      if (stats != nullptr) {
+        stats->versions_discarded += slots.size() - live_on_page;
+        stats->pages_reclaimed++;
+      }
+      Obs().gc_versions_discarded->Add(
+          static_cast<int64_t>(slots.size() - live_on_page));
+      Obs().gc_pages_reclaimed->Increment();
+      EpochManager::Global().Retire([this, p] {
+        auto r = env_.pool->FetchPage(PageId{relation_, p}, nullptr);
+        if (r.ok()) {
+          PageGuard guard = std::move(*r);
+          guard.LatchExclusive();
+          SlottedPage page = guard.page();
+          for (uint16_t s = 0; s < page.slot_count(); ++s) {
+            if (!page.GetTuple(s).empty()) (void)page.DeleteTuple(s);
+          }
+          page.Init(relation_, p, kPageFlagAppendRegion);
+          // The reclaim itself is not WAL-logged, so the emptied image
+          // must outrank every record that filled the old generation:
+          // stamp it with the current WAL position. Redo then skips those
+          // stale inserts via the ordinary LSN gate (their live versions
+          // were relocated under WAL records of their own), instead of
+          // replaying them into a page that no longer holds them.
+          guard.MarkDirty(env_.wal != nullptr ? env_.wal->current_lsn()
+                                              : kInvalidLsn);
+          fault::DebugRingLog(
+              "gc_reclaim", relation_, p,
+              env_.wal != nullptr ? env_.wal->current_lsn() : 0);
+          guard.Release();
+          // §6: GC is deterministic and engine-driven; hint the FTL that
+          // the old physical blocks are dead so device GC need not
+          // relocate them ("transfers yet more control over the Flash
+          // storage into the MV-DBMS").
+          auto offset = env_.pool->disk()->PageOffset(relation_, p);
+          if (offset.ok()) {
+            (void)env_.pool->disk()->device()->Trim(*offset, kPageSize);
+          }
+          region_.AddFreePage(p);
         }
-        Obs().gc_versions_discarded->Add(
-            static_cast<int64_t>(discarded - live_on_page));
-        Obs().gc_pages_reclaimed->Increment();
-      }
-      // §6: GC is deterministic and engine-driven; hint the FTL that the
-      // old physical blocks are dead so device GC need not relocate them
-      // ("transfers yet more control over the Flash storage into the
-      // MV-DBMS").
-      auto offset = env_.pool->disk()->PageOffset(relation_, p);
-      if (offset.ok()) {
-        (void)env_.pool->disk()->device()->Trim(*offset, kPageSize);
-      }
-      region_.AddFreePage(p);
+        MutexLock g(&stats_mu_);
+        gc_pending_.erase(p);
+        // On a failed fetch the page is neither wiped nor recycled; the
+        // erase above lets the next GC cycle retry it (its map references
+        // are gone, so it classifies as fully dead again).
+      });
     } else if (prune) {
-      // In-place pruning of dead slots only.
-      auto r = env_.pool->FetchPage(PageId{relation_, p}, clk);
-      if (!r.ok()) {
-        unlock_all();
-        return r.status();
-      }
-      PageGuard guard = std::move(*r);
-      guard.LatchExclusive();
-      SlottedPage page = guard.page();
-      bool changed = false;
+      // Prune dead slots: unpublish from the maps now; defer the physical
+      // slot kills behind the epoch horizon (a pinned reader holding a
+      // stale vector copy may still dereference them). The page stays
+      // GC-skippable via gc_pending_ until the kills land. Pass-1 slots
+      // are all occupied and nothing empties a sealed, item-locked,
+      // non-pending page in between.
+      std::vector<uint16_t> dead_slots;
       for (const auto& s : slots) {
         if (is_live_here(s.vid, Tid{p, s.slot})) continue;
-        if (page.GetTuple(s.slot).empty()) continue;
-        (void)page.DeleteTuple(s.slot);
-        changed = true;
+        dead_slots.push_back(s.slot);
         if (stats != nullptr) stats->versions_discarded++;
         Obs().gc_versions_discarded->Increment();
         if (scheme_ == VersionScheme::kSiasChains && item_dead[s.vid]) {
@@ -787,17 +958,48 @@ Status SiasTable::GarbageCollect(Xid horizon, VirtualClock* clk,
           map_v_.Set(s.vid, std::move(kept));
         }
       }
-      if (changed) guard.MarkDirty();
-      guard.Unlatch();
+      if (!dead_slots.empty()) {
+        {
+          MutexLock g(&stats_mu_);
+          bool inserted = gc_pending_.insert(p).second;
+          SIAS_CHECK(inserted);
+        }
+        EpochManager::Global().Retire([this, p, dead_slots] {
+          auto r = env_.pool->FetchPage(PageId{relation_, p}, nullptr);
+          if (r.ok()) {
+            PageGuard guard = std::move(*r);
+            guard.LatchExclusive();
+            SlottedPage page = guard.page();
+            for (uint16_t s : dead_slots) {
+              if (!page.GetTuple(s).empty()) (void)page.DeleteTuple(s);
+            }
+            guard.MarkDirty();
+            guard.Release();
+          }
+          MutexLock g(&stats_mu_);
+          gc_pending_.erase(p);
+        });
+      }
     }
     unlock_all();
   }
+  // Eager cleanup when no reader is pinned: single-threaded vacuums (and
+  // the existing GC tests) observe reclamation immediately; with pinned
+  // readers the work simply stays queued for the next reclaim point.
+  EpochManager::Global().Advance();
+  EpochManager::Global().TryReclaim();
   return Status::OK();
 }
 
 TableStats SiasTable::stats() const {
-  MutexLock g(&stats_mu_);
-  return stats_;
+  TableStats out;
+  {
+    MutexLock g(&stats_mu_);
+    out = stats_;
+  }
+  out.reads += reads_.load(std::memory_order_relaxed);
+  out.version_hops += read_version_hops_.load(std::memory_order_relaxed);
+  return out;
 }
 
 Status SiasTable::ApplyInsert(Tid tid, uint64_t vid_aux, Slice tuple,
@@ -826,6 +1028,14 @@ Status SiasTable::ApplyInsert(Tid tid, uint64_t vid_aux, Slice tuple,
   // was recycled in between — replay the re-initialization here, otherwise
   // the old generation's slots shadow the new one's.
   if (tid.slot == 0 && page.slot_count() > 0) {
+    page.Init(relation_, tid.page, kPageFlagAppendRegion);
+  }
+  // A page can be allocated in the disk map yet read back all-zero: the
+  // torn-page prepass re-extends a relation up to its newest full-page
+  // image, and a lower page whose only flush died in the device cache was
+  // never durably written. Its creating inserts are still ahead in the
+  // redo window — start them on a fresh page.
+  if (page.header()->lower == 0) {
     page.Init(relation_, tid.page, kPageFlagAppendRegion);
   }
   Status result = Status::OK();

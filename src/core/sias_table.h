@@ -19,7 +19,11 @@
 //  * deletes append a tombstone version (§4.2.2).
 #pragma once
 
+#include <atomic>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "core/append_region.h"
 #include "core/vid_map.h"
@@ -36,6 +40,10 @@ inline constexpr Xid kGcXid = ~0ull;
 class SiasTable : public MvccTable {
  public:
   SiasTable(RelationId relation, TableEnv env, VersionScheme scheme);
+  /// Drains the global epoch queue: deferred page wipes / vector frees
+  /// capture `this` and the buffer pool, so they must run while both are
+  /// alive. Requires no thread to be inside an epoch.
+  ~SiasTable() override;
 
   VersionScheme scheme() const override { return scheme_; }
   RelationId relation() const override { return relation_; }
@@ -77,8 +85,15 @@ class SiasTable : public MvccTable {
   AppendRegion& region() { return region_; }
 
   /// Walks and returns the version chain of `vid`, newest first
-  /// (tests / invariant checks).
+  /// (tests / invariant checks). Runs over the latch-free read path.
   Result<std::vector<Tid>> ChainOf(Vid vid, VirtualClock* clk);
+
+  /// Test-only schedule control: when set, the hook is invoked on the read
+  /// path *after* the entrypoint / version vector has been loaded but
+  /// *before* any version is dereferenced — the window the epoch protocol
+  /// must protect against concurrent vacuum reclamation. Pass nullptr to
+  /// disarm. Costs one relaxed atomic load per probe when disarmed.
+  static void SetReadPauseHookForTest(void (*hook)(Vid));
 
  private:
   struct VersionRef {
@@ -88,9 +103,24 @@ class SiasTable : public MvccTable {
 
   Tid Entrypoint(Vid vid) const;
 
-  /// Reads header (+payload) of the version at tid.
+  /// Reads header (+payload) of the version at tid, pinned and latched.
   Status FetchVersion(Tid tid, VirtualClock* clk, TupleHeader* header,
                       std::string* payload);
+
+  /// Latch-free fetch over a resident page: optimistic pin
+  /// (BufferPool::TryFetchCached) + atomic slot/header decode, no page
+  /// latch. Returns true when the optimistic path answered — `*status` is
+  /// then OK (outputs filled) or NotFound (slot dead). Returns false when
+  /// the page was not optimistically reachable; the caller falls back to
+  /// the latched FetchVersion. Callers must hold an epoch pin so that the
+  /// bytes a stale map copy points at cannot be wiped mid-read.
+  bool FetchVersionLatchFree(Tid tid, TupleHeader* header,
+                             std::string* payload, Status* status);
+
+  /// Snapshot-read fetch: latch-free when possible, counted latched
+  /// fallback otherwise (mvcc.read_latch_acquisitions).
+  Status FetchVersionReadPath(Tid tid, VirtualClock* clk,
+                              TupleHeader* header, std::string* payload);
 
   /// Finds the version visible to txn, walking the chain/vector.
   /// Returns NotFound-status-free nullopt-like: found=false when none.
@@ -109,9 +139,17 @@ class SiasTable : public MvccTable {
 
   /// GC helper: live version list of one item, newest first, cut at the
   /// horizon anchor. `whole_item_dead` is set when even the anchor is a
-  /// tombstone older than the horizon.
-  Status LiveVersions(Vid vid, Xid horizon, VirtualClock* clk,
-                      std::vector<VersionRef>* live, bool* whole_item_dead);
+  /// tombstone older than the horizon. For SIAS-V, `bounds`
+  /// (TransactionManager::ActiveSnapshotBounds) additionally enables
+  /// mid-vector reclamation: committed versions between the newest and the
+  /// anchor that no active snapshot can resolve as its visible version are
+  /// dropped from the live set (range tracking). Chains keep the plain
+  /// anchor cut — dropping a mid-chain version would require rewriting the
+  /// predecessor pointer of an older, immutable version.
+  Status LiveVersions(Vid vid, Xid horizon,
+                      const std::vector<std::pair<Xid, Xid>>* bounds,
+                      VirtualClock* clk, std::vector<VersionRef>* live,
+                      bool* whole_item_dead);
 
   RelationId relation_;
   TableEnv env_;
@@ -123,6 +161,16 @@ class SiasTable : public MvccTable {
 
   mutable Mutex stats_mu_{LatchRank::kStats};
   TableStats stats_ SIAS_GUARDED_BY(stats_mu_);
+  /// Read-path counters, kept out of stats_mu_: the snapshot read path is
+  /// latch-free, so it must not serialize on a stats mutex either. Folded
+  /// into TableStats by stats().
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> read_version_hops_{0};
+  /// Pages whose physical wipe / slot prune is queued behind the epoch
+  /// horizon. Skipped by GC page selection (they are already logically
+  /// empty — re-examining would double-reclaim) and recycled into the
+  /// append region only by the deferred callback itself.
+  std::unordered_set<PageNumber> gc_pending_ SIAS_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace sias

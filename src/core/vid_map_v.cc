@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "mvcc/epoch.h"
 #include "obs/metrics.h"
 
 namespace sias {
@@ -30,12 +31,54 @@ VidMapCounters& Obs() {
 }
 }  // namespace
 
+VidMapV::~VidMapV() {
+  // The owning table Quiesces the epoch queue before members are
+  // destroyed, so every retired vector is already freed; only the
+  // currently published ones remain.
+  Vid n = bound();
+  for (Vid v = 0; v < n; ++v) {
+    const Bucket* b = BucketFor(v);
+    if (b == nullptr) continue;
+    delete b->entries[v % kEntriesPerBucket].load(
+        std::memory_order_relaxed);
+  }
+}
+
 VidMapV::Bucket* VidMapV::EnsureBucket(Vid vid) {
   return dir_.Ensure(static_cast<size_t>(vid / kEntriesPerBucket));
 }
 
 const VidMapV::Bucket* VidMapV::BucketFor(Vid vid) const {
   return dir_.Lookup(static_cast<size_t>(vid / kEntriesPerBucket));
+}
+
+const std::atomic<const VidMapV::VersionVector*>* VidMapV::SlotFor(
+    Vid vid) const {
+  const Bucket* b = BucketFor(vid);
+  if (b == nullptr) return nullptr;
+  return &b->entries[vid % kEntriesPerBucket];
+}
+
+std::atomic<const VidMapV::VersionVector*>* VidMapV::SlotForMutable(
+    Vid vid) {
+  Bucket* b = EnsureBucket(vid);
+  return &b->entries[vid % kEntriesPerBucket];
+}
+
+bool VidMapV::Install(std::atomic<const VersionVector*>* slot,
+                      const VersionVector* cur, const VersionVector* next) {
+  const VersionVector* expected = cur;
+  if (!slot->compare_exchange_strong(expected, next,
+                                     std::memory_order_seq_cst)) {
+    delete next;  // never published
+    return false;
+  }
+  if (cur != nullptr) {
+    // A pinned reader may still hold `cur`; the epoch queue frees it once
+    // every epoch active now has exited.
+    EpochManager::Global().Retire([cur] { delete cur; });
+  }
+  return true;
 }
 
 Vid VidMapV::AllocateVid() {
@@ -46,79 +89,89 @@ Vid VidMapV::AllocateVid() {
 }
 
 std::vector<Tid> VidMapV::Get(Vid vid) const {
-  const Bucket* b = BucketFor(vid);
-  if (b == nullptr) return {};
-  SpinLatchGuard g(b->latch);
-  return b->entries[vid % kEntriesPerBucket];
+  const auto* slot = SlotFor(vid);
+  if (slot == nullptr) return {};
+  const VersionVector* vec = slot->load(std::memory_order_seq_cst);
+  return vec == nullptr ? VersionVector{} : *vec;
 }
 
 Tid VidMapV::Entrypoint(Vid vid) const {
-  const Bucket* b = BucketFor(vid);
-  if (b == nullptr) return kInvalidTid;
-  SpinLatchGuard g(b->latch);
-  const auto& vec = b->entries[vid % kEntriesPerBucket];
-  return vec.empty() ? kInvalidTid : vec.front();
+  const auto* slot = SlotFor(vid);
+  if (slot == nullptr) return kInvalidTid;
+  const VersionVector* vec = slot->load(std::memory_order_seq_cst);
+  return (vec == nullptr || vec->empty()) ? kInvalidTid : vec->front();
 }
 
 bool VidMapV::PushFront(Vid vid, Tid expected_front, Tid tid) {
-  Bucket* b = EnsureBucket(vid);
-  SpinLatchGuard g(b->latch);
-  auto& vec = b->entries[vid % kEntriesPerBucket];
-  Tid front = vec.empty() ? kInvalidTid : vec.front();
+  auto* slot = SlotForMutable(vid);
+  const VersionVector* cur = slot->load(std::memory_order_seq_cst);
+  Tid front = (cur == nullptr || cur->empty()) ? kInvalidTid : cur->front();
   if (front != expected_front) return false;
-  vec.insert(vec.begin(), tid);
+  auto* next = new VersionVector();
+  next->reserve((cur == nullptr ? 0 : cur->size()) + 1);
+  next->push_back(tid);
+  if (cur != nullptr) next->insert(next->end(), cur->begin(), cur->end());
+  if (!Install(slot, cur, next)) return false;
   Obs().entry_updates->Increment();
   return true;
 }
 
 bool VidMapV::PopFrontIf(Vid vid, Tid tid) {
-  Bucket* b = EnsureBucket(vid);
-  SpinLatchGuard g(b->latch);
-  auto& vec = b->entries[vid % kEntriesPerBucket];
-  if (vec.empty() || vec.front() != tid) return false;
-  vec.erase(vec.begin());
+  auto* slot = SlotForMutable(vid);
+  const VersionVector* cur = slot->load(std::memory_order_seq_cst);
+  if (cur == nullptr || cur->empty() || cur->front() != tid) return false;
+  const VersionVector* next =
+      cur->size() == 1
+          ? nullptr
+          : new VersionVector(cur->begin() + 1, cur->end());
+  if (!Install(slot, cur, next)) return false;
   Obs().entry_updates->Increment();
   return true;
 }
 
 bool VidMapV::ReplaceTid(Vid vid, Tid old_tid, Tid new_tid) {
-  Bucket* b = EnsureBucket(vid);
-  SpinLatchGuard g(b->latch);
-  auto& vec = b->entries[vid % kEntriesPerBucket];
-  auto it = std::find(vec.begin(), vec.end(), old_tid);
-  if (it == vec.end()) return false;
-  *it = new_tid;
+  auto* slot = SlotForMutable(vid);
+  const VersionVector* cur = slot->load(std::memory_order_seq_cst);
+  if (cur == nullptr) return false;
+  auto it = std::find(cur->begin(), cur->end(), old_tid);
+  if (it == cur->end()) return false;
+  auto* next = new VersionVector(*cur);
+  (*next)[static_cast<size_t>(it - cur->begin())] = new_tid;
+  if (!Install(slot, cur, next)) return false;
   Obs().entry_updates->Increment();
   return true;
 }
 
 void VidMapV::TruncateAfter(Vid vid, size_t keep) {
-  Bucket* b = EnsureBucket(vid);
-  SpinLatchGuard g(b->latch);
-  auto& vec = b->entries[vid % kEntriesPerBucket];
-  if (vec.size() > keep) {
-    vec.resize(keep);
-    Obs().entry_updates->Increment();
-  }
+  auto* slot = SlotForMutable(vid);
+  const VersionVector* cur = slot->load(std::memory_order_seq_cst);
+  if (cur == nullptr || cur->size() <= keep) return;
+  const VersionVector* next =
+      keep == 0 ? nullptr
+                : new VersionVector(cur->begin(),
+                                    cur->begin() + static_cast<long>(keep));
+  if (Install(slot, cur, next)) Obs().entry_updates->Increment();
 }
 
 void VidMapV::Clear(Vid vid) {
-  Bucket* b = EnsureBucket(vid);
-  SpinLatchGuard g(b->latch);
-  b->entries[vid % kEntriesPerBucket].clear();
-  Obs().entry_clears->Increment();
+  auto* slot = SlotForMutable(vid);
+  const VersionVector* cur = slot->load(std::memory_order_seq_cst);
+  if (Install(slot, cur, nullptr)) Obs().entry_clears->Increment();
 }
 
 void VidMapV::Set(Vid vid, std::vector<Tid> versions) {
-  Bucket* b = EnsureBucket(vid);
-  {
-    SpinLatchGuard g(b->latch);
-    b->entries[vid % kEntriesPerBucket] = std::move(versions);
-  }
+  auto* slot = SlotForMutable(vid);
+  const VersionVector* cur = slot->load(std::memory_order_seq_cst);
+  const VersionVector* next =
+      versions.empty() ? nullptr : new VersionVector(std::move(versions));
+  // Recovery and GC-prune rebuilds are serialized per VID; Install cannot
+  // fail against a concurrent mutator, only assert that it did not.
+  bool ok = Install(slot, cur, next);
+  SIAS_CHECK(ok);
   Obs().entry_updates->Increment();
-  Vid cur = next_vid_.load(std::memory_order_relaxed);
-  while (cur <= vid && !next_vid_.compare_exchange_weak(
-                           cur, vid + 1, std::memory_order_acq_rel)) {
+  Vid bump = next_vid_.load(std::memory_order_relaxed);
+  while (bump <= vid && !next_vid_.compare_exchange_weak(
+                            bump, vid + 1, std::memory_order_acq_rel)) {
   }
 }
 
@@ -129,18 +182,22 @@ Vid VidMapV::bound() const {
 size_t VidMapV::bucket_count() const { return dir_.count(); }
 
 size_t VidMapV::memory_bytes() const {
+  EpochGuard pin;  // walking every published vector
   size_t bytes = bucket_count() * sizeof(Bucket);
   Vid n = bound();
   for (Vid v = 0; v < n; ++v) {
-    const Bucket* b = BucketFor(v);
-    if (b != nullptr) {
-      bytes += b->entries[v % kEntriesPerBucket].capacity() * sizeof(Tid);
+    const auto* slot = SlotFor(v);
+    if (slot == nullptr) continue;
+    const VersionVector* vec = slot->load(std::memory_order_seq_cst);
+    if (vec != nullptr) {
+      bytes += sizeof(VersionVector) + vec->capacity() * sizeof(Tid);
     }
   }
   return bytes;
 }
 
 void VidMapV::Serialize(std::string* out) const {
+  EpochGuard pin;
   Vid n = bound();
   PutFixed64(out, n);
   for (Vid v = 0; v < n; ++v) {
@@ -169,7 +226,7 @@ Status VidMapV::Deserialize(Slice in) {
       vec.push_back(Tid::Unpack(DecodeFixed64(p)));
       p += 8;
     }
-    Set(v, std::move(vec));
+    if (!vec.empty()) Set(v, std::move(vec));
   }
   Vid cur = next_vid_.load(std::memory_order_relaxed);
   while (cur < n && !next_vid_.compare_exchange_weak(

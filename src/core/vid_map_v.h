@@ -5,8 +5,22 @@
 // on-tuple predecessor pointer, each VID slot holds the *vector* of all live
 // version TIDs, newest first. Version traversal is then an in-memory array
 // walk (no pointer chasing through heap pages to find a predecessor's
-// address), at the price of a larger map footprint and a short per-bucket
-// latch on updates (the entry is no longer a single CAS-able word).
+// address).
+//
+// The map is read-copy-update: each slot is one atomic pointer to an
+// immutable, heap-allocated vector. Readers load the pointer and walk the
+// vector with no latch at all — the paper's "short time latch" per bucket
+// is gone entirely. Writers build a fresh vector, install it with a single
+// compare-and-swap, and hand the superseded vector to the epoch queue
+// (src/mvcc/epoch.h), which frees it once no pinned reader can still hold
+// the old pointer.
+//
+// Concurrency contract: callers of Get()/Entrypoint() must either hold an
+// epoch pin (the read path) or be the slot's serialized mutator (write/GC
+// paths run under the row lock, which prevents the current pointer from
+// being superseded-and-retired underneath them). Mutators never require an
+// epoch: per-VID mutations are serialized by row locks, so the loaded
+// pointer is always the live one.
 #pragma once
 
 #include <atomic>
@@ -15,20 +29,20 @@
 
 #include "common/bucket_dir.h"
 #include "common/coding.h"
-#include "common/latch.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "common/types.h"
 
 namespace sias {
 
-/// Version-vector map for SIAS-V. Thread-safe; per-bucket spin latches keep
-/// critical sections to a few instructions (paper: "short time latches").
+/// Version-vector map for SIAS-V. Thread-safe; latch-free readers over
+/// atomically published immutable vectors (see file comment).
 class VidMapV {
  public:
   static constexpr size_t kEntriesPerBucket = 1024;
 
   VidMapV() = default;
+  ~VidMapV();
 
   Vid AllocateVid();
 
@@ -66,12 +80,24 @@ class VidMapV {
   Status Deserialize(Slice in);
 
  private:
+  using VersionVector = std::vector<Tid>;
+
   struct Bucket {
-    /// Rank kVidMapSlot — the paper's "short time latch"; nested inside the
-    /// page latch on the update path.
-    mutable SpinLatch latch{LatchRank::kVidMapSlot};
-    std::vector<Tid> entries[kEntriesPerBucket] SIAS_GUARDED_BY(latch);
+    /// nullptr = no versions. Seq_cst on both sides: the epoch
+    /// reclamation proof needs unpublish stores and reader loads in one
+    /// total order with the epoch counter (src/mvcc/epoch.h).
+    std::atomic<const VersionVector*> entries[kEntriesPerBucket] = {};
   };
+
+  /// Loads the slot for `vid`, or nullptr when the bucket doesn't exist.
+  const std::atomic<const VersionVector*>* SlotFor(Vid vid) const;
+  std::atomic<const VersionVector*>* SlotForMutable(Vid vid);
+
+  /// CAS-installs `next` (may be nullptr = empty) over `cur` and retires
+  /// `cur` through the epoch queue. Returns false (and frees `next`) if
+  /// the slot no longer holds `cur`.
+  static bool Install(std::atomic<const VersionVector*>* slot,
+                      const VersionVector* cur, const VersionVector* next);
 
   Bucket* EnsureBucket(Vid vid);
   const Bucket* BucketFor(Vid vid) const;

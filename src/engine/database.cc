@@ -9,6 +9,7 @@
 #include "fault/crash_point.h"
 #include "fault/debug_ring.h"
 #include "fault/retry.h"
+#include "mvcc/epoch.h"
 #include "obs/op_trace.h"
 
 namespace sias {
@@ -25,7 +26,12 @@ constexpr size_t kControlFixedHead = 8 + 8 + 8 + 4;  // magic..dm_len
 Database::Database(const DatabaseOptions& opts)
     : opts_(opts), locks_(opts.lock_timeout_ms), txns_(&clog_, &locks_) {}
 
-Database::~Database() = default;
+Database::~Database() {
+  // Deferred GC work (epoch-queued page wipes, version-vector frees)
+  // references the tables and the buffer pool; drain it while everything
+  // is alive. Table destructors quiesce again — idempotent.
+  EpochManager::Global().Quiesce();
+}
 
 Result<std::unique_ptr<Database>> Database::Open(const DatabaseOptions& opts) {
   if (opts.data_device == nullptr) {
@@ -619,6 +625,11 @@ Status Database::Vacuum(VirtualClock* clk, GcStats* stats) {
   for (Table* t : tables) {
     SIAS_RETURN_NOT_OK(t->GarbageCollect(horizon, clk, stats));
   }
+  // One more reclaim pass over work the per-table collections deferred:
+  // with no pinned readers everything lands now; otherwise it stays queued
+  // until the pinning epochs exit.
+  EpochManager::Global().Advance();
+  EpochManager::Global().TryReclaim();
   return Status::OK();
 }
 

@@ -1,0 +1,174 @@
+#include "mvcc/epoch.h"
+
+#include <vector>
+
+#include "check/latch_order.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace sias {
+
+/// Per-thread pin state. The slot index is claimed lazily on first Enter
+/// and handed back when the thread exits (the destructor runs against the
+/// leaked Global() instance, so teardown order is never an issue).
+struct EpochManager::TlsState {
+  EpochManager* owner = nullptr;
+  uint32_t idx = 0;
+  uint32_t depth = 0;
+  ~TlsState() {
+    if (owner != nullptr) {
+      SIAS_CHECK(depth == 0);  // a thread must not die inside an epoch
+      owner->ReleaseSlot(idx);
+    }
+  }
+};
+
+EpochManager::EpochManager() {
+  auto& reg = obs::MetricsRegistry::Default();
+  m_advances_ = reg.GetCounter("mvcc.epoch.advances");
+  m_retired_ = reg.GetCounter("mvcc.epoch.retired");
+  m_reclaimed_ = reg.GetCounter("mvcc.epoch.reclaimed");
+  m_pending_ = reg.GetGauge("mvcc.epoch.pending");
+}
+
+EpochManager& EpochManager::Global() {
+  // Leaked: must outlive every engine thread's TlsState destructor and
+  // every table's teardown Quiesce.
+  static EpochManager* g = new EpochManager();
+  return *g;
+}
+
+EpochManager::TlsState& EpochManager::Tls() {
+  static thread_local TlsState tls;
+  if (tls.owner == nullptr) {
+    tls.idx = ClaimSlot();
+    tls.owner = this;
+  }
+  return tls;
+}
+
+uint32_t EpochManager::ClaimSlot() {
+  for (uint32_t i = 0; i < kMaxThreads; ++i) {
+    bool expected = false;
+    if (claimed_[i].compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel)) {
+      return i;
+    }
+  }
+  SIAS_CHECK(false);  // > kMaxThreads concurrent threads using epochs
+  return 0;
+}
+
+void EpochManager::ReleaseSlot(uint32_t idx) {
+  slots_[idx].epoch.store(kIdle, std::memory_order_seq_cst);
+  claimed_[idx].store(false, std::memory_order_release);
+}
+
+uint64_t EpochManager::Enter() {
+  TlsState& tls = Tls();
+  if (tls.depth++ > 0) {
+    return slots_[tls.idx].epoch.load(std::memory_order_relaxed);
+  }
+#if defined(SIAS_LATCH_CHECK)
+  check::OnEpochEnter();
+#endif
+  uint64_t e = global_.load(std::memory_order_seq_cst);
+  for (;;) {
+    // Publish the pin, then validate the global did not advance past it
+    // while the store was in flight. If it did, a reclaimer may already
+    // have scanned the slots without seeing us — re-pin at the new epoch
+    // before touching any published pointer.
+    slots_[tls.idx].epoch.store(e, std::memory_order_seq_cst);
+    uint64_t e2 = global_.load(std::memory_order_seq_cst);
+    if (e2 == e) return e;
+    e = e2;
+  }
+}
+
+void EpochManager::Exit() {
+  TlsState& tls = Tls();
+  SIAS_CHECK(tls.depth > 0);
+  if (--tls.depth == 0) {
+    slots_[tls.idx].epoch.store(kIdle, std::memory_order_seq_cst);
+#if defined(SIAS_LATCH_CHECK)
+    check::OnEpochExit();
+#endif
+  }
+}
+
+bool EpochManager::InEpoch() const {
+  return const_cast<EpochManager*>(this)->Tls().depth > 0;
+}
+
+uint64_t EpochManager::Advance() {
+  m_advances_->Increment();
+  return global_.fetch_add(1, std::memory_order_seq_cst) + 1;
+}
+
+uint64_t EpochManager::MinActive() const {
+  uint64_t min = global_.load(std::memory_order_seq_cst);
+  for (const Slot& s : slots_) {
+    uint64_t e = s.epoch.load(std::memory_order_seq_cst);
+    if (e < min) min = e;
+  }
+  return min;
+}
+
+void EpochManager::Retire(std::function<void()> fn) {
+  uint64_t e = global_.load(std::memory_order_seq_cst);
+  m_retired_->Increment();
+  MutexLock g(&queue_mu_);
+  queue_.emplace_back(e, std::move(fn));
+  m_pending_->Set(static_cast<int64_t>(queue_.size()));
+}
+
+size_t EpochManager::TryReclaim() {
+  // Callbacks acquire storage latches (pool, page, WAL); running them with
+  // an epoch pinned would hold the pin across latch waits, and a callback
+  // must never run while its caller could itself hold a stale pointer.
+  SIAS_CHECK(!InEpoch());
+  uint64_t min = MinActive();
+  std::vector<std::function<void()>> ripe;
+  {
+    MutexLock g(&queue_mu_);
+    // Stamps are not strictly sorted (two threads can retire around an
+    // advance), so filter the whole queue rather than draining the front.
+    std::deque<std::pair<uint64_t, std::function<void()>>> keep;
+    for (auto& entry : queue_) {
+      if (entry.first < min) {
+        ripe.push_back(std::move(entry.second));
+      } else {
+        keep.push_back(std::move(entry));
+      }
+    }
+    queue_.swap(keep);
+    m_pending_->Set(static_cast<int64_t>(queue_.size()));
+  }
+  for (auto& fn : ripe) fn();
+  m_reclaimed_->Add(static_cast<int64_t>(ripe.size()));
+  return ripe.size();
+}
+
+void EpochManager::Quiesce() {
+  SIAS_CHECK(!InEpoch());
+  SIAS_CHECK(MinActive() == current());  // no thread may still be pinned
+  Advance();
+  size_t total = 0;
+  // Reclaiming can in principle queue follow-up work; loop until dry.
+  for (;;) {
+    size_t n = TryReclaim();
+    total += n;
+    if (n == 0) break;
+    Advance();
+  }
+  MutexLock g(&queue_mu_);
+  SIAS_CHECK(queue_.empty());
+  (void)total;
+}
+
+size_t EpochManager::pending() const {
+  MutexLock g(&queue_mu_);
+  return queue_.size();
+}
+
+}  // namespace sias

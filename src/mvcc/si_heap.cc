@@ -487,6 +487,14 @@ Status SiHeap::ApplyInsert(Tid tid, Slice tuple, Lsn lsn) {
     guard.Unlatch();
     return Status::OK();  // already applied before the crash
   }
+  // A page can be allocated in the disk map yet read back all-zero: the
+  // torn-page prepass re-extends a relation up to its newest full-page
+  // image, and a lower page whose only flush died in the device cache was
+  // never durably written. Its creating inserts are still ahead in the
+  // redo window — start them on a fresh page.
+  if (page.header()->lower == 0) {
+    page.Init(relation_, tid.page, 0);
+  }
   if (tid.slot < page.slot_count()) {
     // Slot exists (page flushed mid-sequence); overwrite is idempotent.
     Status s = page.OverwriteTuple(tid.slot, tuple);
@@ -498,11 +506,21 @@ Status SiHeap::ApplyInsert(Tid tid, Slice tuple, Lsn lsn) {
     uint16_t slot = page.InsertTuple(tuple);
     if (slot != tid.slot) {
       guard.Unlatch();
-      return Status::Corruption("redo slot mismatch");
+      return Status::Corruption(
+          "redo slot mismatch page=" + std::to_string(tid.page) +
+          " slot=" + std::to_string(tid.slot) +
+          " slot_count=" + std::to_string(page.slot_count()) +
+          " free=" + std::to_string(page.FreeSpace()) +
+          " rec_lsn=" + std::to_string(lsn));
     }
   } else {
     guard.Unlatch();
-    return Status::Corruption("redo slot gap");
+    return Status::Corruption(
+        "redo slot gap page=" + std::to_string(tid.page) +
+        " slot=" + std::to_string(tid.slot) +
+        " slot_count=" + std::to_string(page.slot_count()) +
+        " page_lsn=" + std::to_string(page.header()->lsn) +
+        " rec_lsn=" + std::to_string(lsn));
   }
   guard.MarkDirty(lsn);
   guard.Unlatch();

@@ -9,6 +9,7 @@
 // is coded by the chain structure.
 #pragma once
 
+#include <atomic>
 #include <cstring>
 #include <string>
 
@@ -89,6 +90,60 @@ inline void OverwriteTupleHeader(const TupleHeader& h, uint8_t* tuple_bytes) {
   EncodeFixed32(tuple_bytes + 24, h.pred_page);
   EncodeFixed16(tuple_bytes + 28, h.pred_slot);
   EncodeFixed16(tuple_bytes + 30, h.flags);
+}
+
+// -- Latch-free header access (SIAS read path) ------------------------------
+// SIAS version headers are immutable after publication except for the
+// final 8 bytes — (pred_page, pred_slot, flags) — which chain GC rewrites
+// when it relocates a predecessor. That word is therefore accessed as one
+// aligned 64-bit atomic on both sides: GC swings it with a single store,
+// and latch-free traversal loads it without ever seeing a torn pointer.
+// Tuple starts are 8-byte aligned by SlottedPage::InsertTuple, so the word
+// at offset 24 has natural alignment.
+
+/// Packs (pred_page, pred_slot, flags) into the header's trailing word,
+/// byte-identical to what EncodeTuple wrote there.
+inline uint64_t PackPredWord(PageNumber pred_page, uint16_t pred_slot,
+                             uint16_t flags) {
+  uint8_t raw[8];
+  EncodeFixed32(raw, pred_page);
+  EncodeFixed16(raw + 4, pred_slot);
+  EncodeFixed16(raw + 6, flags);
+  uint64_t w;
+  memcpy(&w, raw, sizeof(w));
+  return w;
+}
+
+/// Atomically redirects a published header's predecessor pointer (flags
+/// are preserved by the caller passing them back in). Used by chain GC
+/// under the exclusive page latch; readers use DecodeTupleHeaderAtomic.
+inline void OverwritePredWord(uint8_t* tuple_bytes, PageNumber pred_page,
+                              uint16_t pred_slot, uint16_t flags) {
+  std::atomic_ref<uint64_t>(
+      *reinterpret_cast<uint64_t*>(tuple_bytes + 24))
+      .store(PackPredWord(pred_page, pred_slot, flags),
+             std::memory_order_seq_cst);
+}
+
+/// DecodeTupleHeader for latch-free readers: xmin/xmax/vid are immutable
+/// after the slot publishes (plain loads ordered by the slot-count
+/// acquire), while the mutable pred word is read with one atomic load.
+inline bool DecodeTupleHeaderAtomic(Slice tuple, TupleHeader* h) {
+  if (tuple.size() < kTupleHeaderSize) return false;
+  const uint8_t* p = tuple.data();
+  h->xmin = DecodeFixed64(p);
+  h->xmax = DecodeFixed64(p + 8);
+  h->vid = DecodeFixed64(p + 16);
+  uint64_t w = std::atomic_ref<uint64_t>(
+                   *reinterpret_cast<uint64_t*>(
+                       const_cast<uint8_t*>(p) + 24))
+                   .load(std::memory_order_seq_cst);
+  uint8_t raw[8];
+  memcpy(raw, &w, sizeof(raw));
+  h->pred_page = DecodeFixed32(raw);
+  h->pred_slot = DecodeFixed16(raw + 4);
+  h->flags = DecodeFixed16(raw + 6);
+  return true;
 }
 
 }  // namespace sias

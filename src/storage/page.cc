@@ -20,9 +20,12 @@ void SlottedPage::Init(RelationId relation, PageNumber page_no,
 }
 
 size_t SlottedPage::FreeSpace() const {
+  // Conservative: one slot entry plus up to 7 bytes lost to the 8-byte
+  // tuple alignment InsertTuple applies (see header comment there).
   const PageHeader* h = header();
   size_t gap = h->upper - h->lower;
-  return gap >= kSlotSize ? gap - kSlotSize : 0;
+  constexpr size_t kReserve = kSlotSize + 7;
+  return gap >= kReserve ? gap - kReserve : 0;
 }
 
 double SlottedPage::FillFraction() const {
@@ -38,11 +41,19 @@ uint16_t SlottedPage::InsertTuple(Slice tuple) {
     return kInvalidSlot;
   }
   uint16_t slot = h->slot_count;
-  h->upper = static_cast<uint16_t>(h->upper - tuple.size());
-  memcpy(data_ + h->upper, tuple.data(), tuple.size());
-  h->slot_count++;
+  // 8-byte-aligned tuple start (atomic_ref on the version header's pred
+  // word needs natural alignment; FreeSpace reserves the padding, and the
+  // rounding is deterministic so WAL redo reproduces identical layouts).
+  uint16_t new_upper =
+      static_cast<uint16_t>((h->upper - tuple.size()) & ~size_t{7});
+  memcpy(data_ + new_upper, tuple.data(), tuple.size());
+  WriteSlot(slot, new_upper, static_cast<uint16_t>(tuple.size()));
+  h->upper = new_upper;
   h->lower = static_cast<uint16_t>(h->lower + kSlotSize);
-  WriteSlot(slot, h->upper, static_cast<uint16_t>(tuple.size()));
+  // Publish: pairs with slot_count_acquire() on the latch-free read path,
+  // ordering the tuple bytes and the slot entry before the new count.
+  std::atomic_ref<uint16_t>(h->slot_count)
+      .store(static_cast<uint16_t>(slot + 1), std::memory_order_release);
   return slot;
 }
 
@@ -50,6 +61,23 @@ Slice SlottedPage::GetTuple(uint16_t slot) const {
   if (slot >= slot_count()) return Slice();
   uint16_t offset, len;
   ReadSlot(slot, &offset, &len);
+  if (len == 0) return Slice();
+  return Slice(data_ + offset, len);
+}
+
+Slice SlottedPage::GetTupleAtomic(uint16_t slot) const {
+  if (slot >= slot_count_acquire()) return Slice();
+  uint32_t entry =
+      std::atomic_ref<uint32_t>(*reinterpret_cast<uint32_t*>(
+                                    const_cast<uint8_t*>(data_) +
+                                    SlotOffset(slot)))
+          .load(std::memory_order_acquire);
+  // Slot entries are little-endian (offset, len) fixed16 pairs; decode the
+  // 32-bit image the same way regardless of host order.
+  uint8_t raw[4];
+  memcpy(raw, &entry, sizeof(raw));
+  uint16_t offset = DecodeFixed16(raw);
+  uint16_t len = DecodeFixed16(raw + 2);
   if (len == 0) return Slice();
   return Slice(data_ + offset, len);
 }
@@ -75,7 +103,11 @@ Status SlottedPage::DeleteTuple(uint16_t slot) {
   uint16_t offset, len;
   ReadSlot(slot, &offset, &len);
   if (len == 0) return Status::NotFound("dead slot");
-  WriteSlot(slot, 0, 0);
+  // One atomic store of the whole (offset, len) entry: a latch-free reader
+  // sees the slot either live or dead, never half-cleared.
+  std::atomic_ref<uint32_t>(
+      *reinterpret_cast<uint32_t*>(data_ + SlotOffset(slot)))
+      .store(0, std::memory_order_release);
   return Status::OK();
 }
 

@@ -7,6 +7,7 @@
 // of the page. A slot stores (offset, length); length 0 marks a dead slot.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 
@@ -68,16 +69,40 @@ class SlottedPage {
   double FillFraction() const;
 
   /// Appends a tuple; returns its slot or kInvalidSlot when full.
+  ///
+  /// Publication order (the latch-free read protocol depends on it): tuple
+  /// bytes and the slot entry are written first, then `slot_count` is
+  /// release-stored. A reader that admits slot s via slot_count_acquire()
+  /// therefore sees the complete slot entry and tuple image. Tuple starts
+  /// are 8-byte aligned so the version header's pred word can be accessed
+  /// with std::atomic_ref.
   uint16_t InsertTuple(Slice tuple);
 
   /// Returns the tuple bytes at `slot` (empty Slice for dead slot).
   Slice GetTuple(uint16_t slot) const;
 
+  /// slot_count with acquire ordering: the admission check of the
+  /// latch-free read path (pairs with InsertTuple's release publish).
+  uint16_t slot_count_acquire() const {
+    return std::atomic_ref<uint16_t>(
+               const_cast<PageHeader*>(header())->slot_count)
+        .load(std::memory_order_acquire);
+  }
+
+  /// GetTuple for latch-free readers: slot admission and the (offset, len)
+  /// slot entry are read with atomic acquire loads, so a concurrent append
+  /// (publishing a later slot) or a concurrent GC slot-kill can never hand
+  /// back a torn entry. The caller must hold a validated frame pin (or a
+  /// page latch) so the underlying frame is not concurrently reused.
+  Slice GetTupleAtomic(uint16_t slot) const;
+
   /// Overwrites tuple bytes in place. New data must have exactly the stored
   /// length — this is the "small in-place update" SI uses for invalidation.
   Status OverwriteTuple(uint16_t slot, Slice tuple);
 
-  /// Marks a slot dead (used by vacuum / garbage collection).
+  /// Marks a slot dead (used by vacuum / garbage collection). The slot
+  /// entry is killed with one atomic 32-bit store so latch-free readers
+  /// observe either the live entry or the dead one, never a torn mix.
   Status DeleteTuple(uint16_t slot);
 
   /// Compacts tuple space, squeezing out dead tuples; slots of live tuples

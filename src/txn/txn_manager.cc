@@ -114,6 +114,17 @@ Xid TransactionManager::GcHorizon() const {
   return horizon;
 }
 
+std::vector<std::pair<Xid, Xid>> TransactionManager::ActiveSnapshotBounds()
+    const {
+  MutexLock g(&mu_);
+  std::vector<std::pair<Xid, Xid>> bounds;
+  bounds.reserve(active_.size());
+  for (const auto& [xid, snap_min] : active_) {
+    bounds.emplace_back(snap_min, xid + 1);
+  }
+  return bounds;
+}
+
 Xid TransactionManager::NextXid() const {
   MutexLock g(&mu_);
   return next_xid_;

@@ -5,6 +5,8 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "common/latch.h"
 #include "common/status.h"
@@ -50,6 +52,15 @@ class TransactionManager {
   /// in-progress. A version invalidated by a committed xid below this
   /// horizon is invisible to every current and future snapshot.
   Xid GcHorizon() const;
+
+  /// Per-active-transaction snapshot bounds for GC range tracking, one
+  /// (lo, hi) pair per active transaction: lo = the oldest xid its snapshot
+  /// considers in-progress, hi = xid + 1 (everything at or above hi is
+  /// invisible to it). A committed version v shadowed by a newer kept
+  /// committed version s is needed by that transaction only if
+  /// v.xmin < hi && s.xmin >= lo — GC reclaims mid-vector versions for
+  /// which no active pair satisfies this (SIAS-V range tracking).
+  std::vector<std::pair<Xid, Xid>> ActiveSnapshotBounds() const;
 
   /// Next xid to be assigned (tests / metrics).
   Xid NextXid() const;

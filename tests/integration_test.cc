@@ -109,7 +109,7 @@ TEST_P(IntegrationTest, CrashAfterBurstRecoversConsistently) {
   // whatever reached the simulated SSD survive.
   db_.reset();
   Reopen();
-  ASSERT_TRUE(db_->Recover().ok());
+  { Status rs = db_->Recover(); ASSERT_TRUE(rs.ok()) << rs.ToString(); }
   CheckDistrictOrderConsistency();
   // The engine keeps working after recovery.
   auto r2 = RunBurst(db_->max_vtime() + kVSecond);
@@ -127,7 +127,7 @@ TEST_P(IntegrationTest, CrashAfterVacuumRecovers) {
   ASSERT_TRUE(db_->Checkpoint(&clk).ok());
   db_.reset();
   Reopen();
-  ASSERT_TRUE(db_->Recover().ok());
+  { Status rs = db_->Recover(); ASSERT_TRUE(rs.ok()) << rs.ToString(); }
   CheckDistrictOrderConsistency();
   auto r2 = RunBurst(db_->max_vtime() + kVSecond);
   EXPECT_EQ(r2.errors, 0u) << r2.first_error.ToString();

@@ -22,10 +22,16 @@ namespace sias {
 namespace {
 
 // The global acquisition order must follow the paper's latch nesting:
-// tree < heap/index page < VidMap slot < clog/bucket-dir growth.
+// tree < heap/index page < clog/bucket-dir growth. (kVidMapSlot is retired
+// — VidMapV reads are epoch-protected RCU now — but its slot in the order
+// is pinned so reintroducing a slot latch lands in the right place.)
 static_assert(LatchRank::kBTree < LatchRank::kPage);
 static_assert(LatchRank::kPage < LatchRank::kVidMapSlot);
 static_assert(LatchRank::kVidMapSlot < LatchRank::kBucketDir);
+// The epoch queue sits above the storage ranks its deferred callbacks
+// re-enter (they run outside the queue mutex) and below the stats leaves.
+static_assert(LatchRank::kDeviceStore < LatchRank::kEpochQueue);
+static_assert(LatchRank::kEpochQueue < LatchRank::kStats);
 
 #if defined(SIAS_LATCH_CHECK)
 
@@ -168,6 +174,57 @@ TEST(LatchCheckDeathTest, UnrankedAbbaCycleAborts) {
       "cycle");
 }
 
+TEST(LatchCheckTest, EpochDepthTracksEnterExit) {
+  EXPECT_EQ(check::EpochDepth(), 0u);
+  check::OnEpochEnter();
+  EXPECT_EQ(check::EpochDepth(), 1u);
+  check::OnEpochEnter();  // nesting is allowed and counted
+  EXPECT_EQ(check::EpochDepth(), 2u);
+  check::OnEpochExit();
+  check::OnEpochExit();
+  EXPECT_EQ(check::EpochDepth(), 0u);
+}
+
+TEST(LatchCheckTest, EpochEntryAllowedAboveStorageLayer) {
+  // Holding latches that rank BELOW kPage (coarse engine structures) is
+  // fine: the deferred-free callbacks never take those.
+  Mutex txn(LatchRank::kTxnManager);
+  MutexLock g(&txn);
+  check::OnEpochEnter();
+  check::OnEpochExit();
+  SUCCEED();
+}
+
+TEST(LatchCheckTest, EpochEntryExemptsTryAcquiredPageLatch) {
+  // Try-acquisitions cannot block and are exempt from the rank rule; the
+  // epoch rule mirrors that exemption.
+  PageLatch page;
+  ASSERT_TRUE(page.TryLockShared());
+  check::OnEpochEnter();
+  check::OnEpochExit();
+  page.UnlockShared();
+  SUCCEED();
+}
+
+TEST(LatchCheckDeathTest, EpochEntryUnderPageLatchAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Entering an epoch while holding a storage-layer latch (rank >= kPage,
+  // blocking-acquired) inverts the epoch discipline: the deferred-free
+  // callbacks acquire exactly those latches when they run.
+  EXPECT_DEATH(
+      {
+        PageLatch page;
+        page.Lock();
+        check::OnEpochEnter();
+      },
+      "epoch entered under a storage-layer latch");
+}
+
+TEST(LatchCheckDeathTest, EpochExitWithoutEnterAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH({ check::OnEpochExit(); }, "epoch exit");
+}
+
 TEST(LatchCheckDeathTest, AssertHeldAbortsWhenNotHeld) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   EXPECT_DEATH(
@@ -219,8 +276,10 @@ constexpr EngineEdge kEngineEdges[] = {
     {"AppendRegion::Append", LatchRank::kAppendRegion, LatchRank::kPage,
      false},
     {"AppendRegion::Append wal", LatchRank::kPage, LatchRank::kWal, false},
-    {"SiasTable install", LatchRank::kPage, LatchRank::kVidMapSlot, false},
-    {"VidMapV::EnsureBucket", LatchRank::kVidMapSlot, LatchRank::kBucketDir,
+    // VidMapV installs/reads are latch-free (RCU + epochs); only bucket
+    // directory growth still locks, and it nests under nothing ranked.
+    // Retiring superseded vectors enqueues under the epoch-queue mutex.
+    {"VidMapV::Install retire", LatchRank::kUnranked, LatchRank::kEpochQueue,
      false},
     // SI heap: placement and GC nest the FSM / locator map inside the page
     // latch; the WAL append happens under the page latch too.
