@@ -185,7 +185,8 @@ def build_report(benches):
 # ---------------------------------------------------------------------------
 
 def run_check(check, benches):
-    """Returns (ok, message). Raises KeyError on malformed checks."""
+    """Returns (ok, message). Malformed checks (missing fields) FAIL
+    cleanly via the KeyError guard in check_baseline."""
     bench = benches.get(check["bench"])
     desc = check.get("desc", check["type"])
     if bench is None:
@@ -222,6 +223,8 @@ def run_check(check, benches):
         v0, v = res(e0, check["key"]), res(e, check["key"])
         if not v0:
             return False, f"{desc}: baseline {check['key']} is zero/missing"
+        if v is None:
+            return False, f"{desc}: key {check['key']} missing"
         red = 100.0 * (1.0 - v / v0)
         ok = red >= check["min_pct"]
         return ok, (f"{desc}: reduction {fmt(red)}% "
@@ -234,6 +237,8 @@ def run_check(check, benches):
         v0, v = res(e0, check["key"]), res(e, check["key"])
         if not v0:
             return False, f"{desc}: baseline {check['key']} is zero/missing"
+        if v is None:
+            return False, f"{desc}: key {check['key']} missing"
         ratio = v / v0
         ok = ratio >= check["min_ratio"]
         return ok, (f"{desc}: {check['label']}/{check['base_label']} "
@@ -259,7 +264,13 @@ def check_baseline(baseline_path, benches):
         baseline = json.load(fh)
     failures = 0
     for check in baseline.get("checks", []):
-        ok, msg = run_check(check, benches)
+        try:
+            ok, msg = run_check(check, benches)
+        except KeyError as e:
+            # A malformed check (missing field) must surface as a FAIL
+            # line, never as a traceback that aborts the remaining checks.
+            desc = check.get("desc", check.get("type", "<no type>"))
+            ok, msg = False, f"{desc}: malformed check (missing field {e})"
         if ok is None:
             print(f"  SKIP  {msg}")
         elif ok:

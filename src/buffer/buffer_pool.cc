@@ -211,12 +211,23 @@ Status BufferPool::WriteFrame(Frame& f, VirtualClock* clk,
     SlottedPage(f.data.get()).UpdateChecksum();
     // Maintenance flushes are paced background I/O (StorageDevice::Write);
     // eviction writes sit on the transaction path and pay foreground time.
+    // The write goes through the async submit/complete path so transient
+    // errors retry by resubmission — each attempt re-reserves the channel
+    // calendar at the post-backoff instant.
     bool background = source == FlushSource::kBackgroundWriter ||
                       source == FlushSource::kCheckpoint;
-    s = fault::RetryTransient("page writeback", clk, [&] {
-      return disk_->WritePage(f.id.relation, f.id.page, f.data.get(), clk,
-                              background);
-    });
+    auto offset = disk_->PageOffset(f.id.relation, f.id.page);
+    if (!offset.ok()) {
+      s = offset.status();
+    } else {
+      IoRequest req;
+      req.op = IoOp::kWrite;
+      req.offset = *offset;
+      req.len = kPageSize;
+      req.data = f.data.get();
+      req.background = background;
+      s = fault::SubmitAndRetry("page writeback", disk_->device(), req, clk);
+    }
   }
   if (s.ok()) s = fault::CrashPoint("buffer.post_page_write");
   if (s.ok()) {
@@ -247,8 +258,11 @@ Result<size_t> BufferPool::FindVictim(VirtualClock* clk) {
       size_t idx = clock_hand_;
       clock_hand_ = (clock_hand_ + 1) % frames_.size();
       if (!f.valid) {
-        // Never-installed (or already-evicted) frame. The installer expects
-        // a transitioning frame, so make sure the stamp is odd.
+        // Never-installed (or already-evicted) frame. A pinned invalid
+        // frame is privately claimed by an in-flight StartFetch whose read
+        // is landing in it — not a victim. The installer expects a
+        // transitioning frame, so make sure the stamp is odd.
+        if (f.pins.load(std::memory_order_seq_cst) > 0) continue;
         if ((f.stamp.load(std::memory_order_seq_cst) & 1) == 0) {
           f.stamp.fetch_add(1, std::memory_order_seq_cst);
         }
@@ -284,26 +298,104 @@ Result<size_t> BufferPool::FindVictim(VirtualClock* clk) {
 }
 
 Result<PageGuard> BufferPool::FetchPage(PageId id, VirtualClock* clk) {
+  SIAS_ASSIGN_OR_RETURN(AsyncFetch f, StartFetch(id, clk));
+  return FinishFetch(&f, clk);
+}
+
+Result<BufferPool::AsyncFetch> BufferPool::StartFetch(PageId id,
+                                                      VirtualClock* clk) {
+  AsyncFetch out;
+  out.id = id;
+  {
+    MutexLock lock(&mu_);
+    auto it = table_.find(id);
+    if (it != table_.end()) {
+      Frame& f = frames_[it->second];
+      f.pins.fetch_add(1, std::memory_order_acquire);
+      f.referenced.store(true, std::memory_order_relaxed);
+      stats_.hits++;
+      m_hits_->Increment();
+      out.valid = true;
+      out.resident = true;
+      out.guard = PageGuard(this, it->second, id);
+      return out;
+    }
+    stats_.misses++;
+    m_misses_->Increment();
+    SIAS_ASSIGN_OR_RETURN(out.frame, FindVictim(clk));
+    // The frame leaves FindVictim private: !valid, stamp odd, absent from
+    // table_. The claim pin keeps FindVictim from handing it to a second
+    // fetch while the device read below runs outside mu_; it becomes the
+    // guard pin once FinishFetch installs the page.
+    frames_[out.frame].pins.fetch_add(1, std::memory_order_acq_rel);
+  }
+  Frame& f = frames_[out.frame];
+  auto offset = disk_->PageOffset(id.relation, id.page);
+  if (!offset.ok()) {
+    Unpin(out.frame);  // frame returns to the victim pool (!valid)
+    return offset.status();
+  }
+  IoRequest req;
+  req.op = IoOp::kRead;
+  req.offset = *offset;
+  req.len = kPageSize;
+  req.out = f.data.get();
+  auto h = disk_->device()->Submit(req, clk != nullptr ? clk->now() : 0);
+  if (!h.ok()) {
+    Unpin(out.frame);
+    return h.status();
+  }
+  out.valid = true;
+  out.io = *h;
+  return out;
+}
+
+Result<PageGuard> BufferPool::FinishFetch(AsyncFetch* fetch,
+                                          VirtualClock* clk) {
+  SIAS_CHECK(fetch->valid);
+  fetch->valid = false;
+  if (fetch->resident) return std::move(fetch->guard);
+  const PageId id = fetch->id;
+  Frame& f = frames_[fetch->frame];
+  StorageDevice* dev = disk_->device();
+  // Completion-driven retry: the first attempt's status comes from the
+  // async completion; each retry RESUBMITS at the post-backoff instant so
+  // the channel calendar is re-reserved (never completing "in the past").
+  Status first = dev->Wait(fetch->io, clk);
+  Status st =
+      fault::RetryTransientAfterFailure(
+          "page read", clk, std::move(first), [&]() -> Status {
+            auto offset = disk_->PageOffset(id.relation, id.page);
+            if (!offset.ok()) return offset.status();
+            IoRequest req;
+            req.op = IoOp::kRead;
+            req.offset = *offset;
+            req.len = kPageSize;
+            req.out = f.data.get();
+            auto h = dev->Submit(req, clk != nullptr ? clk->now() : 0);
+            if (!h.ok()) return h.status();
+            return dev->Wait(*h, clk);
+          });
+  if (!st.ok()) {
+    Unpin(fetch->frame);
+    return st;
+  }
+  SlottedPage sp(f.data.get());
+  if (!sp.VerifyChecksum()) {
+    Unpin(fetch->frame);
+    return Status::Corruption("page checksum mismatch " + id.ToString());
+  }
   MutexLock lock(&mu_);
   auto it = table_.find(id);
   if (it != table_.end()) {
-    Frame& f = frames_[it->second];
-    f.pins.fetch_add(1, std::memory_order_acquire);
-    f.referenced.store(true, std::memory_order_relaxed);
-    stats_.hits++;
-    m_hits_->Increment();
+    // A racing fetch installed the page while our read was in flight: pin
+    // the winner; our private frame stays !valid/odd for the next victim
+    // scan.
+    Frame& winner = frames_[it->second];
+    winner.pins.fetch_add(1, std::memory_order_acquire);
+    winner.referenced.store(true, std::memory_order_relaxed);
+    Unpin(fetch->frame);
     return PageGuard(this, it->second, id);
-  }
-  stats_.misses++;
-  m_misses_->Increment();
-  SIAS_ASSIGN_OR_RETURN(size_t idx, FindVictim(clk));
-  Frame& f = frames_[idx];
-  SIAS_RETURN_NOT_OK(fault::RetryTransient("page read", clk, [&] {
-    return disk_->ReadPage(id.relation, id.page, f.data.get(), clk);
-  }));
-  SlottedPage sp(f.data.get());
-  if (!sp.VerifyChecksum()) {
-    return Status::Corruption("page checksum mismatch " + id.ToString());
   }
   f.id = id;
   f.valid = true;
@@ -311,13 +403,26 @@ Result<PageGuard> BufferPool::FetchPage(PageId id, VirtualClock* clk) {
   f.sticky = false;
   f.referenced.store(true, std::memory_order_relaxed);
   f.lsn.store(sp.header()->lsn, std::memory_order_relaxed);
-  // fetch_add, not store: a lock-free reader may hold a transient
-  // optimistic pin (it will fail stamp validation and unpin); a plain
-  // store would clobber it and let the pin count go negative.
-  f.pins.fetch_add(1, std::memory_order_acq_rel);
-  table_[id] = idx;
-  PublishFrame(idx, id);
-  return PageGuard(this, idx, id);
+  // The claim pin taken in StartFetch becomes the guard pin (no extra pin
+  // here); lock-free readers cannot have pinned the frame meanwhile — its
+  // tag was kNoTag until PublishFrame below.
+  table_[id] = fetch->frame;
+  PublishFrame(fetch->frame, id);
+  return PageGuard(this, fetch->frame, id);
+}
+
+void BufferPool::AbandonFetch(AsyncFetch* fetch) {
+  if (!fetch->valid) return;
+  fetch->valid = false;
+  if (fetch->resident) {
+    fetch->guard.Release();
+    return;
+  }
+  // Cancel guarantees the read never executes after it returns (deferred
+  // queues drop it; eager devices already finished writing into the still-
+  // private frame), so the frame can be handed back to the victim pool.
+  disk_->device()->Cancel(fetch->io, nullptr);
+  Unpin(fetch->frame);
 }
 
 Result<PageGuard> BufferPool::NewPage(RelationId relation, VirtualClock* clk,

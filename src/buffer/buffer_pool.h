@@ -118,7 +118,43 @@ class BufferPool {
   ~BufferPool();
 
   /// Fetches an existing page, reading it from the device on a miss.
+  /// Composed of StartFetch + FinishFetch, so a miss's device read happens
+  /// OUTSIDE the pool mutex (only the frame-table probe and the install are
+  /// serialized).
   Result<PageGuard> FetchPage(PageId id, VirtualClock* clk);
+
+  /// One in-flight asynchronous page fetch. Either the page was resident
+  /// (`resident`, guard pinned) or a device read is in flight into a
+  /// private victim frame that no other thread can see yet. Obtain via
+  /// StartFetch; consume with FinishFetch or AbandonFetch exactly once.
+  struct AsyncFetch {
+    bool valid = false;
+    bool resident = false;
+    PageGuard guard;     ///< pinned guard when resident
+    PageId id{};
+    size_t frame = 0;    ///< private victim frame index when !resident
+    IoHandle io{};       ///< in-flight device read when !resident
+  };
+
+  /// Begins fetching `id`: on a hit returns a resident AsyncFetch (pinned,
+  /// no I/O); on a miss claims a victim frame under the mutex, then submits
+  /// the device read outside it and returns with the I/O in flight. Submit
+  /// charges the device channel immediately (arrival-time backfill), so N
+  /// StartFetch calls from one terminal overlap on the device — this is the
+  /// resumable-traversal building block.
+  Result<AsyncFetch> StartFetch(PageId id, VirtualClock* clk);
+
+  /// Completes a StartFetch: waits the read (advancing `clk` to the
+  /// completion instant), retries transient errors by RESUBMITTING through
+  /// the device (fresh channel reservation per attempt), verifies the
+  /// checksum, and installs the frame — unless a racing fetch installed the
+  /// same page meanwhile, in which case the private frame is abandoned and
+  /// the winner's frame is pinned instead.
+  Result<PageGuard> FinishFetch(AsyncFetch* f, VirtualClock* clk);
+
+  /// Discards an unfinished StartFetch (cancels the in-flight read; the
+  /// private frame returns to the victim pool).
+  void AbandonFetch(AsyncFetch* f);
 
   /// Latch-free, mutex-free fetch of a *resident* page: probes a lock-free
   /// side index, then validates frame identity with the stamp/tag protocol

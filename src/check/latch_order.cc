@@ -151,7 +151,9 @@ const char* LatchRankName(LatchRank rank) {
     case LatchRank::kBucketDir: return "bucket-dir";
     case LatchRank::kLockManager: return "lock-manager";
     case LatchRank::kDisk: return "disk";
+    case LatchRank::kIoQueue: return "io-queue";
     case LatchRank::kFaultyDevice: return "faulty-device";
+    case LatchRank::kIoCompletion: return "io-completion";
     case LatchRank::kDevice: return "device";
     case LatchRank::kDeviceCalendar: return "device-calendar";
     case LatchRank::kDeviceStore: return "device-store";

@@ -60,7 +60,9 @@ enum class LatchRank : uint8_t {
   kBucketDir = 70,      ///< BucketDirectory growth (VidMap/VidMapV/Clog)
   kLockManager = 75,    ///< LockManager::mu_ (row-lock table)
   kDisk = 80,           ///< DiskManager::mu_ (extent table)
+  kIoQueue = 82,        ///< fault::FaultyDevice::io_mu_ (deferred async FIFO)
   kFaultyDevice = 83,   ///< fault::FaultyDevice::mu_ (volatile write cache)
+  kIoCompletion = 84,   ///< StorageDevice::io_mu_ (async completion table)
   kDevice = 85,         ///< FlashSsd/Hdd::mu_ (FTL / head state)
   kDeviceCalendar = 90, ///< ChannelCalendar::mu_ (busy marks)
   kDeviceStore = 91,    ///< DataStore::mu_ (payload bytes)

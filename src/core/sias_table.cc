@@ -1,6 +1,7 @@
 #include "core/sias_table.h"
 
 #include <algorithm>
+#include <deque>
 #include <unordered_set>
 
 #include "common/logging.h"
@@ -426,6 +427,267 @@ Result<std::optional<std::string>> SiasTable::Read(Transaction* txn,
     return std::optional<std::string>{};
   }
   return std::optional<std::string>{std::move(payload)};
+}
+
+Status SiasTable::ReadMulti(Transaction* txn, const std::vector<Vid>& vids,
+                            size_t io_depth,
+                            std::vector<std::optional<std::string>>* rows) {
+  // Depth <= 1 pipelines nothing: take the sequential path (also the
+  // "sync" baseline the io-depth benches compare against).
+  if (io_depth <= 1 || vids.size() <= 1) {
+    return MvccTable::ReadMulti(txn, vids, io_depth, rows);
+  }
+  TRACE_OP("mvcc", "sias_read_multi");
+  rows->assign(vids.size(), std::optional<std::string>{});
+
+  const Clog& clog = *env_.txns->clog();
+  const Snapshot& snap = txn->snapshot();
+  VirtualClock* clk = txn->clock();
+
+  // One resumable traversal per VID. The task body replays GetVisible's
+  // walk (same raced-restart rules, same counters, same CPU charges), but
+  // where GetVisible would block on a cold page the task submits the read
+  // and SUSPENDS; the driver below admits further tasks until `io_depth`
+  // device reads are in flight, then resumes tasks in submit order. All
+  // reads submitted while the terminal's clock stands still receive
+  // overlapping channel reservations (arrival-time backfill), which is
+  // exactly the hardware-queue overlap the async device models.
+  struct ReadTask {
+    Vid vid = 0;
+    size_t out = 0;             ///< index into *rows
+    std::vector<Tid> versions;  ///< SIAS-V map copy, newest first
+    size_t pos = 0;             ///< SIAS-V cursor
+    Tid tid{};                  ///< chains cursor
+    bool first = true;
+    Xid newer_xmin = kInvalidXid;
+    int retries = 0;
+    size_t examined = 0;
+    bool found = false;
+    bool done = false;
+    BufferPool::AsyncFetch fetch;      ///< demand read the task waits on
+    BufferPool::AsyncFetch lookahead;  ///< SIAS-V next-version prefetch
+  };
+
+  // Epoch pin for the whole batch: every map copy loaded below and every
+  // page byte it references stays physically intact until the pin drops —
+  // the same reclamation argument as GetVisible, stretched over the batch.
+  EpochGuard epoch;
+
+  std::vector<ReadTask> tasks(vids.size());
+  size_t inflight = 0;  // cold-page reads outstanding (demand + prefetch)
+
+  auto abandon_all = [&]() {
+    for (ReadTask& t : tasks) {
+      env_.pool->AbandonFetch(&t.fetch);
+      env_.pool->AbandonFetch(&t.lookahead);
+    }
+  };
+
+  // Loads (or reloads, after a raced walk) the task's map state.
+  auto load_map = [&](ReadTask& t) {
+    if (clk != nullptr) clk->Cpu(kCpuVidMapProbe);
+    if (scheme_ == VersionScheme::kSiasChains) {
+      t.tid = map_.Get(t.vid);
+    } else {
+      map_v_.Get(t.vid, &t.versions);
+      t.pos = 0;
+    }
+    ReadPausePoint(t.vid);
+    t.first = true;
+    t.newer_xmin = kInvalidXid;
+  };
+
+  // A lookahead that outlives its usefulness (item resolved, walk ended or
+  // restarted from a fresh map copy) is cancelled so its window slot and
+  // claim pin free up immediately.
+  auto drop_lookahead = [&](ReadTask& t) {
+    if (t.lookahead.valid && !t.lookahead.resident) inflight--;
+    env_.pool->AbandonFetch(&t.lookahead);
+  };
+
+  // Records the per-item telemetry GetVisible's TraversalScope emits.
+  auto finish = [&](ReadTask& t) {
+    t.done = true;
+    drop_lookahead(t);
+    reads_.fetch_add(1, std::memory_order_relaxed);
+    Obs().reads->Increment();
+    Obs().traversal_depth->Record(static_cast<VDuration>(t.examined));
+    if (!t.found) Obs().read_misses->Increment();
+  };
+
+  // Raced-walk restart (stale anchor / pruned slot): reload the map copy,
+  // up to the same 3-attempt budget as GetVisible.
+  auto restart = [&](ReadTask& t) -> Status {
+    drop_lookahead(t);
+    if (++t.retries >= 3) {
+      return Status::Internal("version walk raced with GC repeatedly");
+    }
+    load_map(t);
+    return Status::OK();
+  };
+
+  // Advances one task until it completes or suspends on a cold page.
+  // Returns an error only for hard failures (the whole batch unwinds).
+  auto run = [&](ReadTask& t) -> Status {
+    while (!t.done) {
+      // Current version to examine; an exhausted walk is a miss.
+      Tid tid;
+      if (scheme_ == VersionScheme::kSiasChains) {
+        tid = t.tid;
+        if (!tid.valid()) {
+          finish(t);
+          return Status::OK();
+        }
+      } else {
+        if (t.pos >= t.versions.size()) {
+          finish(t);
+          return Status::OK();
+        }
+        tid = t.versions[t.pos];
+      }
+
+      // Obtain the version's page: a finished demand fetch, the matching
+      // lookahead, the latch-free resident path, or — cold — submit the
+      // read and suspend. Pinned-but-unlatched access is safe for the same
+      // reason as FetchVersionLatchFree: the epoch pin keeps the bytes a
+      // stale map copy points at intact, and all reads below go through
+      // the atomic tuple accessors.
+      const PageId page_id{relation_, tid.page};
+      PageGuard guard;
+      if (t.fetch.valid) {
+        SIAS_CHECK(t.fetch.id == page_id);
+        auto g = env_.pool->FinishFetch(&t.fetch, clk);
+        if (!g.ok()) return g.status();
+        inflight--;
+        guard = std::move(*g);
+      } else if (t.lookahead.valid && t.lookahead.id == page_id) {
+        auto g = env_.pool->FinishFetch(&t.lookahead, clk);
+        if (!g.ok()) return g.status();
+        inflight--;
+        guard = std::move(*g);
+      } else if (!env_.pool->TryFetchCached(page_id, &guard)) {
+        auto f = env_.pool->StartFetch(page_id, clk);
+        if (!f.ok()) return f.status();
+        if (f->resident) {
+          guard = std::move(f->guard);
+          f->valid = false;
+        } else {
+          t.fetch = std::move(*f);
+          inflight++;
+          // In-walk lookahead (SIAS-V): also submit the NEXT version's
+          // page while this one is in flight — if this version turns out
+          // invisible, the walk resumes without paying a second full
+          // device latency.
+          if (scheme_ == VersionScheme::kSiasV && !t.lookahead.valid &&
+              inflight < io_depth && t.pos + 1 < t.versions.size()) {
+            const PageId next{relation_, t.versions[t.pos + 1].page};
+            if (next.page != page_id.page) {
+              auto lf = env_.pool->StartFetch(next, clk);
+              if (lf.ok()) {
+                if (lf->resident) {
+                  lf->guard.Release();
+                  lf->valid = false;
+                } else {
+                  t.lookahead = std::move(*lf);
+                  inflight++;
+                }
+              }
+              // A failed lookahead submit is not an error: the walk will
+              // fetch the page on demand if it gets there.
+            }
+          }
+          return Status::OK();  // suspended
+        }
+      }
+
+      Slice tuple = SlottedPage(guard.data()).GetTupleAtomic(tid.slot);
+      TupleHeader h;
+      const bool dead = tuple.empty() || !DecodeTupleHeaderAtomic(tuple, &h);
+      if (dead || h.vid != t.vid) {
+        // Same split as GetVisible: a stale anchor is a race (restart from
+        // the map); a later SIAS-V entry or chain predecessor resolving
+        // dead/foreign is the dangling-tail state — nothing visible there.
+        if (scheme_ == VersionScheme::kSiasChains) {
+          if (t.first) {
+            SIAS_RETURN_NOT_OK(restart(t));
+            continue;
+          }
+          finish(t);
+          return Status::OK();
+        }
+        SIAS_RETURN_NOT_OK(restart(t));
+        continue;
+      }
+      if (scheme_ == VersionScheme::kSiasChains) {
+        if (t.newer_xmin != kInvalidXid && h.xmin > t.newer_xmin) {
+          // Recycled slot holding the item again (see GetVisible).
+          finish(t);
+          return Status::OK();
+        }
+        t.newer_xmin = h.xmin;
+      }
+      t.examined++;
+      if (clk != nullptr) clk->Cpu(kCpuVisibilityCheck);
+      Obs().visibility_checks->Increment();
+      if (SiasVersionVisible(h, snap, clog)) {
+        t.found = true;
+        if (!h.is_tombstone()) {
+          Slice p = TuplePayload(tuple);
+          (*rows)[t.out].emplace(reinterpret_cast<const char*>(p.data()),
+                                 p.size());
+          if (clk != nullptr) clk->Cpu(kCpuTupleCopy);
+        }
+        finish(t);
+        return Status::OK();
+      }
+      if (!t.first) {
+        Obs().version_hops->Increment();
+        read_version_hops_.fetch_add(1, std::memory_order_relaxed);
+      }
+      t.first = false;
+      if (scheme_ == VersionScheme::kSiasChains) {
+        t.tid = h.pred();
+      } else {
+        t.pos++;
+      }
+    }
+    return Status::OK();
+  };
+
+  // Driver: admit tasks until the in-flight window is full, then resume
+  // them in submit order (virtual-time completions are reaped by Wait, so
+  // FIFO resume is both simple and deterministic).
+  std::deque<size_t> suspended;
+  size_t next_admit = 0;
+  Status st;
+  while (true) {
+    while (next_admit < tasks.size() && inflight < io_depth) {
+      ReadTask& t = tasks[next_admit];
+      t.vid = vids[next_admit];
+      t.out = next_admit;
+      load_map(t);
+      st = run(t);
+      if (!st.ok()) {
+        abandon_all();
+        return st;
+      }
+      if (!t.done) suspended.push_back(next_admit);
+      next_admit++;
+    }
+    if (suspended.empty()) {
+      if (next_admit >= tasks.size()) break;
+      continue;  // window was full of lookaheads; admission resumes below
+    }
+    size_t i = suspended.front();
+    suspended.pop_front();
+    st = run(tasks[i]);
+    if (!st.ok()) {
+      abandon_all();
+      return st;
+    }
+    if (!tasks[i].done) suspended.push_back(i);
+  }
+  return Status::OK();
 }
 
 Status SiasTable::Scan(Transaction* txn, const ScanCallback& cb) {

@@ -54,6 +54,17 @@ class SiasTable : public MvccTable {
                 Tid* new_tid = nullptr) override;
   Status Delete(Transaction* txn, Vid vid) override;
   Result<std::optional<std::string>> Read(Transaction* txn, Vid vid) override;
+  /// Pipelined batch read: one resumable traversal task per VID. A task
+  /// that needs a cold page SUBMITS the read (BufferPool::StartFetch) and
+  /// suspends; the driver keeps up to `io_depth` device reads in flight
+  /// across tasks, so a batch of snapshot reads overlaps its page misses on
+  /// the flash channels instead of serializing them. SIAS-V tasks also
+  /// prefetch the next version's page before suspending (in-walk
+  /// lookahead). Semantics, telemetry and CPU charging match a sequential
+  /// Read() loop exactly.
+  Status ReadMulti(Transaction* txn, const std::vector<Vid>& vids,
+                   size_t io_depth,
+                   std::vector<std::optional<std::string>>* rows) override;
   Status Scan(Transaction* txn, const ScanCallback& cb) override;
   Status ScanWithTid(Transaction* txn,
                      const VersionScanCallback& cb) override;

@@ -95,6 +95,14 @@ std::vector<Tid> VidMapV::Get(Vid vid) const {
   return vec == nullptr ? VersionVector{} : *vec;
 }
 
+void VidMapV::Get(Vid vid, std::vector<Tid>* out) const {
+  out->clear();
+  const auto* slot = SlotFor(vid);
+  if (slot == nullptr) return;
+  const VersionVector* vec = slot->load(std::memory_order_seq_cst);
+  if (vec != nullptr) out->assign(vec->begin(), vec->end());
+}
+
 Tid VidMapV::Entrypoint(Vid vid) const {
   const auto* slot = SlotFor(vid);
   if (slot == nullptr) return kInvalidTid;

@@ -49,6 +49,11 @@ class VidMapV {
   /// The version vector of `vid`, newest first (copy; small).
   std::vector<Tid> Get(Vid vid) const;
 
+  /// Buffer-reusing variant: clears `out` and fills it with the version
+  /// vector of `vid` (batched read paths call this once per retry without
+  /// reallocating).
+  void Get(Vid vid, std::vector<Tid>* out) const;
+
   /// Entrypoint = front of the vector.
   Tid Entrypoint(Vid vid) const;
 

@@ -29,6 +29,20 @@ DeviceCounters& Counters() {
 }
 }  // namespace
 
+const IoObsCounters& IoCounters() {
+  static IoObsCounters* c = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    auto* ic = new IoObsCounters();
+    ic->submits = reg.GetCounter("io.submits");
+    ic->completions = reg.GetCounter("io.completions");
+    ic->cancelled = reg.GetCounter("io.cancelled");
+    ic->inflight = reg.GetGauge("io.inflight");
+    ic->completion_lag = reg.GetHistogram("io.completion_lag");
+    return ic;
+  }();
+  return *c;
+}
+
 const FlashObsCounters& FlashCounters() {
   static FlashObsCounters* c = [] {
     obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
@@ -71,10 +85,12 @@ void RecordDeviceWrite(uint64_t bytes) {
 }
 
 double DeviceStats::WriteAmplification() const {
-  uint64_t host_pages = bytes_written / 4096;
-  if (host_pages == 0) return 1.0;
+  // Fresh or read-only devices have programmed nothing; define WA as 1.0
+  // (no amplification) instead of leaking inf/NaN into ToString() and the
+  // --metrics-out JSON.
+  if (host_page_programs == 0) return 1.0;
   return static_cast<double>(flash_page_programs) /
-         static_cast<double>(host_pages);
+         static_cast<double>(host_page_programs);
 }
 
 DeviceStats& DeviceStats::operator+=(const DeviceStats& o) {
@@ -199,6 +215,77 @@ std::string DeviceTelemetry::ToJson() const {
   }
   out += "]}";
   return out;
+}
+
+Result<IoHandle> StorageDevice::Submit(const IoRequest& req, VTime now) {
+  const uint64_t id = AllocateIoId();
+  // Eager execution against a scratch clock parked at the arrival instant:
+  // the channel calendar backfills by arrival time, so N requests submitted
+  // at the same `now` receive overlapping busy intervals — the caller only
+  // observes the completion instant when it reaps the handle.
+  VirtualClock sub(now);
+  Status st = req.op == IoOp::kRead
+                  ? Read(req.offset, req.len, req.out, &sub)
+                  : Write(req.offset, req.len, req.data, &sub,
+                          req.background);
+  StoreIoCompletion(id, std::move(st), now, sub.now());
+  return IoHandle{id};
+}
+
+Status StorageDevice::Wait(IoHandle h, VirtualClock* clk) {
+  IoCompletion c;
+  if (!ReapIoCompletion(h.id, &c)) {
+    return Status::InvalidArgument("unknown I/O handle");
+  }
+  if (clk != nullptr) clk->AdvanceTo(c.completion);
+  IoCounters().completion_lag->Record(c.completion - c.submitted);
+  return c.status;
+}
+
+bool StorageDevice::Poll(IoHandle h, VTime now, Status* status) {
+  {
+    MutexLock g(&io_mu_);
+    auto it = io_table_.find(h.id);
+    if (it == io_table_.end() || it->second.completion > now) return false;
+    if (status != nullptr) *status = it->second.status;
+    IoCounters().completion_lag->Record(it->second.completion -
+                                        it->second.submitted);
+    io_table_.erase(it);
+  }
+  IoCounters().inflight->Add(-1);
+  return true;
+}
+
+Status StorageDevice::Cancel(IoHandle h, VirtualClock* clk) {
+  (void)clk;
+  IoCompletion c;
+  if (ReapIoCompletion(h.id, &c)) IoCounters().cancelled->Increment();
+  return Status::OK();
+}
+
+uint64_t StorageDevice::AllocateIoId() {
+  IoCounters().submits->Increment();
+  IoCounters().inflight->Add(1);
+  return io_next_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void StorageDevice::StoreIoCompletion(uint64_t id, Status status,
+                                      VTime submitted, VTime completion) {
+  MutexLock g(&io_mu_);
+  io_table_[id] = IoCompletion{std::move(status), submitted, completion};
+  IoCounters().completions->Increment();
+}
+
+bool StorageDevice::ReapIoCompletion(uint64_t id, IoCompletion* out) {
+  {
+    MutexLock g(&io_mu_);
+    auto it = io_table_.find(id);
+    if (it == io_table_.end()) return false;
+    *out = std::move(it->second);
+    io_table_.erase(it);
+  }
+  IoCounters().inflight->Add(-1);
+  return true;
 }
 
 Status StorageDevice::CheckRange(uint64_t offset, size_t len) const {

@@ -7,11 +7,15 @@
 // as they would on hardware (see DESIGN.md §3.1).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "common/latch.h"
+#include "common/result.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "common/vclock.h"
@@ -22,6 +26,8 @@ class TraceRecorder;
 
 namespace obs {
 class Counter;
+class Gauge;
+class HistogramMetric;
 }  // namespace obs
 
 /// Cumulative device counters. Flash-specific fields stay zero on non-flash
@@ -130,6 +136,40 @@ struct HddObsCounters {
 };
 const HddObsCounters& HddCounters();
 
+/// Asynchronous request kind (io_uring opcode analogue).
+enum class IoOp : uint8_t { kRead, kWrite };
+
+/// One asynchronous device request. Reads fill `out` (the buffer must stay
+/// valid until the handle is reaped); writes take `data` (copied by devices
+/// that defer execution, so the caller's buffer only has to survive
+/// Submit()). `background` carries the same meaning as the Write parameter.
+struct IoRequest {
+  IoOp op = IoOp::kRead;
+  uint64_t offset = 0;
+  size_t len = 0;
+  uint8_t* out = nullptr;        ///< kRead destination
+  const uint8_t* data = nullptr; ///< kWrite source
+  bool background = false;
+};
+
+/// Opaque ticket for an in-flight asynchronous request. id 0 = invalid.
+struct IoHandle {
+  uint64_t id = 0;
+  bool valid() const { return id != 0; }
+};
+
+/// Process-wide async-I/O counters (obs registry, `io.*`): submissions,
+/// completions, cancellations, an in-flight gauge (submitted handles not yet
+/// reaped) and the submit->completion virtual-time lag histogram.
+struct IoObsCounters {
+  obs::Counter* submits;
+  obs::Counter* completions;
+  obs::Counter* cancelled;
+  obs::Gauge* inflight;
+  obs::HistogramMetric* completion_lag;
+};
+const IoObsCounters& IoCounters();
+
 /// Abstract simulated block device.
 ///
 /// Offsets and lengths must be multiples of 512 bytes; the engine only ever
@@ -169,6 +209,44 @@ class StorageDevice {
     return Status::OK();
   }
 
+  // -- Asynchronous submit/complete interface -------------------------------
+  //
+  // io_uring-shaped: Submit() enqueues a request at virtual instant `now`
+  // and returns a handle; Wait() blocks the terminal (advances its clock to
+  // the completion instant) and returns the request's status; Poll() reaps
+  // the completion only if it has occurred by `now`; Cancel() discards a
+  // handle whose result is no longer wanted (devices that defer execution
+  // drop still-queued requests entirely).
+  //
+  // Because channel reservations backfill by arrival time
+  // (ChannelCalendar::Reserve / AtomicVTime::Reserve take the request's
+  // arrival instant), the default implementation may execute the request
+  // eagerly against a scratch clock parked at `now` and merely defer the
+  // caller-visible clock advance to Wait(): N requests submitted at the
+  // same instant receive overlapping per-channel busy intervals, exactly as
+  // if a hardware queue had dispatched them concurrently. Decorators with
+  // volatile or fault-injection state (fault::FaultyDevice) instead defer
+  // execution to completion time so faults fire on completions.
+
+  /// Enqueues `req` at virtual instant `now`. The caller's clock does not
+  /// advance; the modelled service interval is charged to the device's
+  /// channel calendar immediately (arrival-time backfill).
+  virtual Result<IoHandle> Submit(const IoRequest& req, VTime now);
+
+  /// Blocks the terminal until the request completes: advances `clk` to the
+  /// completion instant (pass nullptr to skip time accounting) and returns
+  /// the request's status. Each handle may be reaped exactly once.
+  virtual Status Wait(IoHandle h, VirtualClock* clk);
+
+  /// Non-blocking reap: if the request has completed by virtual instant
+  /// `now`, consumes the handle, stores its status and returns true.
+  virtual bool Poll(IoHandle h, VTime now, Status* status);
+
+  /// Discards an in-flight handle. A request that already executed keeps
+  /// its device-state effects (the write happened); a still-deferred
+  /// request is dropped without ever executing. Idempotent.
+  virtual Status Cancel(IoHandle h, VirtualClock* clk);
+
   virtual uint64_t capacity_bytes() const = 0;
   virtual DeviceStats stats() const = 0;
 
@@ -182,9 +260,34 @@ class StorageDevice {
   TraceRecorder* trace() const { return trace_; }
 
  protected:
+  /// A recorded (but not yet reaped) asynchronous completion.
+  struct IoCompletion {
+    Status status;
+    VTime submitted = 0;
+    VTime completion = 0;
+  };
+
   Status CheckRange(uint64_t offset, size_t len) const;
 
+  /// Allocates a fresh handle id (never 0) and counts the submission.
+  uint64_t AllocateIoId();
+
+  /// Records the completion of handle `id` (counts io.completions).
+  void StoreIoCompletion(uint64_t id, Status status, VTime submitted,
+                         VTime completion);
+
+  /// Removes the completion for `id` if recorded; false when unknown.
+  bool ReapIoCompletion(uint64_t id, IoCompletion* out);
+
   TraceRecorder* trace_ = nullptr;
+
+ private:
+  /// Rank kIoCompletion — never held across a device call (completions are
+  /// recorded after the modelled op returns, reaped before the caller
+  /// advances its clock).
+  mutable Mutex io_mu_{LatchRank::kIoCompletion};
+  std::unordered_map<uint64_t, IoCompletion> io_table_ SIAS_GUARDED_BY(io_mu_);
+  std::atomic<uint64_t> io_next_id_{1};
 };
 
 }  // namespace sias

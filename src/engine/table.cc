@@ -72,6 +72,23 @@ Result<std::optional<Row>> Table::Get(Transaction* txn, Vid vid) {
   return std::optional<Row>{std::move(row)};
 }
 
+Result<std::vector<std::optional<Row>>> Table::GetMulti(
+    Transaction* txn, const std::vector<Vid>& vids, size_t io_depth) {
+  std::vector<std::optional<std::string>> raw;
+  SIAS_RETURN_NOT_OK(heap_->ReadMulti(txn, vids, io_depth, &raw));
+  std::vector<std::optional<Row>> out;
+  out.reserve(raw.size());
+  for (const auto& bytes : raw) {
+    if (!bytes.has_value()) {
+      out.emplace_back();
+      continue;
+    }
+    SIAS_ASSIGN_OR_RETURN(Row row, Row::Decode(schema_, Slice(*bytes)));
+    out.emplace_back(std::move(row));
+  }
+  return out;
+}
+
 Status Table::Scan(Transaction* txn, const RowCallback& cb) {
   Status decode_status;
   Status s = heap_->Scan(txn, [&](Vid vid, Slice bytes) {

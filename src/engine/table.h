@@ -46,6 +46,11 @@ class Table {
   Status Delete(Transaction* txn, Vid vid);
   Result<std::optional<Row>> Get(Transaction* txn, Vid vid);
 
+  /// Batched Get: resolves all `vids` with up to `io_depth` heap page reads
+  /// in flight (MvccTable::ReadMulti); result[i] corresponds to vids[i].
+  Result<std::vector<std::optional<Row>>> GetMulti(
+      Transaction* txn, const std::vector<Vid>& vids, size_t io_depth);
+
   /// Visits all rows visible to txn.
   using RowCallback = std::function<bool(Vid, const Row&)>;
   Status Scan(Transaction* txn, const RowCallback& cb);

@@ -31,6 +31,14 @@ uint64_t FaultyDevice::pending_bytes() const {
 
 Status FaultyDevice::Read(uint64_t offset, size_t len, uint8_t* out,
                           VirtualClock* clk) {
+  // Synchronous ops observe every prior submission: drain the deferred
+  // queue first so read-own-writes holds across the sync/async boundary.
+  ExecuteThrough(~0ull);
+  return ReadImpl(offset, len, out, clk);
+}
+
+Status FaultyDevice::ReadImpl(uint64_t offset, size_t len, uint8_t* out,
+                              VirtualClock* clk) {
   if (crashed()) return Status::IoError("device is powered off");
   std::optional<AppliedFault> fault;
   if (injector_ != nullptr && injector_->armed()) {
@@ -74,6 +82,13 @@ Status FaultyDevice::Read(uint64_t offset, size_t len, uint8_t* out,
 
 Status FaultyDevice::Write(uint64_t offset, size_t len, const uint8_t* data,
                            VirtualClock* clk, bool background) {
+  ExecuteThrough(~0ull);
+  return WriteImpl(offset, len, data, clk, background);
+}
+
+Status FaultyDevice::WriteImpl(uint64_t offset, size_t len,
+                               const uint8_t* data, VirtualClock* clk,
+                               bool background) {
   if (crashed()) return Status::IoError("device is powered off");
   SIAS_RETURN_NOT_OK(CheckRange(offset, len));
   std::optional<AppliedFault> fault;
@@ -148,11 +163,15 @@ Status FaultyDevice::Write(uint64_t offset, size_t len, const uint8_t* data,
 }
 
 Status FaultyDevice::Trim(uint64_t offset, size_t len) {
+  ExecuteThrough(~0ull);
   if (crashed()) return Status::IoError("device is powered off");
   return inner_->Trim(offset, len);
 }
 
 Status FaultyDevice::Sync(VirtualClock* clk) {
+  // The fsync barrier covers every Write *issued* before it, including
+  // asynchronous submissions that have not been waited yet.
+  ExecuteThrough(~0ull);
   if (crashed()) return Status::IoError("device is powered off");
   if (injector_ != nullptr && injector_->armed()) {
     std::optional<AppliedFault> fault =
@@ -220,10 +239,97 @@ void FaultyDevice::PowerCut(uint64_t plan_seed, bool tear) {
 }
 
 void FaultyDevice::Revive() {
+  {
+    // Requests still queued at the cut never reached the cache controller;
+    // the revived device must not replay them.
+    MutexLock g(&io_pending_mu_);
+    io_pending_.clear();
+    io_queued_.store(0, std::memory_order_release);
+  }
   MutexLock g(&mu_);
   pending_.clear();
   pending_bytes_ = 0;
   crashed_.store(false, std::memory_order_release);
+}
+
+Result<IoHandle> FaultyDevice::Submit(const IoRequest& req, VTime now) {
+  // With no armed injector there is nothing to defer for: execute eagerly
+  // like the base class, dispatching through the virtual Read/Write so the
+  // write-back cache semantics still apply. The deferred queue — a payload
+  // copy plus two latch round-trips per request — is paid only when faults
+  // can actually fire at completion time; this keeps the disabled decorator
+  // inside the bench gate's <=1% overhead budget. Arming the injector takes
+  // effect for subsequent submissions, matching the per-op armed() sampling
+  // on the synchronous paths. Never overtake requests already queued.
+  if ((injector_ == nullptr || !injector_->armed()) &&
+      io_queued_.load(std::memory_order_acquire) == 0) {
+    return StorageDevice::Submit(req, now);
+  }
+  const uint64_t id = AllocateIoId();
+  PendingIo p;
+  p.id = id;
+  p.req = req;
+  p.submitted = now;
+  if (req.op == IoOp::kWrite) {
+    // Own the payload: deferred execution outlives the caller's buffer.
+    p.payload.assign(req.data, req.data + req.len);
+    p.req.data = nullptr;
+  }
+  MutexLock g(&io_pending_mu_);
+  io_pending_.push_back(std::move(p));
+  io_queued_.fetch_add(1, std::memory_order_release);
+  return IoHandle{id};
+}
+
+Status FaultyDevice::Wait(IoHandle h, VirtualClock* clk) {
+  ExecuteThrough(h.id);
+  return StorageDevice::Wait(h, clk);
+}
+
+bool FaultyDevice::Poll(IoHandle h, VTime now, Status* status) {
+  ExecuteThrough(h.id);
+  return StorageDevice::Poll(h, now, status);
+}
+
+Status FaultyDevice::Cancel(IoHandle h, VirtualClock* clk) {
+  {
+    MutexLock g(&io_pending_mu_);
+    for (auto it = io_pending_.begin(); it != io_pending_.end(); ++it) {
+      if (it->id != h.id) continue;
+      io_pending_.erase(it);
+      io_queued_.fetch_sub(1, std::memory_order_release);
+      IoCounters().cancelled->Increment();
+      IoCounters().inflight->Add(-1);
+      return Status::OK();
+    }
+  }
+  return StorageDevice::Cancel(h, clk);
+}
+
+void FaultyDevice::ExecuteThrough(uint64_t through_id) {
+  // Fast path for purely synchronous workloads: no queued submissions means
+  // nothing to drain, and skipping the latch here keeps the disabled
+  // decorator inside the bench gate's <=1% overhead budget.
+  if (io_queued_.load(std::memory_order_acquire) == 0) return;
+  MutexLock g(&io_pending_mu_);
+  while (!io_pending_.empty() && io_pending_.front().id <= through_id) {
+    PendingIo p = std::move(io_pending_.front());
+    io_pending_.pop_front();
+    io_queued_.fetch_sub(1, std::memory_order_release);
+    // A scratch clock parked at the submission instant: the channel
+    // calendar backfills by arrival time, so lazy execution reproduces the
+    // reservation an eager dispatch would have made. Injector evaluation
+    // happens HERE — faults (crash triggers, transient errors) fire on
+    // completions, not submissions, and a power cut taken mid-drain leaves
+    // the rest of the queue to fail with "powered off" completions.
+    VirtualClock sub(p.submitted);
+    Status st =
+        p.req.op == IoOp::kRead
+            ? ReadImpl(p.req.offset, p.req.len, p.req.out, &sub)
+            : WriteImpl(p.req.offset, p.req.len, p.payload.data(), &sub,
+                        p.req.background);
+    StoreIoCompletion(p.id, std::move(st), p.submitted, sub.now());
+  }
 }
 
 }  // namespace fault

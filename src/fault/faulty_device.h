@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,24 @@ class FaultyDevice : public StorageDevice {
   Status Trim(uint64_t offset, size_t len) override;
   Status Sync(VirtualClock* clk) override;
 
+  // -- Deferred asynchronous execution --------------------------------------
+  //
+  // Unlike the eager base implementation, Submit() only queues the request
+  // (write payloads are copied); it executes lazily, in FIFO submission
+  // order, when a handle at-or-after it is waited/polled or when any
+  // synchronous op needs to observe prior submissions. That moves fault
+  // evaluation — injector triggers, crash points, transient errors — to
+  // *completion* time, and it means a power cut taken while requests are
+  // still queued loses them entirely: they never reach the volatile write
+  // cache, so to recovery they are indistinguishable from torn writes.
+  Result<IoHandle> Submit(const IoRequest& req, VTime now) override;
+  Status Wait(IoHandle h, VirtualClock* clk) override;
+  bool Poll(IoHandle h, VTime now, Status* status) override;
+  /// Cancels a still-queued request without ever executing it (the write is
+  /// lost, the fault that would have fired on it never does); an already
+  /// executed one just has its completion discarded.
+  Status Cancel(IoHandle h, VirtualClock* clk) override;
+
   uint64_t capacity_bytes() const override { return inner_->capacity_bytes(); }
   /// Inner-device counters: in write-back mode cached-but-unsynced writes
   /// are not yet counted (they may never become durable).
@@ -85,6 +104,26 @@ class FaultyDevice : public StorageDevice {
     std::vector<uint8_t> data;
   };
 
+  /// One deferred asynchronous request (ids ascend in queue order).
+  struct PendingIo {
+    uint64_t id;
+    IoRequest req;
+    std::vector<uint8_t> payload;  ///< owned copy of a write's data
+    VTime submitted;
+  };
+
+  /// Synchronous bodies (fault evaluation + cache/pass-through). The public
+  /// Read/Write delegate after draining the deferred queue so synchronous
+  /// ops always observe every prior submission.
+  Status ReadImpl(uint64_t offset, size_t len, uint8_t* out,
+                  VirtualClock* clk);
+  Status WriteImpl(uint64_t offset, size_t len, const uint8_t* data,
+                   VirtualClock* clk, bool background);
+
+  /// Executes queued requests with id <= `through_id` in FIFO order (pass
+  /// ~0ull to drain everything), recording each completion.
+  void ExecuteThrough(uint64_t through_id);
+
   /// Applies `n` whole queued writes (and `tear_bytes` of the following
   /// one) to the inner device. Requires mu_.
   Status FlushPrefixLocked(size_t n, size_t tear_sectors, VirtualClock* clk)
@@ -101,6 +140,18 @@ class FaultyDevice : public StorageDevice {
   mutable Mutex mu_{LatchRank::kFaultyDevice};
   std::vector<PendingWrite> pending_ SIAS_GUARDED_BY(mu_);
   uint64_t pending_bytes_ SIAS_GUARDED_BY(mu_) = 0;
+
+  /// Rank kIoQueue: held across lazy FIFO execution (which takes mu_ and
+  /// the inner device's latches, all of higher rank). A power cut never
+  /// touches this queue — still-deferred requests are simply lost.
+  mutable Mutex io_pending_mu_{LatchRank::kIoQueue};
+  std::deque<PendingIo> io_pending_ SIAS_GUARDED_BY(io_pending_mu_);
+  /// Mirror of io_pending_.size(): lets the synchronous fast path (which
+  /// the <=1% disabled-injector overhead gate covers) skip io_pending_mu_
+  /// entirely when nothing was ever submitted asynchronously. A thread
+  /// observes its own submissions in program order; cross-thread races with
+  /// a concurrent Submit carry no ordering guarantee, as on real hardware.
+  std::atomic<size_t> io_queued_{0};
 
   obs::Counter* m_cached_writes_;
   obs::Counter* m_synced_writes_;

@@ -16,12 +16,10 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "common/vclock.h"
+#include "device/device.h"
+#include "obs/metrics.h"
 
 namespace sias {
-
-namespace obs {
-class Counter;
-}  // namespace obs
 
 namespace fault {
 
@@ -41,12 +39,16 @@ struct RetryCounters {
 const RetryCounters& Counters();
 }  // namespace internal
 
-/// Runs `op` (a callable returning Status) up to kRetryAttempts times,
-/// backing off exponentially in virtual time between attempts (clk may be
-/// nullptr). `what` labels the operation in the exhausted-budget error.
+/// Retry tail for an operation whose FIRST attempt already ran and returned
+/// `first`: up to kRetryAttempts-1 further attempts of `op`, backing off
+/// exponentially in virtual time between attempts (clk may be nullptr).
+/// Attempt accounting is identical to RetryTransient — callers that already
+/// executed the first attempt through another path (e.g. an asynchronous
+/// Wait) keep the exact same total budget of kRetryAttempts.
 template <typename Op>
-Status RetryTransient(const char* what, VirtualClock* clk, Op&& op) {
-  Status st = op();
+Status RetryTransientAfterFailure(const char* what, VirtualClock* clk,
+                                  Status first, Op&& op) {
+  Status st = std::move(first);
   if (!st.IsTransientIoError()) return st;  // fast path: no injector armed
   VDuration backoff = kRetryBackoffBase;
   for (int attempt = 1; attempt < kRetryAttempts; ++attempt) {
@@ -63,6 +65,33 @@ Status RetryTransient(const char* what, VirtualClock* clk, Op&& op) {
   return Status::IoError(std::string(what) +
                          ": transient I/O error persisted past retry budget: " +
                          std::string(st.message()));
+}
+
+/// Runs `op` (a callable returning Status) up to kRetryAttempts times,
+/// backing off exponentially in virtual time between attempts (clk may be
+/// nullptr). `what` labels the operation in the exhausted-budget error.
+template <typename Op>
+Status RetryTransient(const char* what, VirtualClock* clk, Op&& op) {
+  Status st = op();
+  return RetryTransientAfterFailure(what, clk, std::move(st),
+                                    std::forward<Op>(op));
+}
+
+/// Asynchronous submit + completion-driven retry: submits `req`, waits the
+/// completion, and — on a transient error — RESUBMITS through the device so
+/// every retry re-reserves the channel calendar at the post-backoff instant
+/// instead of completing "in the past" relative to the channel's busy mark
+/// (the bug the synchronous backoff loop had: it advanced only the
+/// terminal's clock). Counts under the same fault.retry.* budget.
+template <typename Device>
+Status SubmitAndRetry(const char* what, Device* dev, const IoRequest& req,
+                      VirtualClock* clk) {
+  auto submit_and_wait = [&]() -> Status {
+    auto h = dev->Submit(req, clk != nullptr ? clk->now() : 0);
+    if (!h.ok()) return h.status();
+    return dev->Wait(*h, clk);
+  };
+  return RetryTransient(what, clk, submit_and_wait);
 }
 
 }  // namespace fault

@@ -53,6 +53,16 @@ class BTree {
   /// All values stored under `key`.
   Result<std::vector<uint64_t>> Lookup(Slice key, VirtualClock* clk);
 
+  /// Batched point lookup: one resumable descent per key under a single
+  /// shared tree latch. A probe that needs a cold page submits the read
+  /// (BufferPool::StartFetch) and suspends; up to `io_depth` page reads
+  /// stay in flight across probes, overlapping index I/O on the device
+  /// channels. result[i] holds the values stored under keys[i], exactly as
+  /// a Lookup() loop would return them.
+  Result<std::vector<std::vector<uint64_t>>> LookupMulti(
+      const std::vector<std::string>& keys, size_t io_depth,
+      VirtualClock* clk);
+
   /// Visits entries with lo <= key < hi in order; callback returns false to
   /// stop. Pass empty `hi` for an unbounded upper end.
   using RangeCallback = std::function<bool(Slice key, uint64_t value)>;

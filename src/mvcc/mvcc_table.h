@@ -7,6 +7,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "buffer/buffer_pool.h"
 #include "common/result.h"
@@ -82,6 +83,26 @@ class MvccTable {
   /// Returns the row visible in txn's snapshot, or nullopt if none.
   virtual Result<std::optional<std::string>> Read(Transaction* txn,
                                                   Vid vid) = 0;
+
+  /// Batched read: resolves every VID in `vids` against txn's snapshot,
+  /// writing one entry per input into `rows` (nullopt = no visible
+  /// version). `io_depth` bounds how many page reads the implementation may
+  /// keep in flight concurrently on the async device queue; schemes without
+  /// a pipelined path fall back to a sequential Read() loop (this default),
+  /// which is semantically identical but serializes device time.
+  virtual Status ReadMulti(Transaction* txn, const std::vector<Vid>& vids,
+                           size_t io_depth,
+                           std::vector<std::optional<std::string>>* rows) {
+    (void)io_depth;
+    rows->clear();
+    rows->reserve(vids.size());
+    for (Vid v : vids) {
+      auto r = Read(txn, v);
+      if (!r.ok()) return r.status();
+      rows->push_back(std::move(*r));
+    }
+    return Status::OK();
+  }
 
   /// Reads the version at a physical location if it is visible to txn
   /// (the SI index path: index entries address tuple versions directly).

@@ -133,19 +133,87 @@ Status WalWriter::FlushTo(Lsn lsn, VirtualClock* clk) {
   std::vector<uint8_t> block(kPageSize, 0);
   {
     // The device-write burst is the WAL's "fsync": the log is not durable
-    // until the last block lands.
+    // until the last block lands. The burst is pipelined through the async
+    // submit/complete interface — all blocks are submitted up front (their
+    // channel reservations overlap, group commit), then waited in LSN
+    // order. Devices either execute the payload during Submit or copy it,
+    // so one staging buffer serves the whole burst.
     TRACE_OP("wal", "fsync");
     SIAS_CRASH_POINT("wal.pre_block_write");
-    for (Lsn pos = write_begin; pos < write_end; pos += kPageSize) {
+    const size_t nblocks =
+        static_cast<size_t>((write_end - write_begin) / kPageSize);
+    auto stage_block = [&](Lsn pos) {
       size_t off = static_cast<size_t>(pos - tail_start_);
       size_t n = std::min<size_t>(kPageSize, tail_.size() - off);
       memcpy(block.data(), tail_.data() + off, n);
       if (n < kPageSize) memset(block.data() + n, 0, kPageSize - n);
+    };
+    if (nblocks == 1) {
+      // Single-block burst — the common small-commit case. There is nothing
+      // to overlap, so the submit/complete bookkeeping (handle allocation,
+      // completion-table round-trip) buys nothing: issue it synchronously.
+      // This keeps the commit fast path at its pre-pipeline cost.
+      stage_block(write_begin);
       SIAS_RETURN_NOT_OK(fault::RetryTransient("wal block write", clk, [&] {
-        return device_->Write(base_ + pos, kPageSize, block.data(), clk);
+        return device_->Write(base_ + write_begin, kPageSize, block.data(),
+                              clk);
       }));
       written_bytes_ += kPageSize;
       blocks_written++;
+    } else if (nblocks > 1) {
+      std::vector<IoHandle> handles(nblocks);
+      auto submit_block = [&](Lsn pos) -> Result<IoHandle> {
+        stage_block(pos);
+        IoRequest req;
+        req.op = IoOp::kWrite;
+        req.offset = base_ + pos;
+        req.len = kPageSize;
+        req.data = block.data();
+        return device_->Submit(req, clk != nullptr ? clk->now() : 0);
+      };
+      auto submit_from = [&](size_t from) -> Status {
+        for (size_t b = from; b < nblocks; ++b) {
+          auto h = submit_block(write_begin + static_cast<Lsn>(b) * kPageSize);
+          if (!h.ok()) {
+            for (size_t c = from; c < b; ++c) device_->Cancel(handles[c], clk);
+            return h.status();
+          }
+          handles[b] = *h;
+        }
+        return Status::OK();
+      };
+      SIAS_RETURN_NOT_OK(submit_from(0));
+      for (size_t b = 0; b < nblocks; ++b) {
+        Status st = device_->Wait(handles[b], clk);
+        if (st.IsTransientIoError()) {
+          // A retried block must not be overtaken by later blocks — the
+          // volatile write-back cache is FIFO and recovery's torn-tail model
+          // relies on prefix durability — so cancel the still-unwaited tail
+          // (deferred requests are dropped without executing), retry this
+          // block by RESUBMISSION (fresh channel reservation per attempt),
+          // then resubmit the tail in order.
+          for (size_t c = b + 1; c < nblocks; ++c) {
+            device_->Cancel(handles[c], clk);
+          }
+          Lsn pos = write_begin + static_cast<Lsn>(b) * kPageSize;
+          st = fault::RetryTransientAfterFailure(
+              "wal block write", clk, std::move(st), [&]() -> Status {
+                auto h = submit_block(pos);
+                if (!h.ok()) return h.status();
+                return device_->Wait(*h, clk);
+              });
+          if (st.ok() && b + 1 < nblocks) {
+            SIAS_RETURN_NOT_OK(submit_from(b + 1));
+          }
+        } else if (!st.ok()) {
+          for (size_t c = b + 1; c < nblocks; ++c) {
+            device_->Cancel(handles[c], clk);
+          }
+        }
+        SIAS_RETURN_NOT_OK(st);
+        written_bytes_ += kPageSize;
+        blocks_written++;
+      }
     }
   }
   // The barrier that makes the burst durable: a power cut before the Sync

@@ -148,9 +148,16 @@ Result<YcsbResult> YcsbRunner::Run(VTime start_time) {
         Status s;
         switch (op) {
           case OpType::kRead: {
-            Vid vid = vids_[zipf.Next(rng) % vids_.size()];
-            auto r = table_->Get(txn.get(), vid);
-            s = r.status();
+            if (cfg_.read_batch > 1) {
+              std::vector<Vid> batch(cfg_.read_batch);
+              for (Vid& v : batch) v = vids_[zipf.Next(rng) % vids_.size()];
+              auto r = table_->GetMulti(txn.get(), batch, cfg_.io_depth);
+              s = r.status();
+            } else {
+              Vid vid = vids_[zipf.Next(rng) % vids_.size()];
+              auto r = table_->Get(txn.get(), vid);
+              s = r.status();
+            }
             break;
           }
           case OpType::kUpdate: {

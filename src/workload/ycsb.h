@@ -46,6 +46,12 @@ struct YcsbConfig {
   int scan_pct = 0;
   int max_scan_len = 50;
   double zipf_theta = 0.99;
+  /// Multi-get batching: each read op fetches `read_batch` zipf keys in one
+  /// Table::GetMulti with up to `io_depth` heap page reads in flight.
+  /// io_depth 1 resolves the same batch sequentially (the sync baseline),
+  /// so sweeping io_depth at fixed read_batch isolates pipelining.
+  size_t read_batch = 1;
+  size_t io_depth = 1;
   uint64_t operations = 20000;
   int threads = 4;
   uint64_t seed = 7;

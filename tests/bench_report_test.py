@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/bench_report.py's baseline checker.
+
+Regression coverage for the gate hardening: a missing results key or a
+zero/absent baseline value must produce a clean FAIL line (non-zero check
+count), and a malformed check (missing a field) must surface as FAIL
+without aborting the remaining checks with a KeyError traceback.
+
+Run directly (python3 tests/bench_report_test.py) or via ctest.
+"""
+
+import importlib.util
+import io
+import os
+import sys
+import unittest
+from contextlib import redirect_stdout
+
+_SCRIPT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "scripts",
+    "bench_report.py")
+_spec = importlib.util.spec_from_file_location("bench_report", _SCRIPT)
+bench_report = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_report)
+
+
+def _exp(results=None, counters=None, wa=None):
+    exp = {"results": results or {}}
+    if counters is not None:
+        exp["metrics"] = {"counters": counters}
+    if wa is not None:
+        exp["device"] = {"write_amplification": wa}
+    return exp
+
+
+BENCHES = {
+    "read_scaling": {
+        "read_scaling.SIAS-V.sync": _exp(
+            {"reads_per_vsec": 16000.0, "busy_fraction_mean": 0.19}),
+        "read_scaling.SIAS-V.d4": _exp(
+            {"reads_per_vsec": 36000.0, "busy_fraction_mean": 0.43}),
+        "read_scaling.SIAS-V.zero": _exp(
+            {"reads_per_vsec": 0.0, "busy_fraction_mean": 0.0}),
+        "read_scaling.SIAS-V.empty": _exp({}),
+    },
+}
+
+
+class RatioGeqTest(unittest.TestCase):
+    def check(self, check):
+        return bench_report.run_check(check, BENCHES)
+
+    def test_passes_on_real_ratio(self):
+        ok, msg = self.check({
+            "type": "ratio_geq", "bench": "read_scaling",
+            "base_label": "read_scaling.SIAS-V.sync",
+            "label": "read_scaling.SIAS-V.d4",
+            "key": "busy_fraction_mean", "min_ratio": 1.5})
+        self.assertTrue(ok, msg)
+
+    def test_zero_baseline_fails_cleanly(self):
+        # Division by a zero baseline must FAIL, not raise ZeroDivisionError.
+        ok, msg = self.check({
+            "type": "ratio_geq", "bench": "read_scaling",
+            "base_label": "read_scaling.SIAS-V.zero",
+            "label": "read_scaling.SIAS-V.d4",
+            "key": "reads_per_vsec", "min_ratio": 1.0})
+        self.assertFalse(ok)
+        self.assertIn("zero/missing", msg)
+
+    def test_missing_baseline_key_fails_cleanly(self):
+        ok, msg = self.check({
+            "type": "ratio_geq", "bench": "read_scaling",
+            "base_label": "read_scaling.SIAS-V.empty",
+            "label": "read_scaling.SIAS-V.d4",
+            "key": "reads_per_vsec", "min_ratio": 1.0})
+        self.assertFalse(ok)
+        self.assertIn("zero/missing", msg)
+
+    def test_missing_subject_key_fails_cleanly(self):
+        # Baseline present but the subject label lacks the counter: the old
+        # code compared None/v0 and threw TypeError.
+        ok, msg = self.check({
+            "type": "ratio_geq", "bench": "read_scaling",
+            "base_label": "read_scaling.SIAS-V.sync",
+            "label": "read_scaling.SIAS-V.empty",
+            "key": "reads_per_vsec", "min_ratio": 1.0})
+        self.assertFalse(ok)
+        self.assertIn("missing", msg)
+
+
+class ReductionGeqTest(unittest.TestCase):
+    def test_zero_baseline_fails_cleanly(self):
+        ok, msg = bench_report.run_check({
+            "type": "reduction_geq", "bench": "read_scaling",
+            "baseline_label": "read_scaling.SIAS-V.zero",
+            "label": "read_scaling.SIAS-V.d4",
+            "key": "reads_per_vsec", "min_pct": 10}, BENCHES)
+        self.assertFalse(ok)
+        self.assertIn("zero/missing", msg)
+
+    def test_missing_subject_key_fails_cleanly(self):
+        ok, msg = bench_report.run_check({
+            "type": "reduction_geq", "bench": "read_scaling",
+            "baseline_label": "read_scaling.SIAS-V.sync",
+            "label": "read_scaling.SIAS-V.empty",
+            "key": "reads_per_vsec", "min_pct": 10}, BENCHES)
+        self.assertFalse(ok)
+        self.assertIn("missing", msg)
+
+
+class MalformedCheckTest(unittest.TestCase):
+    def run_baseline(self, checks):
+        import json
+        import tempfile
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".json", delete=False) as fh:
+            json.dump({"checks": checks}, fh)
+            path = fh.name
+        try:
+            out = io.StringIO()
+            with redirect_stdout(out):
+                failures = bench_report.check_baseline(path, BENCHES)
+            return failures, out.getvalue()
+        finally:
+            os.unlink(path)
+
+    def test_missing_field_is_fail_not_traceback(self):
+        # No "min_ratio": must be one FAIL line, and the following valid
+        # check must still run (and pass).
+        failures, out = self.run_baseline([
+            {"type": "ratio_geq", "bench": "read_scaling",
+             "base_label": "read_scaling.SIAS-V.sync",
+             "label": "read_scaling.SIAS-V.d4", "key": "reads_per_vsec",
+             "desc": "broken"},
+            {"type": "result_geq", "bench": "read_scaling",
+             "label": "read_scaling.SIAS-V.d4", "key": "reads_per_vsec",
+             "min": 1, "desc": "still runs"},
+        ])
+        self.assertEqual(failures, 1)
+        self.assertIn("malformed check", out)
+        self.assertIn("PASS  still runs", out)
+
+    def test_missing_type_is_fail(self):
+        failures, out = self.run_baseline([{"bench": "read_scaling"}])
+        self.assertEqual(failures, 1)
+        self.assertIn("malformed check", out)
+
+    def test_unknown_bench_skips_unless_required(self):
+        failures, out = self.run_baseline([
+            {"type": "result_geq", "bench": "nope", "label": "x", "key": "k",
+             "min": 1, "desc": "optional"},
+            {"type": "result_geq", "bench": "nope", "label": "x", "key": "k",
+             "min": 1, "required": True, "desc": "mandatory"},
+        ])
+        self.assertEqual(failures, 1)
+        self.assertIn("SKIP  optional", out)
+        self.assertIn("FAIL  mandatory", out)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -186,6 +186,45 @@ TEST_F(BTreeTest, ManyDuplicatesAcrossLeafSplits) {
   }
 }
 
+TEST(BTreeLookupMultiTest, MatchesSequentialLookups) {
+  // The batched resumable-probe path must return exactly what a Lookup()
+  // loop returns, per input slot — including duplicate runs, misses, and
+  // repeated keys in one batch. A 16-frame pool under a multi-level tree
+  // forces cold-page suspends mid-descent, so the state-machine resume path
+  // is actually exercised (with read latency so in-flight fetches overlap).
+  MemDevice device(1ull << 30, /*read_latency=*/50, /*write_latency=*/50);
+  DiskManager disk(&device);
+  ASSERT_TRUE(disk.CreateRelation(1).ok());
+  BufferPool pool(&disk, 16);
+  BTree tree(1, &pool);
+  VirtualClock clk;
+  ASSERT_TRUE(tree.Create(&clk).ok());
+  for (int64_t k = 0; k < 2000; ++k) {
+    ASSERT_TRUE(tree.Insert(IntKey(k * 3), k, &clk).ok());
+    if (k % 11 == 0) {  // duplicate runs
+      ASSERT_TRUE(tree.Insert(IntKey(k * 3), k + 100000, &clk).ok());
+    }
+  }
+  ASSERT_GE(tree.height(), 2u) << "the probe must descend through inner "
+                                  "pages for suspends to occur";
+
+  std::vector<std::string> keys;
+  for (int64_t k = 5990; k >= 0; k -= 7) keys.push_back(IntKey(k));
+  keys.push_back(IntKey(3));  // repeated key
+  keys.push_back(IntKey(999999));  // guaranteed miss
+
+  for (size_t depth : {size_t{1}, size_t{4}, size_t{8}}) {
+    auto multi = tree.LookupMulti(keys, depth, &clk);
+    ASSERT_TRUE(multi.ok()) << multi.status().ToString();
+    ASSERT_EQ(multi->size(), keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      auto single = tree.Lookup(keys[i], &clk);
+      ASSERT_TRUE(single.ok());
+      EXPECT_EQ((*multi)[i], *single) << "slot " << i << " depth " << depth;
+    }
+  }
+}
+
 // Randomized model check, parameterized over operation mixes.
 class BTreeRandomTest
     : public ::testing::TestWithParam<std::tuple<int, int>> {};

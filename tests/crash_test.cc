@@ -17,7 +17,12 @@
 #include <string>
 #include <vector>
 
+#include <cstring>
+
+#include "device/flash_ssd.h"
+#include "device/mem_device.h"
 #include "fault/crash_runner.h"
+#include "fault/faulty_device.h"
 #include "fault/retry.h"
 #include "obs/metrics.h"
 
@@ -104,6 +109,38 @@ TEST(CrashMatrix, TornPowerCutsRecoverToo) {
     ASSERT_TRUE(runner.ReopenAndRecover().ok());
     Status s = runner.CheckInvariants();
     EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+}
+
+TEST(CrashMatrix, PowerCutWithInFlightAsyncSubmissions) {
+  // Cut power at a WAL write *completion*: with the pipelined group commit,
+  // a multi-block flush burst submits every block before waiting any, so at
+  // the kth completion the rest of the burst is still queued on the async
+  // submission queue — lost entirely, never reaching the volatile cache.
+  // The durable log can therefore end mid-burst; recovery must treat that
+  // exactly like a torn tail. Sweep a few cut positions per scheme so the
+  // cut lands at different offsets within commit bursts.
+  for (VersionScheme scheme :
+       {VersionScheme::kSi, VersionScheme::kSiasChains, VersionScheme::kSiasV}) {
+    for (uint64_t nth : {3ull, 29ull, 61ull}) {
+      SCOPED_TRACE(SchemeTag(scheme) + " wal write #" + std::to_string(nth));
+      CrashConfig cfg;
+      cfg.scheme = scheme;
+      cfg.seed = 0xA51AC * nth;
+      FaultRule cut;
+      cut.kind = FaultKind::kPowerCut;
+      cut.op = OpClass::kWrite;
+      cut.device_tag = "wal";
+      cut.nth = nth;
+      cfg.extra_rules.push_back(cut);
+      CrashRunner runner(cfg);
+      ASSERT_TRUE(runner.RunWorkload().ok());
+      if (!runner.report().crashed) continue;  // nth beyond the write count
+      Status s = runner.ReopenAndRecover();
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      s = runner.CheckInvariants();
+      EXPECT_TRUE(s.ok()) << s.ToString();
+    }
   }
 }
 
@@ -256,6 +293,198 @@ TEST(TransientFaults, ExhaustedRetryBudgetIsACleanError) {
       << s.ToString();
   EXPECT_GT(reg.GetCounter("fault.retry.exhausted")->Value(),
             exhausted_before);
+}
+
+// ---------------------------------------------------------------------------
+// Deferred asynchronous I/O through the fault decorator: with an armed
+// injector, Submit only queues; faults fire at *completion* time, a power
+// cut loses still-queued requests, and Cancel means the op never ran.
+// (Unarmed submissions take the eager fast path and behave like the base
+// device — also pinned below.)
+// ---------------------------------------------------------------------------
+
+namespace {
+FaultRule NeverMatches() {
+  // Keeps the injector armed (forcing the deferred queue) without ever
+  // firing on the devices under test.
+  FaultRule r;
+  r.kind = FaultKind::kTransientIoError;
+  r.device_tag = "no-such-device";
+  return r;
+}
+
+IoRequest WriteReq(uint64_t offset, const std::vector<uint8_t>& data) {
+  IoRequest req;
+  req.op = IoOp::kWrite;
+  req.offset = offset;
+  req.len = data.size();
+  req.data = data.data();
+  return req;
+}
+}  // namespace
+
+TEST(AsyncFaultDevice, ArmedSubmitDefersUntilWait) {
+  MemDevice inner(1 << 20);
+  FaultInjector inj(1);
+  inj.AddRule(NeverMatches());
+  inj.Arm();
+  FaultyDevice::Options opts;
+  opts.tag = "data";
+  FaultyDevice dev(&inner, &inj, opts);
+
+  std::vector<uint8_t> data(kPageSize, 0xAB);
+  auto h = dev.Submit(WriteReq(0, data), 0);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(inner.stats().write_ops, 0u)
+      << "an armed injector must defer execution to completion time";
+  VirtualClock clk;
+  ASSERT_TRUE(dev.Wait(*h, &clk).ok());
+  EXPECT_EQ(inner.stats().write_ops, 1u);
+  std::vector<uint8_t> out(kPageSize);
+  ASSERT_TRUE(dev.Read(0, kPageSize, out.data(), &clk).ok());
+  EXPECT_EQ(memcmp(out.data(), data.data(), kPageSize), 0);
+  inj.Disarm();
+}
+
+TEST(AsyncFaultDevice, UnarmedSubmitExecutesEagerly) {
+  MemDevice inner(1 << 20);
+  FaultyDevice dev(&inner, /*injector=*/nullptr);
+
+  std::vector<uint8_t> data(kPageSize, 0x5C);
+  auto h = dev.Submit(WriteReq(0, data), 0);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(inner.stats().write_ops, 1u)
+      << "without an armed injector Submit executes like the base device";
+  VirtualClock clk;
+  ASSERT_TRUE(dev.Wait(*h, &clk).ok());
+}
+
+TEST(AsyncFaultDevice, InjectedFaultFiresAtCompletion) {
+  MemDevice inner(1 << 20);
+  FaultInjector inj(2);
+  FaultRule rule;
+  rule.kind = FaultKind::kTransientIoError;
+  rule.op = OpClass::kRead;
+  rule.device_tag = "data";
+  inj.AddRule(rule);
+  inj.Arm();
+  FaultyDevice::Options opts;
+  opts.tag = "data";
+  FaultyDevice dev(&inner, &inj, opts);
+
+  uint8_t buf[kPageSize] = {};
+  IoRequest req;
+  req.op = IoOp::kRead;
+  req.offset = 0;
+  req.len = kPageSize;
+  req.out = buf;
+  auto h = dev.Submit(req, 0);
+  ASSERT_TRUE(h.ok()) << "submission must succeed; the fault is delivered "
+                         "with the completion";
+  VirtualClock clk;
+  Status st = dev.Wait(*h, &clk);
+  EXPECT_TRUE(st.IsTransientIoError()) << st.ToString();
+  inj.Disarm();
+}
+
+TEST(AsyncFaultDevice, PowerCutLosesInFlightSubmissions) {
+  MemDevice inner(1 << 20);
+  FaultInjector inj(3);
+  inj.AddRule(NeverMatches());
+  inj.Arm();
+  FaultyDevice::Options opts;
+  opts.write_back = true;
+  opts.tag = "data";
+  FaultyDevice dev(&inner, &inj, opts);
+
+  std::vector<uint8_t> data(kPageSize, 0xEE);
+  auto h = dev.Submit(WriteReq(0, data), 0);
+  ASSERT_TRUE(h.ok());
+  dev.PowerCut(/*plan_seed=*/42, /*tear=*/false);
+
+  VirtualClock clk;
+  Status st = dev.Wait(*h, &clk);
+  EXPECT_FALSE(st.ok()) << "a request still queued at the cut never "
+                           "completes successfully";
+  dev.Revive();
+  std::vector<uint8_t> out(kPageSize, 0xFF);
+  ASSERT_TRUE(dev.Read(0, kPageSize, out.data(), &clk).ok());
+  std::vector<uint8_t> zeros(kPageSize, 0);
+  EXPECT_EQ(memcmp(out.data(), zeros.data(), kPageSize), 0)
+      << "the in-flight write must be lost entirely (never reached the "
+         "volatile cache)";
+  inj.Disarm();
+}
+
+TEST(AsyncFaultDevice, CancelledRequestNeverExecutes) {
+  MemDevice inner(1 << 20);
+  FaultInjector inj(4);
+  inj.AddRule(NeverMatches());
+  inj.Arm();
+  FaultyDevice::Options opts;
+  opts.tag = "data";
+  FaultyDevice dev(&inner, &inj, opts);
+
+  std::vector<uint8_t> data(kPageSize, 0x11);
+  auto h = dev.Submit(WriteReq(0, data), 0);
+  ASSERT_TRUE(h.ok());
+  VirtualClock clk;
+  ASSERT_TRUE(dev.Cancel(*h, &clk).ok());
+  EXPECT_EQ(inner.stats().write_ops, 0u)
+      << "a cancelled queued request must never reach the inner device";
+  std::vector<uint8_t> out(kPageSize, 0xFF);
+  ASSERT_TRUE(dev.Read(0, kPageSize, out.data(), &clk).ok());
+  std::vector<uint8_t> zeros(kPageSize, 0);
+  EXPECT_EQ(memcmp(out.data(), zeros.data(), kPageSize), 0);
+  inj.Disarm();
+}
+
+TEST(AsyncFaultDevice, RetryResubmitsThroughTheCalendar) {
+  // Satellite regression: a transient completion must be retried by
+  // RESUBMITTING through the device so the new attempt re-reserves the
+  // channel calendar at the post-backoff instant — the completion can never
+  // land before submit time + backoff + device latency ("in the past").
+  FlashConfig cfg;
+  cfg.capacity_bytes = 4ull << 20;
+  cfg.num_channels = 4;
+  cfg.pages_per_block = 16;
+  FlashSsd inner(cfg);
+  FaultInjector inj(5);
+  FaultRule rule;
+  rule.kind = FaultKind::kTransientIoError;
+  rule.op = OpClass::kRead;
+  rule.device_tag = "data";
+  rule.nth = 1;
+  rule.repeat = 1;
+  inj.AddRule(rule);
+  inj.Arm();
+  FaultyDevice::Options opts;
+  opts.tag = "data";
+  FaultyDevice dev(&inner, &inj, opts);
+
+  std::vector<uint8_t> data(kPageSize, 0x77);
+  VirtualClock wclk;
+  ASSERT_TRUE(dev.Write(0, kPageSize, data.data(), &wclk).ok());
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  int64_t recovered_before = reg.GetCounter("fault.retry.recovered")->Value();
+  const VTime t0 = 10 * kVSecond;
+  VirtualClock clk(t0);
+  std::vector<uint8_t> out(kPageSize);
+  IoRequest req;
+  req.op = IoOp::kRead;
+  req.offset = 0;
+  req.len = kPageSize;
+  req.out = out.data();
+  Status st = SubmitAndRetry("test read", &dev, req, &clk);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(memcmp(out.data(), data.data(), kPageSize), 0);
+  EXPECT_GE(clk.now(), t0 + kRetryBackoffBase + cfg.page_read_latency)
+      << "the retried completion must reflect the post-backoff calendar "
+         "reservation, not the original submit instant";
+  EXPECT_EQ(reg.GetCounter("fault.retry.recovered")->Value(),
+            recovered_before + 1);
+  inj.Disarm();
 }
 
 // ---------------------------------------------------------------------------

@@ -297,6 +297,18 @@ constexpr EngineEdge kEngineEdges[] = {
      false},
     // WAL flush writes blocks through the device stack.
     {"WalWriter::FlushTo", LatchRank::kWal, LatchRank::kDevice, false},
+    // Async I/O: the deferred FIFO executes queued requests through the
+    // fault decorator's write cache and on into the device; the base
+    // device records each completion (and its lag histogram) under the
+    // completion-table mutex.
+    {"FaultyDevice::ExecuteThrough", LatchRank::kIoQueue,
+     LatchRank::kFaultyDevice, false},
+    {"FaultyDevice::ExecuteThrough device", LatchRank::kIoQueue,
+     LatchRank::kDevice, false},
+    {"FaultyDevice::ExecuteThrough completion", LatchRank::kIoQueue,
+     LatchRank::kIoCompletion, false},
+    {"StorageDevice::Poll lag", LatchRank::kIoCompletion, LatchRank::kMetrics,
+     false},
     {"FlashSsd::Write", LatchRank::kDevice, LatchRank::kDeviceCalendar,
      false},
     // Devices record I/O into trace/stats leaves and the payload store.
