@@ -34,54 +34,72 @@ Every check accepts an optional "desc". Checks referencing a bench with no
 loaded file are reported as skipped (not failures) unless "required": true.
 """
 
+from __future__ import annotations
+
 import argparse
 import glob
 import json
 import os
 import sys
+from typing import Any
+
+# BENCH_*.json documents are schemaless by design (each bench emits its own
+# result keys), so experiments stay as loosely-typed JSON objects and every
+# numeric read goes through a narrowing helper below.
+Experiment = dict[str, Any]
+ExpMap = dict[str, Experiment]
+BenchMap = dict[str, ExpMap]
+Check = dict[str, Any]
 
 
-def load_files(paths):
+def load_files(paths: list[str]) -> BenchMap:
     """Returns {bench_name: {label: experiment}} from files/dirs/globs."""
-    files = []
+    files: list[str] = []
     for p in paths:
         if os.path.isdir(p):
             files.extend(sorted(glob.glob(os.path.join(p, "BENCH_*.json"))))
         else:
             files.append(p)
-    benches = {}
+    benches: BenchMap = {}
     for f in files:
         with open(f, encoding="utf-8") as fh:
             doc = json.load(fh)
-        by_label = benches.setdefault(doc["bench"], {})
+        by_label = benches.setdefault(str(doc["bench"]), {})
         for exp in doc.get("experiments", []):
-            by_label[exp["label"]] = exp
+            by_label[str(exp["label"])] = exp
     return benches
 
 
-def fmt(v, nd=1):
+def as_num(v: object) -> float | None:
+    """JSON value -> float, or None for anything non-numeric."""
+    if isinstance(v, bool) or not isinstance(v, (int, float)):
+        return None
+    return float(v)
+
+
+def fmt(v: float | None, nd: int = 1) -> str:
     if v is None:
         return "-"
     return f"{v:.{nd}f}"
 
 
-def wa_of(exp):
-    return exp.get("device", {}).get("write_amplification")
+def wa_of(exp: Experiment) -> float | None:
+    return as_num(exp.get("device", {}).get("write_amplification"))
 
 
-def res(exp, key):
-    return exp.get("results", {}).get(key)
+def res(exp: Experiment, key: str) -> float | None:
+    return as_num(exp.get("results", {}).get(key))
 
 
 # ---------------------------------------------------------------------------
 # Markdown tables
 # ---------------------------------------------------------------------------
 
-def report_write_reduction(name, exps):
+def report_write_reduction(name: str, exps: ExpMap) -> list[str]:
     """The paper's Table 1 (write amount + reduction) plus the WA/wear
     summary the flash-telemetry layer adds."""
     out = [f"## {name} (paper Table 1)", ""]
-    si = next((e for l, e in exps.items() if e["scheme"] == "SI"), None)
+    si = next((e for e in exps.values() if e["scheme"] == "SI"), None)
     if si is None:
         return out + ["_no SI baseline run in file_", ""]
     # Window columns come from the SI run's results keys.
@@ -105,7 +123,8 @@ def report_write_reduction(name, exps):
             if exps[l] is si:
                 continue
             base, v = res(si, key), res(exps[l], key)
-            row.append(fmt(100.0 * (1.0 - v / base) if base else None, 0))
+            red = 100.0 * (1.0 - v / base) if base and v is not None else None
+            row.append(fmt(red, 0))
         out.append("| " + " | ".join(row) + " |")
     out += ["", "### Device write amplification and wear", ""]
     out += ["| run | WA | GC page moves | block erases | erase p90 | "
@@ -121,7 +140,7 @@ def report_write_reduction(name, exps):
     return out
 
 
-def report_ycsb(exps):
+def report_ycsb(exps: ExpMap) -> list[str]:
     out = ["## YCSB read/update mix sweep", ""]
     out += ["| run | ops/vsec | written MB | read p99 (ms) | WA |",
             "|---|---|---|---|---|"]
@@ -135,7 +154,7 @@ def report_ycsb(exps):
     return out
 
 
-def report_tpcc(name, exps):
+def report_tpcc(name: str, exps: ExpMap) -> list[str]:
     out = [f"## {name}: TPC-C throughput", ""]
     out += ["| run | NOTPM | committed | NewOrder p90 (vsec) | WA |",
             "|---|---|---|---|---|"]
@@ -150,7 +169,7 @@ def report_tpcc(name, exps):
     return out
 
 
-def report_generic(name, exps):
+def report_generic(name: str, exps: ExpMap) -> list[str]:
     out = [f"## {name}", ""]
     for l in sorted(exps):
         e = exps[l]
@@ -163,7 +182,7 @@ def report_generic(name, exps):
     return out
 
 
-def build_report(benches):
+def build_report(benches: BenchMap) -> str:
     lines = ["# Bench report", ""]
     for name in sorted(benches):
         exps = benches[name]
@@ -184,11 +203,12 @@ def build_report(benches):
 # Baseline checks
 # ---------------------------------------------------------------------------
 
-def run_check(check, benches):
-    """Returns (ok, message). Malformed checks (missing fields) FAIL
-    cleanly via the KeyError guard in check_baseline."""
+def run_check(check: Check, benches: BenchMap) -> tuple[bool | None, str]:
+    """Returns (ok, message); ok is None for a skipped check. Malformed
+    checks (missing fields) FAIL cleanly via the KeyError guard in
+    check_baseline."""
     bench = benches.get(check["bench"])
-    desc = check.get("desc", check["type"])
+    desc = str(check.get("desc", check["type"]))
     if bench is None:
         if check.get("required"):
             return False, f"{desc}: bench file for '{check['bench']}' missing"
@@ -199,7 +219,7 @@ def run_check(check, benches):
         if a is None or b is None:
             return False, f"{desc}: label missing"
         wa, wb = wa_of(a), wa_of(b)
-        slack = check.get("slack", 0.0)
+        slack = float(check.get("slack", 0.0))
         ok = wa is not None and wb is not None and wa <= wb + slack
         return ok, (f"{desc}: WA({check['label']})={fmt(wa, 3)} vs "
                     f"WA({check['other']})={fmt(wb, 3)} (slack {slack})")
@@ -211,9 +231,9 @@ def run_check(check, benches):
         if v is None:
             return False, f"{desc}: key {check['key']} missing"
         if t == "result_geq":
-            ok, bound = v >= check["min"], f">= {check['min']}"
+            ok, bound = v >= float(check["min"]), f">= {check['min']}"
         else:
-            ok, bound = v <= check["max"], f"<= {check['max']}"
+            ok, bound = v <= float(check["max"]), f"<= {check['max']}"
         return ok, f"{desc}: {check['key']}={fmt(v, 3)} (want {bound})"
     if t == "reduction_geq":
         e0 = bench.get(check["baseline_label"])
@@ -226,7 +246,7 @@ def run_check(check, benches):
         if v is None:
             return False, f"{desc}: key {check['key']} missing"
         red = 100.0 * (1.0 - v / v0)
-        ok = red >= check["min_pct"]
+        ok = red >= float(check["min_pct"])
         return ok, (f"{desc}: reduction {fmt(red)}% "
                     f"(want >= {check['min_pct']}%)")
     if t == "ratio_geq":
@@ -240,7 +260,7 @@ def run_check(check, benches):
         if v is None:
             return False, f"{desc}: key {check['key']} missing"
         ratio = v / v0
-        ok = ratio >= check["min_ratio"]
+        ok = ratio >= float(check["min_ratio"])
         return ok, (f"{desc}: {check['label']}/{check['base_label']} "
                     f"{check['key']} ratio {fmt(ratio, 4)} "
                     f"(want >= {check['min_ratio']})")
@@ -248,18 +268,19 @@ def run_check(check, benches):
         e = bench.get(check["label"])
         if e is None:
             return False, f"{desc}: label {check['label']} missing"
-        v = e.get("metrics", {}).get("counters", {}).get(check["counter"])
+        v = as_num(
+            e.get("metrics", {}).get("counters", {}).get(check["counter"]))
         if v is None:
             return False, f"{desc}: counter {check['counter']} missing"
         if t == "counter_geq":
-            ok, bound = v >= check["min"], f">= {check['min']}"
+            ok, bound = v >= float(check["min"]), f">= {check['min']}"
         else:
-            ok, bound = v <= check["max"], f"<= {check['max']}"
-        return ok, f"{desc}: {check['counter']}={v} (want {bound})"
+            ok, bound = v <= float(check["max"]), f"<= {check['max']}"
+        return ok, f"{desc}: {check['counter']}={v:g} (want {bound})"
     return False, f"{desc}: unknown check type '{t}'"
 
 
-def check_baseline(baseline_path, benches):
+def check_baseline(baseline_path: str, benches: BenchMap) -> int:
     with open(baseline_path, encoding="utf-8") as fh:
         baseline = json.load(fh)
     failures = 0
@@ -281,8 +302,8 @@ def check_baseline(baseline_path, benches):
     return failures
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+def main() -> int:
+    ap = argparse.ArgumentParser(description=(__doc__ or "").splitlines()[0])
     ap.add_argument("inputs", nargs="+",
                     help="BENCH_*.json files or directories holding them")
     ap.add_argument("--out", help="write the markdown report to this file")

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Cross-checks the three copies of the latch-rank table.
+
+The single source of truth is the ``LatchRank`` enum in
+``src/check/latch_order.h``. Two other places restate it and silently rot
+when edited alone:
+
+  * the ``LatchRankName`` switch in ``src/check/latch_order.cc`` (one
+    ``case`` per enumerator, used in validator diagnostics), and
+  * the "Global rank table" in ``docs/CONCURRENCY.md`` (one markdown row
+    per enumerator except ``kUnranked``, which the prose below the table
+    covers).
+
+This script fails (exit 1, one line per divergence) whenever any of the
+three disagrees on the enumerator set or the numeric values. It runs as
+the ``rank_table_check`` ctest entry and in the lint CI job, so a PR that
+edits one side without the others cannot pass.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ENUM_RE = re.compile(r"\b(k\w+)\s*=\s*(\d+)")
+CASE_RE = re.compile(r"case\s+LatchRank::(k\w+)\s*:")
+DOC_ROW_RE = re.compile(r"^\|\s*`(k\w+)`\s*\|\s*(\d+)\s*\|")
+
+# Documented in prose under the table rather than as a row: rank 0 marks
+# ad-hoc mutexes outside the engine proper.
+PROSE_ONLY = frozenset({"kUnranked"})
+
+
+def parse_enum(header: pathlib.Path) -> dict[str, int]:
+    ranks: dict[str, int] = {}
+    in_enum = False
+    for line in header.read_text(encoding="utf-8").splitlines():
+        stripped = line.split("//")[0]
+        if "enum class LatchRank" in stripped:
+            in_enum = True
+            continue
+        if in_enum:
+            for m in ENUM_RE.finditer(stripped):
+                ranks[m.group(1)] = int(m.group(2))
+            if "};" in stripped:
+                break
+    return ranks
+
+
+def parse_switch(source: pathlib.Path) -> set[str]:
+    return {
+        m.group(1)
+        for line in source.read_text(encoding="utf-8").splitlines()
+        for m in CASE_RE.finditer(line.split("//")[0])
+    }
+
+
+def parse_docs(doc: pathlib.Path) -> dict[str, int]:
+    rows: dict[str, int] = {}
+    for line in doc.read_text(encoding="utf-8").splitlines():
+        m = DOC_ROW_RE.match(line.strip())
+        if m:
+            rows[m.group(1)] = int(m.group(2))
+    return rows
+
+
+def main() -> int:
+    root = pathlib.Path(__file__).resolve().parents[1]
+    header = root / "src" / "check" / "latch_order.h"
+    source = root / "src" / "check" / "latch_order.cc"
+    doc = root / "docs" / "CONCURRENCY.md"
+
+    enum = parse_enum(header)
+    switch = parse_switch(source)
+    docs = parse_docs(doc)
+
+    errors: list[str] = []
+    if not enum:
+        errors.append(f"no LatchRank enumerators parsed from {header}")
+
+    for name in sorted(set(enum) - switch):
+        errors.append(
+            f"{source.name}: LatchRankName has no case for {name} "
+            f"(= {enum[name]})"
+        )
+    for name in sorted(switch - set(enum)):
+        errors.append(
+            f"{source.name}: LatchRankName has a case for {name}, which is "
+            f"not in the {header.name} enum"
+        )
+
+    expected_rows = {n: v for n, v in enum.items() if n not in PROSE_ONLY}
+    for name in sorted(set(expected_rows) - set(docs)):
+        errors.append(
+            f"{doc.name}: rank table is missing a row for {name} "
+            f"(= {expected_rows[name]})"
+        )
+    for name in sorted(set(docs) - set(expected_rows)):
+        errors.append(
+            f"{doc.name}: rank table row {name} does not match any "
+            f"{header.name} enumerator"
+        )
+    for name in sorted(set(docs) & set(expected_rows)):
+        if docs[name] != expected_rows[name]:
+            errors.append(
+                f"{doc.name}: {name} documented as {docs[name]} but "
+                f"{header.name} says {expected_rows[name]}"
+            )
+
+    if errors:
+        for e in errors:
+            print(f"rank-table mismatch: {e}", file=sys.stderr)
+        return 1
+    print(
+        f"rank table consistent: {len(enum)} enumerators, "
+        f"{len(docs)} documented rows, {len(switch)} name cases"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

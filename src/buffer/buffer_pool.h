@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/analysis_annotations.h"
 #include "common/latch.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -65,10 +66,14 @@ class PageGuard {
   bool valid() const { return pool_ != nullptr; }
   PageId id() const { return id_; }
 
-  /// Raw page bytes. Hold the appropriate latch mode.
-  uint8_t* data();
-  const uint8_t* data() const;
-  SlottedPage page() { return SlottedPage(data()); }
+  /// Raw page bytes. Hold the appropriate latch mode. The pointer's
+  /// validity ends with this guard's pin (frames recycle, optimistic
+  /// fetches revalidate, page wipes are epoch-deferred): sias-epoch-escape
+  /// forbids storing it into fields/globals or returning it onward — keep
+  /// the PageGuard itself instead, it is the ownership handle.
+  SIAS_EPOCH_PROTECTED uint8_t* data();
+  SIAS_EPOCH_PROTECTED const uint8_t* data() const;
+  SIAS_EPOCH_PROTECTED SlottedPage page() { return SlottedPage(data()); }
 
   /// Marks the frame dirty and stamps the page LSN (WAL-before-data).
   void MarkDirty(Lsn lsn = kInvalidLsn);

@@ -1,0 +1,50 @@
+// Static-analysis annotations consumed by the sias-tidy checks
+// (tools/sias-tidy/, docs/STATIC_ANALYSIS.md). Complements
+// common/thread_annotations.h, which carries the Clang thread-safety
+// capability attributes; the macros here feed the project's own
+// clang-tidy plugin instead of the compiler.
+//
+// Both macros compile to nothing under GCC (and the attribute under Clang
+// has no codegen effect), so annotating is always free at runtime.
+#pragma once
+
+// Marks a function or method whose returned pointer (or pointee handle)
+// refers to storage reclaimed through the epoch queue (src/mvcc/epoch.h):
+// VidMapV entry vectors, published tuple bytes inside buffer frames, and
+// the optimistic-fetch frame surface. The sias-epoch-escape check enforces
+// the reclamation contract on such pointers:
+//
+//   * they must not be stored into fields, globals or statics, and
+//   * they must not be returned from a function that is not itself
+//     SIAS_EPOCH_PROTECTED (returning re-publishes the pointer past the
+//     scope whose EpochGuard / pin made it safe).
+//
+// Holding the pointer in locals and copying the pointee out is fine — that
+// is exactly what the latch-free read path does under its EpochGuard.
+#if defined(__clang__)
+#define SIAS_EPOCH_PROTECTED [[clang::annotate("sias::epoch_protected")]]
+#else
+#define SIAS_EPOCH_PROTECTED
+#endif
+
+// Audited-waiver marker for the sias-virtual-time check, which bans
+// wall-clock and non-deterministic sources (std::chrono::*_clock::now,
+// time(), rand(), std::random_device, rdtsc) outside the obs/ exporters:
+// virtual-time determinism is what makes SIAS_CRASH_SEED replays and the
+// device simulation honest (docs/FAULTS.md, common/vclock.h).
+//
+// Place the waiver on the line of — or within the five lines preceding —
+// the wall-clock call it excuses (the window accommodates a multi-line
+// justification), with a non-empty justification string:
+//
+//   SIAS_WALLCLOCK_OK("liveness backstop; duration modeled in vtime");
+//   auto deadline = std::chrono::steady_clock::now() + ...;
+//
+// One waiver excuses one call site. The justification must say why the
+// call cannot perturb simulated timing or seeded replays; empty strings
+// fail to compile, and the check rejects waivers it cannot pair with a
+// banned call.
+#define SIAS_WALLCLOCK_OK(justification)                              \
+  static_assert(sizeof(justification) > 1,                            \
+                "SIAS_WALLCLOCK_OK requires a non-empty justification \
+string")

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/analysis_annotations.h"
 #include "common/bucket_dir.h"
 #include "common/coding.h"
 #include "common/slice.h"
@@ -95,7 +96,12 @@ class VidMapV {
   };
 
   /// Loads the slot for `vid`, or nullptr when the bucket doesn't exist.
+  /// The slot (and any VersionVector pointer loaded from it) is reclaimed
+  /// through the epoch queue: sias-epoch-escape forbids storing or
+  /// re-returning it past the pin/serialization scope (file comment).
+  SIAS_EPOCH_PROTECTED
   const std::atomic<const VersionVector*>* SlotFor(Vid vid) const;
+  SIAS_EPOCH_PROTECTED
   std::atomic<const VersionVector*>* SlotForMutable(Vid vid);
 
   /// CAS-installs `next` (may be nullptr = empty) over `cur` and retires

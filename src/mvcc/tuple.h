@@ -13,6 +13,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/analysis_annotations.h"
 #include "common/coding.h"
 #include "common/slice.h"
 #include "common/status.h"
@@ -74,7 +75,11 @@ inline bool DecodeTupleHeader(Slice tuple, TupleHeader* h) {
   return true;
 }
 
-/// Row payload of an encoded tuple.
+/// Row payload of an encoded tuple. The slice aliases page bytes whose
+/// reclamation is epoch-deferred (page wipes, frame recycling):
+/// sias-epoch-escape requires it to stay within the guard/pin scope —
+/// copy the bytes out, never store the slice itself.
+SIAS_EPOCH_PROTECTED
 inline Slice TuplePayload(Slice tuple) {
   return Slice(tuple.data() + kTupleHeaderSize,
                tuple.size() - kTupleHeaderSize);

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/analysis_annotations.h"
 #include "obs/metrics.h"
 #include "obs/op_trace.h"
 
@@ -43,6 +44,14 @@ Status LockManager::AcquireExclusive(RelationId relation, Vid vid, Xid xid,
   TRACE_OP("lock", "wait");
   Obs().waits->Increment();
   state.waiters++;
+  // The cv deadline must be wall-clock: a blocked thread's virtual clock
+  // cannot advance, so a virtual deadline would never be reached and a
+  // genuine deadlock would hang forever instead of aborting. The *timing
+  // model* stays deterministic — the wait duration charged to the txn is
+  // derived from last_release_vtime below, never from this clock.
+  SIAS_WALLCLOCK_OK(
+      "liveness backstop for real thread blocking; wait duration is "
+      "modeled in virtual time via last_release_vtime");
   auto deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms_);
   // Explicit predicate loop (not the predicate overload): the analysis can

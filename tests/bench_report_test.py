@@ -9,23 +9,32 @@ without aborting the remaining checks with a KeyError traceback.
 Run directly (python3 tests/bench_report_test.py) or via ctest.
 """
 
+from __future__ import annotations
+
 import importlib.util
 import io
+import json
 import os
-import sys
+import tempfile
 import unittest
 from contextlib import redirect_stdout
+from typing import Any, cast
 
 _SCRIPT = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "..", "scripts",
     "bench_report.py")
 _spec = importlib.util.spec_from_file_location("bench_report", _SCRIPT)
+assert _spec is not None and _spec.loader is not None
 bench_report = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(bench_report)
 
+CheckResult = tuple[Any, str]
 
-def _exp(results=None, counters=None, wa=None):
-    exp = {"results": results or {}}
+
+def _exp(results: dict[str, float] | None = None,
+         counters: dict[str, float] | None = None,
+         wa: float | None = None) -> dict[str, Any]:
+    exp: dict[str, Any] = {"results": results or {}}
     if counters is not None:
         exp["metrics"] = {"counters": counters}
     if wa is not None:
@@ -33,7 +42,7 @@ def _exp(results=None, counters=None, wa=None):
     return exp
 
 
-BENCHES = {
+BENCHES: dict[str, dict[str, dict[str, Any]]] = {
     "read_scaling": {
         "read_scaling.SIAS-V.sync": _exp(
             {"reads_per_vsec": 16000.0, "busy_fraction_mean": 0.19}),
@@ -47,10 +56,10 @@ BENCHES = {
 
 
 class RatioGeqTest(unittest.TestCase):
-    def check(self, check):
-        return bench_report.run_check(check, BENCHES)
+    def check(self, check: dict[str, Any]) -> CheckResult:
+        return cast(CheckResult, bench_report.run_check(check, BENCHES))
 
-    def test_passes_on_real_ratio(self):
+    def test_passes_on_real_ratio(self) -> None:
         ok, msg = self.check({
             "type": "ratio_geq", "bench": "read_scaling",
             "base_label": "read_scaling.SIAS-V.sync",
@@ -58,7 +67,7 @@ class RatioGeqTest(unittest.TestCase):
             "key": "busy_fraction_mean", "min_ratio": 1.5})
         self.assertTrue(ok, msg)
 
-    def test_zero_baseline_fails_cleanly(self):
+    def test_zero_baseline_fails_cleanly(self) -> None:
         # Division by a zero baseline must FAIL, not raise ZeroDivisionError.
         ok, msg = self.check({
             "type": "ratio_geq", "bench": "read_scaling",
@@ -68,7 +77,7 @@ class RatioGeqTest(unittest.TestCase):
         self.assertFalse(ok)
         self.assertIn("zero/missing", msg)
 
-    def test_missing_baseline_key_fails_cleanly(self):
+    def test_missing_baseline_key_fails_cleanly(self) -> None:
         ok, msg = self.check({
             "type": "ratio_geq", "bench": "read_scaling",
             "base_label": "read_scaling.SIAS-V.empty",
@@ -77,7 +86,7 @@ class RatioGeqTest(unittest.TestCase):
         self.assertFalse(ok)
         self.assertIn("zero/missing", msg)
 
-    def test_missing_subject_key_fails_cleanly(self):
+    def test_missing_subject_key_fails_cleanly(self) -> None:
         # Baseline present but the subject label lacks the counter: the old
         # code compared None/v0 and threw TypeError.
         ok, msg = self.check({
@@ -90,29 +99,27 @@ class RatioGeqTest(unittest.TestCase):
 
 
 class ReductionGeqTest(unittest.TestCase):
-    def test_zero_baseline_fails_cleanly(self):
-        ok, msg = bench_report.run_check({
+    def test_zero_baseline_fails_cleanly(self) -> None:
+        ok, msg = cast(CheckResult, bench_report.run_check({
             "type": "reduction_geq", "bench": "read_scaling",
             "baseline_label": "read_scaling.SIAS-V.zero",
             "label": "read_scaling.SIAS-V.d4",
-            "key": "reads_per_vsec", "min_pct": 10}, BENCHES)
+            "key": "reads_per_vsec", "min_pct": 10}, BENCHES))
         self.assertFalse(ok)
         self.assertIn("zero/missing", msg)
 
-    def test_missing_subject_key_fails_cleanly(self):
-        ok, msg = bench_report.run_check({
+    def test_missing_subject_key_fails_cleanly(self) -> None:
+        ok, msg = cast(CheckResult, bench_report.run_check({
             "type": "reduction_geq", "bench": "read_scaling",
             "baseline_label": "read_scaling.SIAS-V.sync",
             "label": "read_scaling.SIAS-V.empty",
-            "key": "reads_per_vsec", "min_pct": 10}, BENCHES)
+            "key": "reads_per_vsec", "min_pct": 10}, BENCHES))
         self.assertFalse(ok)
         self.assertIn("missing", msg)
 
 
 class MalformedCheckTest(unittest.TestCase):
-    def run_baseline(self, checks):
-        import json
-        import tempfile
+    def run_baseline(self, checks: list[dict[str, Any]]) -> tuple[int, str]:
         with tempfile.NamedTemporaryFile(
                 "w", suffix=".json", delete=False) as fh:
             json.dump({"checks": checks}, fh)
@@ -120,12 +127,13 @@ class MalformedCheckTest(unittest.TestCase):
         try:
             out = io.StringIO()
             with redirect_stdout(out):
-                failures = bench_report.check_baseline(path, BENCHES)
+                failures = cast(
+                    int, bench_report.check_baseline(path, BENCHES))
             return failures, out.getvalue()
         finally:
             os.unlink(path)
 
-    def test_missing_field_is_fail_not_traceback(self):
+    def test_missing_field_is_fail_not_traceback(self) -> None:
         # No "min_ratio": must be one FAIL line, and the following valid
         # check must still run (and pass).
         failures, out = self.run_baseline([
@@ -141,12 +149,12 @@ class MalformedCheckTest(unittest.TestCase):
         self.assertIn("malformed check", out)
         self.assertIn("PASS  still runs", out)
 
-    def test_missing_type_is_fail(self):
+    def test_missing_type_is_fail(self) -> None:
         failures, out = self.run_baseline([{"bench": "read_scaling"}])
         self.assertEqual(failures, 1)
         self.assertIn("malformed check", out)
 
-    def test_unknown_bench_skips_unless_required(self):
+    def test_unknown_bench_skips_unless_required(self) -> None:
         failures, out = self.run_baseline([
             {"type": "result_geq", "bench": "nope", "label": "x", "key": "k",
              "min": 1, "desc": "optional"},

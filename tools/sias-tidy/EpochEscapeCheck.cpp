@@ -1,0 +1,121 @@
+//===--- EpochEscapeCheck.cpp - sias-epoch-escape -------------------------===//
+
+#include "EpochEscapeCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace sias {
+
+namespace {
+
+constexpr llvm::StringRef kAnnotation = "sias::epoch_protected";
+
+bool isEpochProtectedDecl(const FunctionDecl *FD) {
+  if (FD == nullptr)
+    return false;
+  for (const auto *A : FD->specific_attrs<AnnotateAttr>())
+    if (A->getAnnotation() == kAnnotation)
+      return true;
+  return false;
+}
+
+AST_MATCHER(FunctionDecl, isEpochProtected) {
+  return isEpochProtectedDecl(&Node);
+}
+
+} // namespace
+
+void EpochEscapeCheck::registerMatchers(MatchFinder *Finder) {
+  auto EpochCall = callExpr(callee(functionDecl(isEpochProtected())));
+  auto TaintedRef = declRefExpr(to(varDecl().bind("refvar")));
+  auto TaintedSource = expr(ignoringParenImpCasts(anyOf(EpochCall, TaintedRef)));
+
+  // 1. Local variable initialized from an epoch-protected call: remember it
+  //    (one-hop taint; matched before any later use in the same function).
+  Finder->addMatcher(
+      varDecl(hasLocalStorage(),
+              hasInitializer(expr(ignoringParenImpCasts(EpochCall))))
+          .bind("taintdecl"),
+      this);
+
+  // 2. Assignment of a protected pointer into a member, global or static.
+  Finder->addMatcher(
+      binaryOperator(isAssignmentOperator(), hasRHS(TaintedSource),
+                     hasLHS(expr(anyOf(
+                         memberExpr().bind("memberlhs"),
+                         declRefExpr(to(varDecl(hasGlobalStorage())
+                                            .bind("globallhs")))))))
+          .bind("store"),
+      this);
+
+  // 3. Member/global initialized directly from an epoch-protected call.
+  Finder->addMatcher(
+      varDecl(hasGlobalStorage(),
+              hasInitializer(expr(ignoringParenImpCasts(EpochCall))))
+          .bind("globalinit"),
+      this);
+
+  // 4. Returning a protected pointer from a non-annotated function.
+  Finder->addMatcher(
+      returnStmt(hasReturnValue(TaintedSource),
+                 forFunction(functionDecl(unless(isEpochProtected()))
+                                 .bind("retfn")))
+          .bind("ret"),
+      this);
+}
+
+void EpochEscapeCheck::check(const MatchFinder::MatchResult &Result) {
+  if (const auto *VD = Result.Nodes.getNodeAs<VarDecl>("taintdecl")) {
+    TaintedLocals.insert(VD);
+    return;
+  }
+
+  // A DeclRefExpr source only taints if it names a tracked local.
+  auto RefIsTainted = [&]() {
+    const auto *Ref = Result.Nodes.getNodeAs<VarDecl>("refvar");
+    return Ref == nullptr || TaintedLocals.contains(Ref);
+  };
+
+  if (const auto *Store = Result.Nodes.getNodeAs<BinaryOperator>("store")) {
+    if (!RefIsTainted())
+      return;
+    diag(Store->getOperatorLoc(),
+         "storing an epoch-protected pointer into a field or global escapes "
+         "the epoch/pin scope; copy the pointee or keep the owning guard");
+    return;
+  }
+
+  if (const auto *GI = Result.Nodes.getNodeAs<VarDecl>("globalinit")) {
+    diag(GI->getLocation(),
+         "initializing a global from an epoch-protected call escapes the "
+         "epoch/pin scope; copy the pointee or keep the owning guard");
+    return;
+  }
+
+  if (const auto *Ret = Result.Nodes.getNodeAs<ReturnStmt>("ret")) {
+    if (!RefIsTainted())
+      return;
+    // Only pointer-ish returns re-publish protected storage; value copies
+    // (Status, int, ...) are the sanctioned copy-out idiom.
+    const Expr *RV = Ret->getRetValue();
+    if (RV == nullptr)
+      return;
+    QualType T = RV->getType();
+    if (!T->isPointerType() && !T->isReferenceType() &&
+        T.getAsString().find("Slice") == std::string::npos &&
+        T.getAsString().find("SlottedPage") == std::string::npos)
+      return;
+    diag(Ret->getReturnLoc(),
+         "returning an epoch-protected pointer from a function not marked "
+         "SIAS_EPOCH_PROTECTED re-publishes it past the guard scope");
+  }
+}
+
+} // namespace sias
+} // namespace tidy
+} // namespace clang

@@ -1,0 +1,42 @@
+//===--- EpochEscapeCheck.h - sias-epoch-escape ---------------------------===//
+//
+// Flags pointers obtained from SIAS_EPOCH_PROTECTED functions
+// ([[clang::annotate("sias::epoch_protected")]]) that escape the epoch/pin
+// scope: stores into fields, globals or statics, and returns from functions
+// that are not themselves annotated. Locals and pointee copies are fine —
+// that is the sanctioned latch-free read idiom (docs/STATIC_ANALYSIS.md).
+//===----------------------------------------------------------------------===//
+
+#ifndef SIAS_TIDY_EPOCH_ESCAPE_CHECK_H
+#define SIAS_TIDY_EPOCH_ESCAPE_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+#include "llvm/ADT/DenseSet.h"
+
+namespace clang {
+namespace tidy {
+namespace sias {
+
+class EpochEscapeCheck : public ClangTidyCheck {
+public:
+  EpochEscapeCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+
+private:
+  // Locals initialized from an epoch-protected call, collected in AST
+  // (hence textual) order so later uses in the same TU can be tested.
+  llvm::DenseSet<const VarDecl *> TaintedLocals;
+};
+
+} // namespace sias
+} // namespace tidy
+} // namespace clang
+
+#endif // SIAS_TIDY_EPOCH_ESCAPE_CHECK_H

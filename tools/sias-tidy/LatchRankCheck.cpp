@@ -1,0 +1,171 @@
+//===--- LatchRankCheck.cpp - sias-latch-rank -----------------------------===//
+
+#include "LatchRankCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/ADT/SmallVector.h"
+#include "llvm/ADT/StringRef.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace sias {
+
+namespace {
+
+constexpr const char *kGuardTypes[] = {"MutexLock", "ReadLock", "WriteLock",
+                                       "SpinLatchGuard"};
+
+bool isGuardType(QualType QT) {
+  const auto *RD = QT->getAsCXXRecordDecl();
+  if (RD == nullptr)
+    return false;
+  for (const char *Name : kGuardTypes)
+    if (RD->getName() == Name)
+      return true;
+  return false;
+}
+
+// Resolves the rank of the latch a guard constructor argument refers to:
+// follows `&member_` / `&obj->member_` to the FieldDecl, then reads the
+// LatchRank enumerator out of the field's in-class initializer. Returns -1
+// when no rank can be determined (unranked latch or too dynamic).
+int rankOfGuardArg(const Expr *Arg) {
+  if (Arg == nullptr)
+    return -1;
+  Arg = Arg->IgnoreParenImpCasts();
+  if (const auto *UO = dyn_cast<UnaryOperator>(Arg))
+    if (UO->getOpcode() == UO_AddrOf)
+      Arg = UO->getSubExpr()->IgnoreParenImpCasts();
+  const auto *ME = dyn_cast<MemberExpr>(Arg);
+  if (ME == nullptr)
+    return -1;
+  const auto *FD = dyn_cast<FieldDecl>(ME->getMemberDecl());
+  if (FD == nullptr || !FD->hasInClassInitializer())
+    return -1;
+  const Expr *Init = FD->getInClassInitializer();
+  if (Init == nullptr)
+    return -1;
+  // Find the LatchRank enumerator anywhere inside the brace initializer.
+  struct EnumFinder : RecursiveASTVisitor<EnumFinder> {
+    int Value = -1;
+    bool VisitDeclRefExpr(DeclRefExpr *DRE) {
+      if (const auto *ECD = dyn_cast<EnumConstantDecl>(DRE->getDecl())) {
+        const auto *ED = dyn_cast<EnumDecl>(ECD->getDeclContext());
+        if (ED != nullptr && ED->getName() == "LatchRank") {
+          Value = static_cast<int>(ECD->getInitVal().getExtValue());
+          return false;
+        }
+      }
+      return true;
+    }
+  } Finder;
+  Finder.TraverseStmt(const_cast<Expr *>(Init));
+  return Finder.Value;
+}
+
+// Walks one function body keeping a scope stack of held guards and reports
+// nested acquisitions that do not strictly increase in rank.
+struct GuardNestingVisitor : RecursiveASTVisitor<GuardNestingVisitor> {
+  LatchRankCheck *Check = nullptr;
+
+  struct Held {
+    const CompoundStmt *Scope;
+    int Rank;
+    const VarDecl *Decl;
+  };
+  llvm::SmallVector<const CompoundStmt *, 8> Scopes;
+  llvm::SmallVector<Held, 8> HeldGuards;
+
+  bool TraverseCompoundStmt(CompoundStmt *CS) {
+    Scopes.push_back(CS);
+    bool Cont = RecursiveASTVisitor::TraverseCompoundStmt(CS);
+    while (!HeldGuards.empty() && HeldGuards.back().Scope == CS)
+      HeldGuards.pop_back();
+    Scopes.pop_back();
+    return Cont;
+  }
+
+  bool VisitVarDecl(VarDecl *VD) {
+    if (!VD->hasLocalStorage() || !isGuardType(VD->getType()))
+      return true;
+    const auto *CE = dyn_cast_or_null<CXXConstructExpr>(VD->getInit());
+    int Rank =
+        (CE != nullptr && CE->getNumArgs() >= 1)
+            ? rankOfGuardArg(CE->getArg(0))
+            : -1;
+    if (Rank >= 0) {
+      for (const Held &H : HeldGuards) {
+        if (H.Rank < 0)
+          continue;
+        if (Rank <= H.Rank) {
+          Check->diag(VD->getLocation(),
+                      "acquiring '%0' (rank %1) while holding '%2' (rank %3) "
+                      "violates the latch-rank order; see "
+                      "docs/CONCURRENCY.md")
+              << VD->getName() << std::to_string(Rank) << H.Decl->getName()
+              << std::to_string(H.Rank);
+        }
+      }
+    }
+    if (!Scopes.empty())
+      HeldGuards.push_back({Scopes.back(), Rank, VD});
+    return true;
+  }
+};
+
+} // namespace
+
+LatchRankCheck::LatchRankCheck(StringRef Name, ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      BareMutexAllowedPaths(Options.get(
+          "BareMutexAllowedPaths", "src/common/latch.h;src/check/;tools/")) {}
+
+void LatchRankCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "BareMutexAllowedPaths", BareMutexAllowedPaths);
+}
+
+void LatchRankCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(functionDecl(isDefinition(), hasBody(compoundStmt()))
+                         .bind("fn"),
+                     this);
+  // Bare standard mutexes/guards are invisible to both the rank discipline
+  // and the runtime latch-order validator.
+  Finder->addMatcher(
+      valueDecl(hasType(cxxRecordDecl(hasAnyName(
+                    "::std::mutex", "::std::shared_mutex",
+                    "::std::recursive_mutex", "::std::timed_mutex"))))
+          .bind("baremutex"),
+      this);
+}
+
+void LatchRankCheck::check(const MatchFinder::MatchResult &Result) {
+  if (const auto *VD = Result.Nodes.getNodeAs<ValueDecl>("baremutex")) {
+    StringRef File = Result.SourceManager->getFilename(
+        Result.SourceManager->getExpansionLoc(VD->getLocation()));
+    llvm::SmallVector<StringRef, 4> Allowed;
+    StringRef(BareMutexAllowedPaths).split(Allowed, ';', -1, false);
+    for (StringRef Prefix : Allowed)
+      if (File.contains(Prefix))
+        return;
+    if (!File.contains("/src/"))
+      return;
+    diag(VD->getLocation(),
+         "bare std:: mutex is invisible to the latch-rank discipline; use "
+         "the capability types in common/latch.h");
+    return;
+  }
+  const auto *FD = Result.Nodes.getNodeAs<FunctionDecl>("fn");
+  if (FD == nullptr || FD->getBody() == nullptr)
+    return;
+  GuardNestingVisitor V;
+  V.Check = this;
+  V.TraverseStmt(FD->getBody());
+}
+
+} // namespace sias
+} // namespace tidy
+} // namespace clang

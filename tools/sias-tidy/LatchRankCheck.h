@@ -1,0 +1,40 @@
+//===--- LatchRankCheck.h - sias-latch-rank -------------------------------===//
+//
+// Statically verifies that nested latch guard acquisitions visible in one
+// function body respect the global rank order. The single source of truth
+// is the LatchRank enum in src/check/latch_order.h — ranks are read from
+// the enumerator values in the AST, so the check can never drift from the
+// runtime validator that compiles against the same header.
+//===----------------------------------------------------------------------===//
+
+#ifndef SIAS_TIDY_LATCH_RANK_CHECK_H
+#define SIAS_TIDY_LATCH_RANK_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace sias {
+
+class LatchRankCheck : public ClangTidyCheck {
+public:
+  LatchRankCheck(StringRef Name, ClangTidyContext *Context);
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  // Semicolon-separated path prefixes where bare std:: mutexes are allowed
+  // (the capability wrappers themselves and the validator internals).
+  const std::string BareMutexAllowedPaths;
+};
+
+} // namespace sias
+} // namespace tidy
+} // namespace clang
+
+#endif // SIAS_TIDY_LATCH_RANK_CHECK_H

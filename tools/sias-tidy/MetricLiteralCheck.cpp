@@ -1,0 +1,106 @@
+//===--- MetricLiteralCheck.cpp - sias-metric-literal ---------------------===//
+
+#include "MetricLiteralCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/Support/MemoryBuffer.h"
+#include "llvm/Support/Regex.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace sias {
+
+MetricLiteralCheck::MetricLiteralCheck(StringRef Name,
+                                       ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      CataloguePath(Options.get("CataloguePath", "docs/OBSERVABILITY.md")) {
+  auto BufOrErr = llvm::MemoryBuffer::getFile(CataloguePath);
+  if (!BufOrErr)
+    return;
+  // Backticked metric names inside markdown table rows; `x.*` rows are
+  // wildcards. Names without a '.' are prose, never metrics.
+  llvm::Regex NameRe("`([a-z][a-z0-9_.*]*)`");
+  llvm::StringRef Buffer = (*BufOrErr)->getBuffer();
+  llvm::SmallVector<llvm::StringRef, 0> Lines;
+  Buffer.split(Lines, '\n');
+  for (llvm::StringRef Line : Lines) {
+    if (!Line.ltrim().startswith("|"))
+      continue;
+    llvm::StringRef Rest = Line;
+    llvm::SmallVector<llvm::StringRef, 4> Groups;
+    while (NameRe.match(Rest, &Groups)) {
+      llvm::StringRef Found = Groups[1];
+      size_t Pos = Rest.find(Groups[0]);
+      Rest = Rest.substr(Pos + Groups[0].size());
+      if (!Found.contains('.'))
+        continue;
+      if (Found.endswith(".*"))
+        CataloguePrefixes.push_back(Found.drop_back(1).str());
+      else
+        Catalogue.insert(Found.str());
+    }
+  }
+}
+
+void MetricLiteralCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "CataloguePath", CataloguePath);
+}
+
+bool MetricLiteralCheck::isCatalogued(StringRef Name) const {
+  if (Catalogue.count(Name.str()) != 0)
+    return true;
+  for (const std::string &Prefix : CataloguePrefixes)
+    if (Name.startswith(Prefix))
+      return true;
+  return false;
+}
+
+void MetricLiteralCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(
+              hasAnyName("GetCounter", "GetGauge", "GetHistogram"),
+              ofClass(hasName("::sias::obs::MetricsRegistry")))),
+          argumentCountIs(1))
+          .bind("getcall"),
+      this);
+}
+
+void MetricLiteralCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Call = Result.Nodes.getNodeAs<CXXMemberCallExpr>("getcall");
+  if (Call == nullptr)
+    return;
+  const SourceManager &SM = *Result.SourceManager;
+  SourceLocation Loc = SM.getExpansionLoc(Call->getBeginLoc());
+  StringRef File = SM.getFilename(Loc);
+  // The catalogue governs production telemetry: unit tests register scratch
+  // names to exercise the registry itself.
+  if (File.contains("/tests/") || File.contains("/bench/") ||
+      File.contains("/examples/"))
+    return;
+  const Expr *Arg = Call->getArg(0)->IgnoreParenImpCasts();
+  // Look through the implicit std::string(const char*) conversion.
+  if (const auto *CE = dyn_cast<CXXConstructExpr>(Arg);
+      CE != nullptr && CE->getNumArgs() >= 1)
+    Arg = CE->getArg(0)->IgnoreParenImpCasts();
+  const auto *Lit = dyn_cast<StringLiteral>(Arg);
+  if (Lit == nullptr) {
+    diag(Loc, "metric name must be a string literal so the catalogue check "
+              "(and grep) can see it");
+    return;
+  }
+  if (Catalogue.empty() && CataloguePrefixes.empty())
+    return; // catalogue unavailable; literal-ness was still enforced
+  StringRef Name = Lit->getString();
+  if (!isCatalogued(Name))
+    diag(Loc, "metric '%0' is not in the docs/OBSERVABILITY.md catalogue; "
+              "add it to the table (or fix the typo)")
+        << Name;
+}
+
+} // namespace sias
+} // namespace tidy
+} // namespace clang

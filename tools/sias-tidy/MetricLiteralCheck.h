@@ -1,0 +1,48 @@
+//===--- MetricLiteralCheck.h - sias-metric-literal -----------------------===//
+//
+// Metric names passed to sias::obs::MetricsRegistry::{GetCounter,GetGauge,
+// GetHistogram} must be string literals present in the
+// docs/OBSERVABILITY.md catalogue (wildcard rows like `fault.injected.*`
+// match by prefix). Literal names keep the catalogue greppable; the
+// catalogue keeps dashboards and bench reports honest.
+//===----------------------------------------------------------------------===//
+
+#ifndef SIAS_TIDY_METRIC_LITERAL_CHECK_H
+#define SIAS_TIDY_METRIC_LITERAL_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace clang {
+namespace tidy {
+namespace sias {
+
+class MetricLiteralCheck : public ClangTidyCheck {
+public:
+  MetricLiteralCheck(StringRef Name, ClangTidyContext *Context);
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  bool isCatalogued(StringRef Name) const;
+
+  // Path to docs/OBSERVABILITY.md (relative paths resolve against the
+  // working directory clang-tidy runs in, i.e. the repo root via lint.sh).
+  const std::string CataloguePath;
+  std::set<std::string> Catalogue;
+  std::vector<std::string> CataloguePrefixes;
+};
+
+} // namespace sias
+} // namespace tidy
+} // namespace clang
+
+#endif // SIAS_TIDY_METRIC_LITERAL_CHECK_H

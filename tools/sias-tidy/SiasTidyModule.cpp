@@ -1,0 +1,44 @@
+//===--- SiasTidyModule.cpp - sias-tidy plugin registration ---------------===//
+//
+// Registers the four SIAS domain checks as a loadable clang-tidy module:
+//
+//   clang-tidy -load libSiasTidyChecks.so -checks='sias-*' ...
+//
+// The portable fallback implementation of the same rules lives in
+// sias_tidy_lite.py; scripts/lint.sh picks whichever is available.
+//===----------------------------------------------------------------------===//
+
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "EpochEscapeCheck.h"
+#include "LatchRankCheck.h"
+#include "MetricLiteralCheck.h"
+#include "VirtualTimeCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace sias {
+
+class SiasTidyModule : public ClangTidyModule {
+public:
+  void addCheckFactories(ClangTidyCheckFactories &CheckFactories) override {
+    CheckFactories.registerCheck<EpochEscapeCheck>("sias-epoch-escape");
+    CheckFactories.registerCheck<LatchRankCheck>("sias-latch-rank");
+    CheckFactories.registerCheck<VirtualTimeCheck>("sias-virtual-time");
+    CheckFactories.registerCheck<MetricLiteralCheck>("sias-metric-literal");
+  }
+};
+
+} // namespace sias
+
+// Register the module with clang-tidy's global registry.
+static ClangTidyModuleRegistry::Add<sias::SiasTidyModule>
+    X("sias-tidy-module", "Adds the SIAS epoch/latch/time/metric checks.");
+
+// This anchor keeps the registration object alive when the plugin is
+// linked statically into a clang-tidy build.
+volatile int SiasTidyModuleAnchorSource = 0;
+
+} // namespace tidy
+} // namespace clang

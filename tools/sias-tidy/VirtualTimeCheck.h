@@ -1,0 +1,41 @@
+//===--- VirtualTimeCheck.h - sias-virtual-time ---------------------------===//
+//
+// Bans wall-clock and nondeterminism sources (std::chrono::*_clock::now,
+// time(), rand()/srand(), std::random_device, raw TSC reads) outside an
+// allowlist of paths. A call site can be waived with
+// SIAS_WALLCLOCK_OK("justification") on the same or one of the five
+// preceding lines; the macro's static_assert enforces a non-empty string.
+// Virtual-time determinism is what keeps SIAS_CRASH_SEED replays and the
+// flash device simulation honest (docs/FAULTS.md).
+//===----------------------------------------------------------------------===//
+
+#ifndef SIAS_TIDY_VIRTUAL_TIME_CHECK_H
+#define SIAS_TIDY_VIRTUAL_TIME_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace sias {
+
+class VirtualTimeCheck : public ClangTidyCheck {
+public:
+  VirtualTimeCheck(StringRef Name, ClangTidyContext *Context);
+
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  bool isAllowedPath(StringRef File) const;
+  bool isWaived(const SourceManager &SM, SourceLocation Loc) const;
+
+  // Semicolon-separated path fragments where wall-clock use is legitimate.
+  const std::string AllowedPaths;
+};
+
+} // namespace sias
+} // namespace tidy
+} // namespace clang
+
+#endif // SIAS_TIDY_VIRTUAL_TIME_CHECK_H

@@ -1,0 +1,932 @@
+#!/usr/bin/env python3
+"""sias-tidy-lite: portable fallback engine for the sias-tidy checks.
+
+The authoritative implementation of the four SIAS domain checks is the
+clang-tidy plugin in this directory (see docs/STATIC_ANALYSIS.md), which
+works on the real AST. This module re-implements the same rules at the
+lexical level so that
+
+  * environments without an LLVM/Clang dev install (this includes plain
+    GCC CI legs and the growth container) still enforce the disciplines,
+  * the compile-only fixture battery in tools/sias-tidy/test/ can run as a
+    ctest entry everywhere, keeping both engines honest against the same
+    expectations.
+
+Checks (names match the plugin's):
+
+  sias-epoch-escape    pointers obtained from SIAS_EPOCH_PROTECTED
+                       functions must not be stored to fields/globals or
+                       returned from non-annotated functions
+  sias-latch-rank      lexically nested latch guard acquisitions must
+                       respect the rank table in src/check/latch_order.h;
+                       bare std:: mutexes/guards are banned in src/
+  sias-virtual-time    wall-clock / nondeterminism sources are banned
+                       outside the allowlist; SIAS_WALLCLOCK_OK waives one
+                       call site with a non-empty justification
+  sias-metric-literal  metric names passed to the obs registry must be
+                       string literals catalogued in docs/OBSERVABILITY.md
+
+Usage:
+  sias_tidy_lite.py [--root DIR] [--checks a,b] [PATH...]   # lint (default src/)
+  sias_tidy_lite.py --fixtures DIR                          # fixture battery
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from dataclasses import dataclass, field
+
+ALL_CHECKS = (
+    "sias-epoch-escape",
+    "sias-latch-rank",
+    "sias-virtual-time",
+    "sias-metric-literal",
+)
+
+# Paths (relative to the repo root, '/'-separated) where wall-clock use is
+# legitimate: the obs/ layer exports real timestamps by design, and test /
+# bench / example mains measure wall throughput. tools/ is the analyzer
+# itself.
+VIRTUAL_TIME_ALLOWED_PREFIXES = (
+    "src/obs/",
+    "bench/",
+    "tests/",
+    "examples/",
+    "tools/",
+)
+
+# src/common/latch.h implements the capability wrappers over the standard
+# primitives, and src/check/ implements the latch-order validator itself
+# (its internal graph mutex cannot be a ranked Mutex without recursing into
+# the checker). Only these may name bare std:: lock types.
+BARE_MUTEX_ALLOWED_PREFIXES = (
+    "src/common/latch.h",
+    "src/check/",
+    "tools/",
+)
+
+WAIVER_WINDOW_LINES = 5
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    check: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: warning: {self.message} [{self.check}]"
+
+
+@dataclass
+class StringLit:
+    line: int
+    col: int
+    value: str
+
+
+@dataclass
+class ScannedFile:
+    """A C++ source file with comments and literal *contents* blanked.
+
+    `code` keeps the original line structure (and the quote characters of
+    string literals) so regexes see real code shape; `strings` records each
+    literal's location and contents for the checks that need values.
+    """
+
+    path: str
+    rel: str
+    code: list[str] = field(default_factory=list)
+    strings: list[StringLit] = field(default_factory=list)
+
+
+def scan_cpp(path: pathlib.Path, rel: str) -> ScannedFile:
+    text = path.read_text(encoding="utf-8", errors="replace")
+    out = ScannedFile(path=str(path), rel=rel)
+    code: list[str] = []
+    cur: list[str] = []
+    strings: list[StringLit] = []
+    line = 1
+    col = 0
+    i = 0
+    n = len(text)
+    state = "normal"  # normal | line_comment | block_comment | string | char
+    lit: list[str] = []
+    lit_line = 1
+    lit_col = 0
+
+    def put(ch: str) -> None:
+        cur.append(ch)
+
+    def newline() -> None:
+        nonlocal line, col
+        code.append("".join(cur))
+        cur.clear()
+        line += 1
+        col = 0
+
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "\n":
+            if state == "line_comment":
+                state = "normal"
+            newline()
+            i += 1
+            continue
+        col += 1
+        if state == "normal":
+            if ch == "/" and nxt == "/":
+                state = "line_comment"
+                put(" ")
+                put(" ")
+                i += 2
+                col += 1
+                continue
+            if ch == "/" and nxt == "*":
+                state = "block_comment"
+                put(" ")
+                put(" ")
+                i += 2
+                col += 1
+                continue
+            if ch == '"':
+                state = "string"
+                lit = []
+                lit_line, lit_col = line, col
+                put('"')
+                i += 1
+                continue
+            if ch == "'":
+                state = "char"
+                put("'")
+                i += 1
+                continue
+            put(ch)
+            i += 1
+            continue
+        if state == "line_comment":
+            put(" ")
+            i += 1
+            continue
+        if state == "block_comment":
+            if ch == "*" and nxt == "/":
+                state = "normal"
+                put(" ")
+                put(" ")
+                i += 2
+                col += 1
+                continue
+            put(" ")
+            i += 1
+            continue
+        if state == "string":
+            if ch == "\\" and nxt:
+                lit.append(ch + nxt)
+                put(" ")
+                put(" ")
+                i += 2
+                col += 1
+                continue
+            if ch == '"':
+                state = "normal"
+                strings.append(StringLit(lit_line, lit_col, "".join(lit)))
+                put('"')
+                i += 1
+                continue
+            lit.append(ch)
+            put(" ")
+            i += 1
+            continue
+        # state == "char"
+        if ch == "\\" and nxt:
+            put(" ")
+            put(" ")
+            i += 2
+            col += 1
+            continue
+        if ch == "'":
+            state = "normal"
+            put("'")
+            i += 1
+            continue
+        put(" ")
+        i += 1
+    code.append("".join(cur))
+    out.code = code
+    out.strings = strings
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Global tables (pass 1)
+# ---------------------------------------------------------------------------
+
+RANK_ENUM_RE = re.compile(r"\bk(\w+)\s*=\s*(\d+)")
+LATCH_DECL_RE = re.compile(
+    r"\b(?:Mutex|SharedMutex|SpinLatch)\s+(\w+)\s*\{\s*LatchRank::k(\w+)\s*\}"
+)
+EPOCH_ANNOT = "SIAS_EPOCH_PROTECTED"
+# Function name = last identifier before the first '(' of the declarator
+# that follows the annotation (skips return types, *, &, templates).
+FUNC_NAME_RE = re.compile(r"([A-Za-z_]\w*)\s*\(")
+
+
+@dataclass
+class Tables:
+    """Cross-file facts the per-file checks consult."""
+
+    ranks: dict[str, int] = field(default_factory=dict)  # kName -> value
+    # "Class::member" and bare "member" -> set of declared ranks. Bare-name
+    # entries are the fallback for guards on another object's latch
+    # (`&pool_->mu_`), usable only when the name is globally unambiguous.
+    member_ranks: dict[str, set[int]] = field(default_factory=dict)
+    epoch_fns: set[str] = field(default_factory=set)
+    catalogue: set[str] = field(default_factory=set)
+    catalogue_prefixes: list[str] = field(default_factory=list)
+
+
+def parse_rank_table(latch_order_h: pathlib.Path) -> dict[str, int]:
+    ranks: dict[str, int] = {}
+    sf = scan_cpp(latch_order_h, latch_order_h.name)
+    in_enum = False
+    for ln in sf.code:
+        if "enum class LatchRank" in ln:
+            in_enum = True
+        if in_enum:
+            for m in RANK_ENUM_RE.finditer(ln):
+                ranks["k" + m.group(1)] = int(m.group(2))
+            if "};" in ln and ranks:
+                break
+    return ranks
+
+
+CATALOGUE_NAME_RE = re.compile(r"`([a-z][a-z0-9_.*]*)`")
+
+
+def parse_catalogue(obs_md: pathlib.Path) -> tuple[set[str], list[str]]:
+    """Backticked metric names inside the markdown tables of the metric
+    catalogue section(s) of docs/OBSERVABILITY.md."""
+    names: set[str] = set()
+    prefixes: list[str] = []
+    for ln in obs_md.read_text(encoding="utf-8").splitlines():
+        if not ln.lstrip().startswith("|"):
+            continue
+        for m in CATALOGUE_NAME_RE.finditer(ln):
+            name = m.group(1)
+            if "." not in name:
+                continue  # prose like `fetch_add`, never a metric name
+            if name.endswith(".*"):
+                prefixes.append(name[:-1])  # keep the trailing '.'
+            else:
+                names.add(name)
+    return names, prefixes
+
+
+CLASS_HEADER_RE = re.compile(r"\b(?:class|struct)\s+([A-Za-z_]\w*)\s*(?![\w;,)>*&])")
+
+
+class ClassTracker:
+    """Tracks the innermost enclosing class/struct name, line by line.
+
+    Purely lexical: a class header arms a pending name which binds to the
+    next '{'; every other '{' pushes an anonymous scope. A `Class::Method(`
+    definition at file scope (the .cc idiom) also sets the context until its
+    body closes.
+    """
+
+    def __init__(self) -> None:
+        self.depth = 0
+        self.stack: list[tuple[int, str | None]] = []
+        self.pending: str | None = None
+        self.method_class: str | None = None
+
+    def current(self) -> str | None:
+        if self.method_class is not None:
+            return self.method_class
+        for _, name in reversed(self.stack):
+            if name is not None:
+                return name
+        return None
+
+    def feed(self, ln: str) -> None:
+        hm = CLASS_HEADER_RE.search(ln)
+        if hm and not re.search(
+            re.escape(hm.group(0)) + r"[^{;]*;", ln
+        ):  # skip forward declarations
+            self.pending = hm.group(1)
+        if self.depth == 0 and self.method_class is None:
+            dm = re.search(r"\b(\w+)::~?\w+\s*\(", ln)
+            if dm:
+                self.method_class = dm.group(1)
+        for ch in ln:
+            if ch == "{":
+                self.depth += 1
+                self.stack.append((self.depth, self.pending))
+                self.pending = None
+            elif ch == "}":
+                while self.stack and self.stack[-1][0] >= self.depth:
+                    self.stack.pop()
+                self.depth -= 1
+                if self.depth <= 0:
+                    self.depth = max(self.depth, 0)
+                    self.method_class = None
+        if self.depth == 0 and ";" in ln:
+            self.pending = None
+            self.method_class = None
+
+
+def collect_decl_facts(sf: ScannedFile, tables: Tables) -> None:
+    """Pass 1 over one file: latch member ranks + epoch-annotated names."""
+    tracker = ClassTracker()
+    for ln in sf.code:
+        cls = tracker.current()
+        for m in LATCH_DECL_RE.finditer(ln):
+            member, rank_name = m.group(1), "k" + m.group(2)
+            if rank_name in tables.ranks:
+                rank = tables.ranks[rank_name]
+                tables.member_ranks.setdefault(member, set()).add(rank)
+                if cls is not None:
+                    tables.member_ranks.setdefault(
+                        f"{cls}::{member}", set()
+                    ).add(rank)
+        tracker.feed(ln)
+    text = "\n".join(sf.code)
+    for m in re.finditer(re.escape(EPOCH_ANNOT), text):
+        if text[m.end() : m.end() + 1].isalnum():  # e.g. the macro #define
+            continue
+        tail = text[m.end() : m.end() + 240]
+        if tail.lstrip().startswith("["):  # the #define's own expansion
+            continue
+        depth = 0
+        best: str | None = None
+        for fm in FUNC_NAME_RE.finditer(tail):
+            prefix = tail[: fm.start(1)]
+            depth = prefix.count("<") - prefix.count(">")
+            if depth > 0:
+                continue
+            if "{" in prefix or ";" in prefix:
+                break
+            best = fm.group(1)
+            break
+        if best is not None and best != "static_assert":
+            tables.epoch_fns.add(best)
+
+
+# ---------------------------------------------------------------------------
+# sias-virtual-time
+# ---------------------------------------------------------------------------
+
+BANNED_TIME_RES: list[tuple[re.Pattern[str], str]] = [
+    (
+        re.compile(
+            r"\b(?:std::)?chrono::(?:system_clock|steady_clock|"
+            r"high_resolution_clock)::now\s*\("
+        ),
+        "wall-clock chrono ::now()",
+    ),
+    (re.compile(r"(?<![\w.:>])time\s*\(\s*(?:nullptr|0|NULL|&)"), "time()"),
+    (
+        re.compile(r"(?<![\w.:])(?:std::)?s?rand\s*\(\s*[)\w]"),
+        "rand()/srand()",
+    ),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (
+        re.compile(r"\b__?rdtscp?\b|__builtin_readcyclecounter"),
+        "raw TSC read",
+    ),
+]
+WAIVER_TOKEN = "SIAS_WALLCLOCK_OK"
+
+
+def waiver_at(sf: ScannedFile, line_no: int) -> tuple[bool, bool]:
+    """(waived, has_justification) for a banned call at `line_no` (1-based):
+    a SIAS_WALLCLOCK_OK token on the same or the preceding five lines."""
+    lo = max(0, line_no - 1 - WAIVER_WINDOW_LINES)
+    for idx in range(lo, line_no):
+        col = sf.code[idx].find(WAIVER_TOKEN)
+        if col < 0:
+            continue
+        just = next(
+            (
+                s
+                for s in sf.strings
+                if (s.line == idx + 1 and s.col > col) or s.line == idx + 2
+            ),
+            None,
+        )
+        return True, just is not None and len(just.value) > 0
+    return False, False
+
+
+def check_virtual_time(sf: ScannedFile) -> list[Finding]:
+    if sf.rel.startswith(VIRTUAL_TIME_ALLOWED_PREFIXES):
+        return []
+    if sf.rel == "src/common/analysis_annotations.h":
+        return []
+    findings: list[Finding] = []
+    waiver_lines_used: set[int] = set()
+    for i, ln in enumerate(sf.code):
+        for pat, what in BANNED_TIME_RES:
+            if not pat.search(ln):
+                continue
+            waived, justified = waiver_at(sf, i + 1)
+            if waived:
+                lo = max(0, i - WAIVER_WINDOW_LINES)
+                for idx in range(lo, i + 1):
+                    if WAIVER_TOKEN in sf.code[idx]:
+                        waiver_lines_used.add(idx + 1)
+                if not justified:
+                    findings.append(
+                        Finding(
+                            sf.path,
+                            i + 1,
+                            "sias-virtual-time",
+                            f"{what} waived without a non-empty "
+                            "justification string",
+                        )
+                    )
+                continue
+            findings.append(
+                Finding(
+                    sf.path,
+                    i + 1,
+                    "sias-virtual-time",
+                    f"{what} breaks virtual-time determinism "
+                    "(SIAS_CRASH_SEED replays, device simulation); use "
+                    "VirtualClock, sias::Random, or waive with "
+                    "SIAS_WALLCLOCK_OK(\"why\")",
+                )
+            )
+    for i, ln in enumerate(sf.code):
+        if WAIVER_TOKEN in ln and (i + 1) not in waiver_lines_used:
+            if "#define" in ln or "define " in sf.code[max(0, i - 1)]:
+                continue
+            findings.append(
+                Finding(
+                    sf.path,
+                    i + 1,
+                    "sias-virtual-time",
+                    "SIAS_WALLCLOCK_OK waiver with no banned call in the "
+                    f"next {WAIVER_WINDOW_LINES} lines (stale waiver?)",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# sias-latch-rank
+# ---------------------------------------------------------------------------
+
+GUARD_DECL_RE = re.compile(
+    r"\b(MutexLock|ReadLock|WriteLock|SpinLatchGuard)\s+\w+\s*[({]\s*&?"
+    r"([\w.>-]+?)\s*[)}]"
+)
+BARE_MUTEX_RE = re.compile(
+    r"\bstd::(?:lock_guard|unique_lock|scoped_lock|shared_lock|mutex|"
+    r"shared_mutex|recursive_mutex|timed_mutex)\b"
+)
+
+
+def member_of(expr: str) -> str:
+    """`pool_->mu_` -> `mu_`, `s.mu` -> `mu`, `mu_` -> `mu_`."""
+    return re.split(r"->|\.", expr)[-1]
+
+
+def check_latch_rank(sf: ScannedFile, tables: Tables) -> list[Finding]:
+    findings: list[Finding] = []
+    if not sf.rel.startswith(BARE_MUTEX_ALLOWED_PREFIXES) and sf.rel.startswith(
+        "src/"
+    ):
+        for i, ln in enumerate(sf.code):
+            m = BARE_MUTEX_RE.search(ln)
+            if m:
+                findings.append(
+                    Finding(
+                        sf.path,
+                        i + 1,
+                        "sias-latch-rank",
+                        f"bare {m.group(0)} is invisible to the rank "
+                        "discipline and the latch-order validator; use the "
+                        "capability types in common/latch.h",
+                    )
+                )
+    # Lexical nesting of guards: a stack of (brace_depth, rank|None, text).
+    depth = 0
+    stack: list[tuple[int, int | None, str]] = []
+    tracker = ClassTracker()
+    for i, ln in enumerate(sf.code):
+        cls = tracker.current()
+        tracker.feed(ln)
+        for m in GUARD_DECL_RE.finditer(ln):
+            expr = m.group(2)
+            member = member_of(expr)
+            ranks: set[int] = set()
+            if member == expr and cls is not None:
+                # Bare member name: resolve through the enclosing class.
+                ranks = tables.member_ranks.get(f"{cls}::{member}", set())
+            if not ranks:
+                ranks = tables.member_ranks.get(member, set())
+            rank = next(iter(ranks)) if len(ranks) == 1 else None
+            for _, outer_rank, outer_txt in stack:
+                if outer_rank is None or rank is None:
+                    continue
+                if rank <= outer_rank:
+                    rel = "equal to" if rank == outer_rank else "below"
+                    findings.append(
+                        Finding(
+                            sf.path,
+                            i + 1,
+                            "sias-latch-rank",
+                            f"acquiring '{m.group(2)}' (rank {rank}) "
+                            f"{rel} held '{outer_txt}' (rank {outer_rank}) "
+                            "violates the latch-rank order "
+                            "(docs/CONCURRENCY.md)",
+                        )
+                    )
+            stack.append((depth + ln[: m.start()].count("{"), rank, m.group(2)))
+        for ch in ln:
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                while stack and stack[-1][0] >= depth + 1:
+                    stack.pop()
+        if depth <= 0:
+            stack.clear()
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# sias-epoch-escape
+# ---------------------------------------------------------------------------
+
+ASSIGN_RE = re.compile(r"([\w.\[\]>-]+)\s*=\s*([^=;][^;]*);")
+RETURN_RE = re.compile(r"\breturn\s+([^;]+);")
+GUARD_VAR_RE = re.compile(r"\bPageGuard\s+(\w+)\b")
+CAST_RE = re.compile(
+    r"^(?:\(\s*[\w:<>\s*&]+\)|(?:reinterpret|static|const)_cast\s*<[^>]*>\s*\(|"
+    r"[&*(\s]+)+"
+)
+# Methods whose name alone is too common to taint globally (.data() exists
+# on std::string, std::vector, Slice, ...). They taint only through a
+# receiver the engine knows is a PageGuard local. The AST plugin resolves
+# the receiver type exactly instead.
+RECEIVER_ONLY_METHODS = ("data", "page")
+# Method calls on an already-tainted receiver that hand back the protected
+# storage itself (atomic slot load, frame surface accessors). Every other
+# method call on a tainted receiver is treated as a value copy out of the
+# pointee — the sanctioned idiom.
+TAINT_PROPAGATING_METHODS = ("load", "data", "page")
+
+
+def rhs_taints(
+    rhs: str,
+    epoch_fns: set[str],
+    tainted: set[str],
+    guard_vars: set[str],
+) -> bool:
+    """Does this right-hand side yield an epoch-protected pointer?
+
+    Lexical rule: taint flows only from the *root* of the expression — a
+    tainted variable, a direct call to an annotated function, or a
+    `.data()/.page()` access on a known PageGuard local. A tainted name
+    appearing merely as an argument to some other call (`DecodeFixed64(p)`,
+    `memcpy(dst, p, n)`, `std::string(p, n)`) is the sanctioned copy-out
+    idiom and stays clean.
+    """
+    expr = rhs.strip()
+    m = CAST_RE.match(expr)
+    if m:
+        expr = expr[m.end() :].lstrip()
+    rm = re.match(r"([A-Za-z_]\w*)", expr)
+    if not rm:
+        return False
+    root = rm.group(1)
+    after = expr[rm.end() :].lstrip()
+    meth = re.match(r"(?:\.|->)\s*(\w+)\s*\(", after)
+    if root in tainted:
+        if meth is not None:
+            return meth.group(1) in TAINT_PROPAGATING_METHODS
+        if re.match(r"==|!=|<|>|\?|\[|\.|->", after):
+            return False  # comparison / pointee field or element access
+        return True  # bare pointer, pointer arithmetic, or trailing ')'
+    if root in epoch_fns and root not in RECEIVER_ONLY_METHODS and after.startswith("("):
+        return True
+    if root in guard_vars:
+        if meth and meth.group(1) in RECEIVER_ONLY_METHODS:
+            return True
+    return False
+
+
+def is_nonlocal_lvalue(lhs: str) -> bool:
+    """Members (trailing '_' by project convention, or an access path) and
+    globals (g_ prefix) count as escaping stores."""
+    leaf = member_of(lhs)
+    base = lhs.split("[")[0]
+    if "->" in base or "." in base:
+        return True
+    return leaf.endswith("_") or leaf.startswith("g_")
+
+
+def check_epoch_escape(sf: ScannedFile, tables: Tables) -> list[Finding]:
+    findings: list[Finding] = []
+    if not tables.epoch_fns:
+        return findings
+    tainted: set[str] = set()
+    guard_vars: set[str] = set()
+    depth = 0
+    ns_depth = 0
+    fn_annotated_stack: list[bool] = []
+    pending_annot = False
+    for i, ln in enumerate(sf.code):
+        if EPOCH_ANNOT in ln and "#define" not in ln:
+            pending_annot = True
+        opens = ln.count("{")
+        ns_opens = (
+            1
+            if re.match(r"\s*(?:inline\s+)?namespace\b", ln) and opens
+            else 0
+        )
+        ns_depth += ns_opens
+        # Function-body entry approximation: a non-namespace '{' at
+        # namespace level starts a top-level body; remember whether it was
+        # annotated.
+        if opens - ns_opens > 0 and depth == ns_depth - ns_opens:
+            fn_annotated_stack = [pending_annot]
+            pending_annot = False
+            tainted = set()
+            guard_vars = set()
+        for gm in GUARD_VAR_RE.finditer(ln):
+            guard_vars.add(gm.group(1))
+        # Declarations / assignments (ASSIGN_RE's lhs group ends on the
+        # variable name for both `x = rhs;` and `Type x = rhs;`).
+        for m in ASSIGN_RE.finditer(ln):
+            lhs, rhs = m.group(1), m.group(2)
+            if not rhs_taints(rhs, tables.epoch_fns, tainted, guard_vars):
+                continue
+            decl = re.search(
+                r"\b(?:auto|Slice|SlottedPage|const)\b[\w:<>\s*&]*"
+                + re.escape(lhs)
+                + r"\s*=",
+                ln,
+            )
+            if decl is not None or not is_nonlocal_lvalue(lhs):
+                tainted.add(member_of(lhs.lstrip("*&")))
+            else:
+                findings.append(
+                    Finding(
+                        sf.path,
+                        i + 1,
+                        "sias-epoch-escape",
+                        f"storing epoch-protected pointer into '{lhs}' "
+                        "escapes the epoch/pin scope; copy the pointee or "
+                        "keep the owning guard instead",
+                    )
+                )
+        rm = RETURN_RE.search(ln)
+        if rm and rhs_taints(rm.group(1), tables.epoch_fns, tainted, guard_vars):
+            annotated = bool(fn_annotated_stack and fn_annotated_stack[0])
+            if not annotated:
+                findings.append(
+                    Finding(
+                        sf.path,
+                        i + 1,
+                        "sias-epoch-escape",
+                        "returning an epoch-protected pointer from a "
+                        "function not marked SIAS_EPOCH_PROTECTED "
+                        "re-publishes it past the guard scope",
+                    )
+                )
+        depth += opens - ln.count("}")
+        if depth < 0:
+            depth = 0
+        if depth < ns_depth:
+            ns_depth = depth  # a namespace closed
+        if opens == 0 and ";" in ln:
+            # A statement ended without opening a body: any armed annotation
+            # belonged to a prototype, not a definition.
+            pending_annot = False
+        if depth <= ns_depth and "}" in ln:
+            tainted = set()
+            fn_annotated_stack = []
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# sias-metric-literal
+# ---------------------------------------------------------------------------
+
+# Requiring a member-access receiver distinguishes real call sites
+# (`reg.GetCounter(...)`, `registry->GetGauge(...)`) from declarations and
+# the registry's own out-of-line definitions.
+REGISTRY_CALL_RE = re.compile(r"(?:\.|->)\s*Get(?:Counter|Gauge|Histogram)\s*\(")
+
+
+def catalogued(name: str, tables: Tables) -> bool:
+    if name in tables.catalogue:
+        return True
+    return any(name.startswith(p) for p in tables.catalogue_prefixes)
+
+
+def check_metric_literal(sf: ScannedFile, tables: Tables) -> list[Finding]:
+    findings: list[Finding] = []
+    if not tables.catalogue:
+        return findings
+    if sf.rel.startswith(("src/obs/metrics", "tools/")):
+        return findings  # the registry's own definition / the analyzer
+    if "/" in sf.rel and not sf.rel.startswith("src/"):
+        # The catalogue governs production telemetry. Unit tests (obs_test,
+        # sampler_test) register scratch names to exercise the registry
+        # itself; bare-filename fixtures stay covered.
+        return findings
+    for i, ln in enumerate(sf.code):
+        for m in REGISTRY_CALL_RE.finditer(ln):
+            after = ln[m.end() :].lstrip()
+            lit: StringLit | None = None
+            if after.startswith('"'):
+                col = m.end() + (len(ln[m.end() :]) - len(after)) + 1
+                lit = next(
+                    (
+                        s
+                        for s in sf.strings
+                        if s.line == i + 1 and s.col == col
+                    ),
+                    None,
+                )
+            elif after == "" and i + 1 < len(sf.code):
+                lit = next(
+                    (s for s in sf.strings if s.line == i + 2), None
+                )
+            if lit is None:
+                if after.startswith(")"):
+                    continue  # zero-arg overload / unrelated Get*()
+                findings.append(
+                    Finding(
+                        sf.path,
+                        i + 1,
+                        "sias-metric-literal",
+                        "metric name must be a string literal so the "
+                        "catalogue check (and grep) can see it",
+                    )
+                )
+                continue
+            if not catalogued(lit.value, tables):
+                findings.append(
+                    Finding(
+                        sf.path,
+                        i + 1,
+                        "sias-metric-literal",
+                        f"metric '{lit.value}' is not in the "
+                        "docs/OBSERVABILITY.md catalogue; add it to the "
+                        "table (or fix the typo)",
+                    )
+                )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def build_tables(root: pathlib.Path, decl_files: list[pathlib.Path]) -> Tables:
+    tables = Tables()
+    latch_order = root / "src" / "check" / "latch_order.h"
+    if latch_order.exists():
+        tables.ranks = parse_rank_table(latch_order)
+    obs_md = root / "docs" / "OBSERVABILITY.md"
+    if obs_md.exists():
+        tables.catalogue, tables.catalogue_prefixes = parse_catalogue(obs_md)
+    for f in decl_files:
+        collect_decl_facts(scan_cpp(f, rel_of(f, root)), tables)
+    return tables
+
+
+def rel_of(path: pathlib.Path, root: pathlib.Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def run_checks(
+    sf: ScannedFile, tables: Tables, checks: tuple[str, ...]
+) -> list[Finding]:
+    findings: list[Finding] = []
+    if "sias-virtual-time" in checks:
+        findings += check_virtual_time(sf)
+    if "sias-latch-rank" in checks:
+        findings += check_latch_rank(sf, tables)
+    if "sias-epoch-escape" in checks:
+        findings += check_epoch_escape(sf, tables)
+    if "sias-metric-literal" in checks:
+        findings += check_metric_literal(sf, tables)
+    return findings
+
+
+def cpp_files(paths: list[pathlib.Path]) -> list[pathlib.Path]:
+    files: list[pathlib.Path] = []
+    for p in paths:
+        if p.is_dir():
+            files += sorted(p.rglob("*.cc")) + sorted(p.rglob("*.h"))
+        else:
+            files.append(p)
+    return files
+
+
+def lint(root: pathlib.Path, paths: list[pathlib.Path], checks: tuple[str, ...]) -> int:
+    decl_files = cpp_files([root / "src"])
+    tables = build_tables(root, decl_files)
+    findings: list[Finding] = []
+    for f in cpp_files(paths):
+        sf = scan_cpp(f, rel_of(f, root))
+        findings += run_checks(sf, tables, checks)
+    for fd in findings:
+        print(fd.render())
+    if findings:
+        print(f"sias-tidy-lite: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def run_fixtures(root: pathlib.Path, fixture_dir: pathlib.Path) -> int:
+    """Each fixture is <check-stem>_{pos,neg}.cc: pos must raise >= 1
+    finding of its check, neg must raise none. The fixture file itself is
+    the only declaration source (self-contained stubs)."""
+    stem_to_check = {
+        "epoch_escape": "sias-epoch-escape",
+        "latch_rank": "sias-latch-rank",
+        "virtual_time": "sias-virtual-time",
+        "metric_literal": "sias-metric-literal",
+    }
+    failures = 0
+    ran = 0
+    for f in sorted(fixture_dir.glob("*.cc")):
+        m = re.match(r"([a-z_]+?)_(pos|neg)\.cc$", f.name)
+        if not m:
+            continue
+        stem, kind = m.group(1), m.group(2)
+        check = stem_to_check.get(stem)
+        if check is None:
+            print(f"  SKIP {f.name}: unknown check stem '{stem}'")
+            continue
+        ran += 1
+        tables = Tables()
+        latch_order = root / "src" / "check" / "latch_order.h"
+        if latch_order.exists():
+            tables.ranks = parse_rank_table(latch_order)
+        obs_md = root / "docs" / "OBSERVABILITY.md"
+        if obs_md.exists():
+            tables.catalogue, tables.catalogue_prefixes = parse_catalogue(obs_md)
+        sf = scan_cpp(f, f.name)
+        collect_decl_facts(sf, tables)
+        found = [
+            fd for fd in run_checks(sf, tables, (check,)) if fd.check == check
+        ]
+        want_findings = kind == "pos"
+        ok = bool(found) == want_findings
+        status = "PASS" if ok else "FAIL"
+        print(f"  {status} {f.name}: {len(found)} finding(s) from {check}")
+        if not ok:
+            failures += 1
+            for fd in found:
+                print(f"    {fd.render()}")
+    if ran == 0:
+        print(f"no fixtures found in {fixture_dir}", file=sys.stderr)
+        return 2
+    print(f"fixtures: {ran - failures}/{ran} PASS")
+    return 1 if failures else 0
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*", help="files or dirs (default: src/)")
+    ap.add_argument(
+        "--root",
+        default=str(pathlib.Path(__file__).resolve().parents[2]),
+        help="repository root (rank table, catalogue, allowlists)",
+    )
+    ap.add_argument("--checks", default=",".join(ALL_CHECKS))
+    ap.add_argument(
+        "--fixtures", metavar="DIR", help="run the fixture battery in DIR"
+    )
+    args = ap.parse_args(argv)
+    root = pathlib.Path(args.root)
+    if args.fixtures:
+        return run_fixtures(root, pathlib.Path(args.fixtures))
+    checks = tuple(c for c in str(args.checks).split(",") if c)
+    unknown = [c for c in checks if c not in ALL_CHECKS]
+    if unknown:
+        print(f"unknown checks: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    paths = [pathlib.Path(p) for p in args.paths] or [root / "src"]
+    return lint(root, paths, checks)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

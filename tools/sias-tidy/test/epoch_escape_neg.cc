@@ -1,0 +1,35 @@
+// sias-epoch-escape NEGATIVE fixture: the sanctioned idioms — hold the
+// pointer in locals, copy the pointee out, or return it from a function
+// that is itself annotated. Must produce zero findings.
+
+#if defined(__clang__)
+#define SIAS_EPOCH_PROTECTED [[clang::annotate("sias::epoch_protected")]]
+#else
+#define SIAS_EPOCH_PROTECTED
+#endif
+
+namespace fixture {
+
+struct Entry {
+  int value;
+};
+
+SIAS_EPOCH_PROTECTED const Entry* LoadEntry();
+
+// OK: pointee value is copied out before the epoch scope ends.
+void CopyOut(int* out) {
+  const Entry* e = LoadEntry();
+  *out = e->value;
+}
+
+// OK: comparing and deriving plain values from the protected pointer.
+bool Exists() {
+  const Entry* e = LoadEntry();
+  return e != nullptr;
+}
+
+// OK: an annotated function may hand the pointer onward — its caller
+// inherits the same contract.
+SIAS_EPOCH_PROTECTED const Entry* Reload() { return LoadEntry(); }
+
+}  // namespace fixture

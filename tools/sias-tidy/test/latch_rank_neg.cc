@@ -1,0 +1,37 @@
+// sias-latch-rank NEGATIVE fixture: ascending acquisitions and
+// non-overlapping scopes. Must produce zero findings.
+
+namespace fixture {
+
+enum class LatchRank : unsigned char {
+  kBufferPool = 60,
+  kWal = 65,
+};
+
+struct Mutex {
+  Mutex() = default;
+  explicit Mutex(LatchRank) {}
+};
+
+struct MutexLock {
+  explicit MutexLock(Mutex*) {}
+};
+
+struct Engine {
+  Mutex pool_mu_{LatchRank::kBufferPool};
+  Mutex wal_mu_{LatchRank::kWal};
+
+  void AscendingOrder() {
+    MutexLock pool(&pool_mu_);  // rank 60 first...
+    MutexLock wal(&wal_mu_);    // OK: rank 65 strictly above held rank 60
+  }
+
+  void SequentialScopes() {
+    {
+      MutexLock wal(&wal_mu_);  // released before the next acquisition
+    }
+    MutexLock pool(&pool_mu_);  // OK: scopes do not overlap
+  }
+};
+
+}  // namespace fixture

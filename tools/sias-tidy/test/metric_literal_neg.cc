@@ -1,0 +1,30 @@
+// sias-metric-literal NEGATIVE fixture: catalogued literal names,
+// including one matched through a catalogue wildcard row. Must produce
+// zero findings.
+
+#include <string>
+
+namespace sias {
+namespace obs {
+
+struct Counter {
+  void Increment() {}
+};
+
+struct MetricsRegistry {
+  static MetricsRegistry& Default();
+  Counter* GetCounter(const std::string& name);
+};
+
+}  // namespace obs
+}  // namespace sias
+
+namespace fixture {
+
+void Observe() {
+  sias::obs::MetricsRegistry& reg = sias::obs::MetricsRegistry::Default();
+  reg.GetCounter("txn.begin")->Increment();            // OK: catalogued
+  reg.GetCounter("fault.injected.torn_write")->Increment();  // OK: wildcard
+}
+
+}  // namespace fixture

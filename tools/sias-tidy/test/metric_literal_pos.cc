@@ -1,0 +1,31 @@
+// sias-metric-literal POSITIVE fixture: an uncatalogued name and a
+// non-literal name. Both registry calls must be flagged.
+
+#include <string>
+
+namespace sias {
+namespace obs {
+
+struct Counter {
+  void Increment() {}
+};
+
+struct MetricsRegistry {
+  static MetricsRegistry& Default();
+  Counter* GetCounter(const std::string& name);
+};
+
+}  // namespace obs
+}  // namespace sias
+
+namespace fixture {
+
+void Observe(const std::string& dynamic_name) {
+  sias::obs::MetricsRegistry& reg = sias::obs::MetricsRegistry::Default();
+  // BAD: not in the docs/OBSERVABILITY.md catalogue (typo of txn.begin).
+  reg.GetCounter("txn.beginz")->Increment();
+  // BAD: runtime-built name defeats the catalogue check and grep.
+  reg.GetCounter(dynamic_name)->Increment();
+}
+
+}  // namespace fixture

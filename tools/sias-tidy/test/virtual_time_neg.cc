@@ -1,0 +1,20 @@
+// sias-virtual-time NEGATIVE fixture: a properly waived wall-clock call.
+// Must produce zero findings.
+
+#include <chrono>
+
+#if defined(__clang__) || defined(__GNUC__)
+#define SIAS_WALLCLOCK_OK(justification)                              \
+  static_assert(sizeof(justification) > 1,                            \
+                "SIAS_WALLCLOCK_OK requires a non-empty justification")
+#endif
+
+namespace fixture {
+
+long Deadline() {
+  // OK: waiver with a non-empty justification on the preceding line.
+  SIAS_WALLCLOCK_OK("liveness backstop; duration is modeled in vtime");
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture
