@@ -14,6 +14,7 @@
 #include "common/logging.h"
 #include "device/flash_ssd.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "device/hdd.h"
 #include "device/mem_device.h"
 #include "device/raid0.h"
@@ -309,6 +310,9 @@ class BenchMetricsWriter {
   }
 
   /// Writes the collected experiments. Call once at the end of main().
+  /// Alongside the metrics JSON it drops `<path>.trace.json`: the span
+  /// aggregator's slow-transaction exemplar trees in chrome://tracing
+  /// format (the final experiment's top-K; see docs/OBSERVABILITY.md).
   void Write() const {
     if (!enabled()) return;
     std::string out = "{\"bench\":";
@@ -329,6 +333,14 @@ class BenchMetricsWriter {
     std::fclose(f);
     std::printf("BENCH_METRICS_FILE %s (%zu experiments)\n", path_.c_str(),
                 experiments_.size());
+    std::string trace = obs::SpanAggregator::Default().ExemplarsToChromeTraceJson();
+    std::string trace_path = path_ + ".trace.json";
+    FILE* tf = std::fopen(trace_path.c_str(), "w");
+    if (tf != nullptr) {
+      std::fwrite(trace.data(), 1, trace.size(), tf);
+      std::fclose(tf);
+      std::printf("BENCH_SPAN_TRACE_FILE %s\n", trace_path.c_str());
+    }
   }
 
  private:
@@ -354,6 +366,8 @@ inline std::map<std::string, double> TpccNumbers(
       static_cast<double>(no.Percentile(90)) / kVSecond;
   n["new_order_p99_vsec"] =
       static_cast<double>(no.Percentile(99)) / kVSecond;
+  n["new_order_p999_vsec"] =
+      static_cast<double>(no.Percentile(99.9)) / kVSecond;
   n["new_order_mean_vsec"] = no.Mean() / kVSecond;
   return n;
 }

@@ -30,6 +30,15 @@ check is one of
   {"type": "counter_geq", "bench": B, "label": L, "counter": C, "min": V}
   {"type": "counter_leq", "bench": B, "label": L, "counter": C, "max": V}
       metrics.counters[C] bound
+  {"type": "percentile_leq", "bench": B, "label": L, "histogram": H,
+   "quantile": Q, "max": V}
+      metrics.histograms[H][Q] must be <= V (Q is a summary field such as
+      "p999_ns"; the tail-latency gate)
+  {"type": "phase_sum_within", "bench": B, "label": L, "latency": H,
+   "phases": [H1, ...], "tolerance_pct": P}
+      sum over the phase histograms of mean_ns*count must be within P% of
+      mean_ns*count of the end-to-end latency histogram H (the span
+      attribution invariant; see docs/OBSERVABILITY.md)
 Every check accepts an optional "desc". Checks referencing a bench with no
 loaded file are reported as skipped (not failures) unless "required": true.
 """
@@ -64,6 +73,8 @@ def load_files(paths: list[str]) -> BenchMap:
     for f in files:
         with open(f, encoding="utf-8") as fh:
             doc = json.load(fh)
+        if not isinstance(doc, dict) or "bench" not in doc:
+            continue  # e.g. the BENCH_*.json.trace.json span exports
         by_label = benches.setdefault(str(doc["bench"]), {})
         for exp in doc.get("experiments", []):
             by_label[str(exp["label"])] = exp
@@ -89,6 +100,19 @@ def wa_of(exp: Experiment) -> float | None:
 
 def res(exp: Experiment, key: str) -> float | None:
     return as_num(exp.get("results", {}).get(key))
+
+
+def hist_of(exp: Experiment, name: str) -> dict[str, Any] | None:
+    h = exp.get("metrics", {}).get("histograms", {}).get(name)
+    return h if isinstance(h, dict) else None
+
+
+def hist_total_ns(h: dict[str, Any]) -> float | None:
+    """Total virtual time in a histogram summary: mean_ns * count."""
+    mean, count = as_num(h.get("mean_ns")), as_num(h.get("count"))
+    if mean is None or count is None:
+        return None
+    return mean * count
 
 
 # ---------------------------------------------------------------------------
@@ -277,6 +301,46 @@ def run_check(check: Check, benches: BenchMap) -> tuple[bool | None, str]:
         else:
             ok, bound = v <= float(check["max"]), f"<= {check['max']}"
         return ok, f"{desc}: {check['counter']}={v:g} (want {bound})"
+    if t == "percentile_leq":
+        e = bench.get(check["label"])
+        if e is None:
+            return False, f"{desc}: label {check['label']} missing"
+        h = hist_of(e, check["histogram"])
+        if h is None:
+            return False, f"{desc}: histogram {check['histogram']} missing"
+        v = as_num(h.get(check["quantile"]))
+        if v is None:
+            return False, (f"{desc}: quantile {check['quantile']} missing "
+                           f"from {check['histogram']}")
+        ok = v <= float(check["max"])
+        return ok, (f"{desc}: {check['histogram']}.{check['quantile']}={v:g} "
+                    f"(want <= {check['max']})")
+    if t == "phase_sum_within":
+        e = bench.get(check["label"])
+        if e is None:
+            return False, f"{desc}: label {check['label']} missing"
+        lat = hist_of(e, check["latency"])
+        if lat is None:
+            return False, f"{desc}: histogram {check['latency']} missing"
+        total = hist_total_ns(lat)
+        if not total:
+            return False, f"{desc}: {check['latency']} is empty"
+        phase_sum = 0.0
+        for name in check["phases"]:
+            h = hist_of(e, name)
+            if h is None:
+                # An all-zero phase is legitimately absent (nothing recorded)
+                # and contributes 0 to the sum.
+                continue
+            part = hist_total_ns(h)
+            if part is None:
+                return False, f"{desc}: histogram {name} malformed"
+            phase_sum += part
+        drift = 100.0 * abs(phase_sum - total) / total
+        ok = drift <= float(check["tolerance_pct"])
+        return ok, (f"{desc}: phase sum {phase_sum:.0f}ns vs latency "
+                    f"{total:.0f}ns, drift {drift:.2f}% "
+                    f"(want <= {check['tolerance_pct']}%)")
     return False, f"{desc}: unknown check type '{t}'"
 
 

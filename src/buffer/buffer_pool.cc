@@ -11,6 +11,7 @@
 #include "fault/debug_ring.h"
 #include "fault/retry.h"
 #include "obs/op_trace.h"
+#include "obs/span.h"
 
 namespace sias {
 
@@ -358,24 +359,30 @@ Result<PageGuard> BufferPool::FinishFetch(AsyncFetch* fetch,
   const PageId id = fetch->id;
   Frame& f = frames_[fetch->frame];
   StorageDevice* dev = disk_->device();
-  // Completion-driven retry: the first attempt's status comes from the
-  // async completion; each retry RESUBMITS at the post-backoff instant so
-  // the channel calendar is re-reserved (never completing "in the past").
-  Status first = dev->Wait(fetch->io, clk);
-  Status st =
-      fault::RetryTransientAfterFailure(
-          "page read", clk, std::move(first), [&]() -> Status {
-            auto offset = disk_->PageOffset(id.relation, id.page);
-            if (!offset.ok()) return offset.status();
-            IoRequest req;
-            req.op = IoOp::kRead;
-            req.offset = *offset;
-            req.len = kPageSize;
-            req.out = f.data.get();
-            auto h = dev->Submit(req, clk != nullptr ? clk->now() : 0);
-            if (!h.ok()) return h.status();
-            return dev->Wait(*h, clk);
-          });
+  Status st;
+  {
+    // The async read's completion wait is the issuing transaction's io_wait
+    // phase (the Submit in StartFetch costs no virtual time).
+    obs::SpanScope io_span(obs::SpanPhase::kIoWait, "pool", "fetch_wait",
+                           id.page);
+    // Completion-driven retry: the first attempt's status comes from the
+    // async completion; each retry RESUBMITS at the post-backoff instant so
+    // the channel calendar is re-reserved (never completing "in the past").
+    Status first = dev->Wait(fetch->io, clk);
+    st = fault::RetryTransientAfterFailure(
+        "page read", clk, std::move(first), [&]() -> Status {
+          auto offset = disk_->PageOffset(id.relation, id.page);
+          if (!offset.ok()) return offset.status();
+          IoRequest req;
+          req.op = IoOp::kRead;
+          req.offset = *offset;
+          req.len = kPageSize;
+          req.out = f.data.get();
+          auto h = dev->Submit(req, clk != nullptr ? clk->now() : 0);
+          if (!h.ok()) return h.status();
+          return dev->Wait(*h, clk);
+        });
+  }
   if (!st.ok()) {
     Unpin(fetch->frame);
     return st;

@@ -161,6 +161,7 @@ const char* LatchRankName(LatchRank rank) {
     case LatchRank::kStats: return "stats";
     case LatchRank::kMetricsSampler: return "metrics-sampler";
     case LatchRank::kMetricsRegistry: return "metrics-registry";
+    case LatchRank::kSpanAggregator: return "span-aggregator";
     case LatchRank::kMetrics: return "metrics";
   }
   return "?";

@@ -70,6 +70,7 @@ enum class LatchRank : uint8_t {
   kStats = 95,          ///< per-component stats mutexes, TraceRecorder
   kMetricsSampler = 97,  ///< MetricsSampler ring (snapshots the registry)
   kMetricsRegistry = 98,  ///< obs registry map (locks histogram shards)
+  kSpanAggregator = 99,  ///< span aggregator (per-txn-type latency, exemplars)
   kMetrics = 100,       ///< histogram shards / OpTracer (terminal leaves)
 };
 

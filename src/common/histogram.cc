@@ -60,9 +60,26 @@ VDuration Histogram::Percentile(double p) const {
   if (target == 0) target = 1;
   uint64_t seen = 0;
   for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    uint64_t before = seen;
     seen += buckets_[i];
     if (seen >= target) {
-      return i == 0 ? bounds_[0] : bounds_[i - 1];
+      // Bucket i holds values in [bounds_[i-1], bounds_[i]) (bucket 0 holds
+      // only 0). Interpolate linearly by rank within the bucket instead of
+      // returning the lower bound, then clamp into the observed range so the
+      // estimate never leaves [min_, max_]. The sentinel overflow bucket is
+      // unbounded: report the largest finite bound as before (interpolating
+      // toward max_ there would invent values beyond the bucket coverage).
+      if (i + 1 == buckets_.size()) return bounds_[i - 1];
+      double lower = i == 0 ? 0.0 : static_cast<double>(bounds_[i - 1]);
+      double upper = static_cast<double>(bounds_[i]);
+      if (upper < lower) upper = lower;
+      double frac = static_cast<double>(target - before) /
+                    static_cast<double>(buckets_[i]);
+      auto v = static_cast<VDuration>(lower + frac * (upper - lower));
+      if (v < min_) v = min_;
+      if (v > max_) v = max_;
+      return v;
     }
   }
   return max_;

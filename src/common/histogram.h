@@ -21,6 +21,8 @@ class Histogram {
 
   uint64_t count() const { return count_; }
   double Mean() const;
+  /// Exact total of recorded values (not bucket-quantized).
+  double Sum() const { return sum_; }
   VDuration Min() const { return count_ ? min_ : 0; }
   VDuration Max() const { return max_; }
   /// p in [0, 100].

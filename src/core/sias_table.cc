@@ -10,6 +10,7 @@
 #include "fault/debug_ring.h"
 #include "obs/metrics.h"
 #include "obs/op_trace.h"
+#include "obs/span.h"
 
 namespace sias {
 
@@ -168,6 +169,11 @@ Status SiasTable::GetVisible(Transaction* txn, Vid vid, bool* found,
       if (!*found) Obs().read_misses->Increment();
     }
   } trav(found);
+
+  // Version-chain walk span: whatever virtual time the walk spends outside
+  // nested io_wait spans is this transaction's traversal phase.
+  obs::SpanScope trav_span(obs::SpanPhase::kTraversal, "mvcc", "get_visible",
+                           vid);
 
   // Epoch pin for the whole walk: the map pointer loaded below, every page
   // it references and every predecessor those versions point at stay
@@ -438,6 +444,8 @@ Status SiasTable::ReadMulti(Transaction* txn, const std::vector<Vid>& vids,
     return MvccTable::ReadMulti(txn, vids, io_depth, rows);
   }
   TRACE_OP("mvcc", "sias_read_multi");
+  obs::SpanScope trav_span(obs::SpanPhase::kTraversal, "mvcc", "read_multi",
+                           vids.size());
   rows->assign(vids.size(), std::optional<std::string>{});
 
   const Clog& clog = *env_.txns->clog();

@@ -11,6 +11,7 @@
 #include "fault/retry.h"
 #include "mvcc/epoch.h"
 #include "obs/op_trace.h"
+#include "obs/span.h"
 
 namespace sias {
 
@@ -615,6 +616,10 @@ Status Database::Recover(const RecoverOptions& ropts) {
 
 Status Database::Vacuum(VirtualClock* clk, GcStats* stats) {
   TRACE_OP("maintenance", "vacuum");
+  // When vacuum runs on a terminal's clock inside an open transaction root
+  // (inline GC), its virtual time is that transaction's gc_defer phase —
+  // the deferred-wipe interference the span model is meant to expose.
+  obs::SpanScope gc_span(obs::SpanPhase::kGcDefer, "maintenance", "vacuum");
   SIAS_CRASH_POINT("vacuum.begin");
   Xid horizon = txns_.GcHorizon();
   std::vector<Table*> tables;
@@ -628,8 +633,12 @@ Status Database::Vacuum(VirtualClock* clk, GcStats* stats) {
   // One more reclaim pass over work the per-table collections deferred:
   // with no pinned readers everything lands now; otherwise it stays queued
   // until the pinning epochs exit.
-  EpochManager::Global().Advance();
-  EpochManager::Global().TryReclaim();
+  {
+    obs::SpanScope reclaim_span(obs::SpanPhase::kGcDefer, "maintenance",
+                                "epoch_reclaim");
+    EpochManager::Global().Advance();
+    EpochManager::Global().TryReclaim();
+  }
   return Status::OK();
 }
 

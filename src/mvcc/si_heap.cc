@@ -6,6 +6,7 @@
 #include "mvcc/visibility.h"
 #include "obs/metrics.h"
 #include "obs/op_trace.h"
+#include "obs/span.h"
 
 namespace sias {
 
@@ -156,6 +157,7 @@ Status SiHeap::FetchVersion(Tid tid, VirtualClock* clk, TupleHeader* header,
 
 Result<std::optional<std::string>> SiHeap::Read(Transaction* txn, Vid vid) {
   TRACE_OP("mvcc", "si_read");
+  obs::SpanScope trav_span(obs::SpanPhase::kTraversal, "mvcc", "si_read", vid);
   std::vector<Tid> candidates;
   {
     MutexLock g(&map_mu_);

@@ -33,29 +33,55 @@ HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name) {
   return slot.get();
 }
 
+HistogramSummary SummarizeHistogram(const Histogram& h) {
+  HistogramSummary s;
+  s.count = h.count();
+  s.mean = h.Mean();
+  s.p50 = h.Percentile(50);
+  s.p90 = h.Percentile(90);
+  s.p99 = h.Percentile(99);
+  s.p999 = h.Percentile(99.9);
+  s.max = h.Max();
+  return s;
+}
+
+void MetricsRegistry::AddSnapshotAugmenter(SnapshotAugmenter fn) {
+  MutexLock g(&mu_);
+  augmenters_.push_back(fn);
+}
+
+void MetricsRegistry::AddResetHook(ResetHook fn) {
+  MutexLock g(&mu_);
+  reset_hooks_.push_back(fn);
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
-  MutexLock g(&mu_);
-  for (const auto& [name, c] : counters_) snap.counters[name] = c->Value();
-  for (const auto& [name, gg] : gauges_) snap.gauges[name] = gg->Value();
-  for (const auto& [name, h] : histograms_) {
-    Histogram merged = h->Snapshot();
-    HistogramSummary s;
-    s.count = merged.count();
-    s.mean = merged.Mean();
-    s.p50 = merged.Percentile(50);
-    s.p90 = merged.Percentile(90);
-    s.p99 = merged.Percentile(99);
-    s.max = merged.Max();
-    snap.histograms[name] = s;
+  std::vector<SnapshotAugmenter> augmenters;
+  {
+    MutexLock g(&mu_);
+    for (const auto& [name, c] : counters_) snap.counters[name] = c->Value();
+    for (const auto& [name, gg] : gauges_) snap.gauges[name] = gg->Value();
+    for (const auto& [name, h] : histograms_) {
+      snap.histograms[name] = SummarizeHistogram(h->Snapshot());
+    }
+    augmenters = augmenters_;
   }
+  // Augmenters run with the registry mutex released: they take their own
+  // (higher-ranked) latches and must not re-enter the registry.
+  for (SnapshotAugmenter fn : augmenters) fn(&snap);
   return snap;
 }
 
 void MetricsRegistry::ResetAll() {
-  MutexLock g(&mu_);
-  for (auto& [name, c] : counters_) c->Reset();
-  for (auto& [name, h] : histograms_) h->Reset();
+  std::vector<ResetHook> hooks;
+  {
+    MutexLock g(&mu_);
+    for (auto& [name, c] : counters_) c->Reset();
+    for (auto& [name, h] : histograms_) h->Reset();
+    hooks = reset_hooks_;
+  }
+  for (ResetHook fn : hooks) fn();
 }
 
 MetricsRegistry& MetricsRegistry::Default() {
@@ -123,6 +149,8 @@ std::string MetricsSnapshot::ToJson() const {
     AppendInt(&out, h.p90);
     out += ",\"p99_ns\":";
     AppendInt(&out, h.p99);
+    out += ",\"p999_ns\":";
+    AppendInt(&out, h.p999);
     out += ",\"max_ns\":";
     AppendInt(&out, h.max);
     out += '}';
@@ -208,7 +236,10 @@ std::string MetricsSnapshot::ToPrometheusText(
     const struct {
       const char* q;
       VDuration v;
-    } quantiles[] = {{"0.5", h.p50}, {"0.9", h.p90}, {"0.99", h.p99}};
+    } quantiles[] = {{"0.5", h.p50},
+                     {"0.9", h.p90},
+                     {"0.99", h.p99},
+                     {"0.999", h.p999}};
     for (const auto& q : quantiles) {
       out += pname +
              RenderLabels(labels,

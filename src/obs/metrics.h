@@ -115,8 +115,13 @@ struct HistogramSummary {
   VDuration p50 = 0;
   VDuration p90 = 0;
   VDuration p99 = 0;
+  VDuration p999 = 0;
   VDuration max = 0;
 };
+
+/// Builds the condensed figures (count/mean/p50/p90/p99/p999/max) from a
+/// merged histogram.
+HistogramSummary SummarizeHistogram(const Histogram& h);
 
 /// Point-in-time dump of every registered metric (sorted by name).
 struct MetricsSnapshot {
@@ -149,13 +154,26 @@ std::string PrometheusEscapeLabelValue(const std::string& value);
 /// the registry's lifetime).
 class MetricsRegistry {
  public:
+  /// Runs after Snapshot() builds the registry's own view, outside the
+  /// registry mutex, so side aggregators (the span aggregator) can inject
+  /// derived series. Augmenters may acquire their own latches (rank above
+  /// kMetricsSampler) but must not call back into the registry's Get*.
+  using SnapshotAugmenter = void (*)(MetricsSnapshot*);
+  /// Runs from ResetAll(), outside the registry mutex.
+  using ResetHook = void (*)();
+
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
   HistogramMetric* GetHistogram(const std::string& name);
 
+  /// Registers a hook for the registry's lifetime (no unregistration).
+  void AddSnapshotAugmenter(SnapshotAugmenter fn);
+  void AddResetHook(ResetHook fn);
+
   MetricsSnapshot Snapshot() const;
 
-  /// Zeroes counters and histograms (gauges are overwritten by their owners).
+  /// Zeroes counters and histograms (gauges are overwritten by their owners),
+  /// then runs the registered reset hooks.
   void ResetAll();
 
   /// The process-wide registry the engine reports into.
@@ -170,6 +188,8 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_ SIAS_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_
       SIAS_GUARDED_BY(mu_);
+  std::vector<SnapshotAugmenter> augmenters_ SIAS_GUARDED_BY(mu_);
+  std::vector<ResetHook> reset_hooks_ SIAS_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/metrics.h"
+
 namespace sias {
 namespace obs {
 
@@ -13,7 +15,9 @@ uint32_t TraceThreadId() {
 }
 
 OpTracer::OpTracer(size_t capacity)
-    : capacity_(std::max<size_t>(1, capacity)) {
+    : capacity_(std::max<size_t>(1, capacity)),
+      dropped_counter_(
+          MetricsRegistry::Default().GetCounter("obs.trace.dropped")) {
   ring_.resize(capacity_);
 }
 
@@ -21,6 +25,7 @@ void OpTracer::Record(const char* category, const char* name,
                       uint64_t start_ns, uint64_t dur_ns) {
   TraceEvent ev{category, name, start_ns, dur_ns, TraceThreadId()};
   MutexLock g(&mu_);
+  if (seq_ >= capacity_) dropped_counter_->Increment();
   ring_[seq_ % capacity_] = ev;
   seq_++;
 }

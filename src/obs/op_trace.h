@@ -22,6 +22,8 @@
 namespace sias {
 namespace obs {
 
+class Counter;
+
 /// One completed traced scope. Category/name must be string literals (the
 /// ring stores the pointers, not copies).
 struct TraceEvent {
@@ -68,6 +70,9 @@ class OpTracer {
  private:
   std::atomic<bool> enabled_{false};
   size_t capacity_;
+  /// obs.trace.dropped in the default registry: ring overwrites are loss, and
+  /// loss must be visible without polling dropped().
+  Counter* dropped_counter_;
   /// Rank kMetrics: terminal leaf, recorded into from every layer.
   mutable Mutex mu_{LatchRank::kMetrics};
   /// ring_[seq % capacity_].

@@ -5,6 +5,7 @@
 #include "common/analysis_annotations.h"
 #include "obs/metrics.h"
 #include "obs/op_trace.h"
+#include "obs/span.h"
 
 namespace sias {
 
@@ -42,6 +43,11 @@ Status LockManager::AcquireExclusive(RelationId relation, Vid vid, Xid xid,
     return Status::OK();
   }
   TRACE_OP("lock", "wait");
+  // Wait edge for the requester's span tree, tagged with the current
+  // holder's xid; closes after AdvanceTo below so the span carries the
+  // modeled virtual wait, not the wall-clock block.
+  obs::SpanScope lock_wait_span(obs::SpanPhase::kLockWait, "lock", "wait",
+                                state.holder);
   Obs().waits->Increment();
   state.waiters++;
   // The cv deadline must be wall-clock: a blocked thread's virtual clock

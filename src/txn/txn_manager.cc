@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "obs/op_trace.h"
+#include "obs/span.h"
 
 namespace sias {
 
@@ -18,6 +19,7 @@ TransactionManager::TransactionManager(Clog* clog, LockManager* locks)
 
 std::unique_ptr<Transaction> TransactionManager::Begin(VirtualClock* clock) {
   TRACE_OP("txn", "begin");
+  SPAN_SCOPE("txn", "begin");
   MutexLock g(&mu_);
   Xid xid = next_xid_++;
   clog_->Extend(xid);
@@ -54,6 +56,7 @@ void TransactionManager::Finish(Transaction* txn) {
 
 Status TransactionManager::Commit(Transaction* txn) {
   TRACE_OP("txn", "commit");
+  SPAN_SCOPE("txn", "commit");
   if (txn->state() != TxnState::kActive) {
     return Status::TxnInvalidState("commit of finished transaction");
   }
@@ -81,6 +84,7 @@ Status TransactionManager::Commit(Transaction* txn) {
 
 Status TransactionManager::Abort(Transaction* txn) {
   TRACE_OP("txn", "abort");
+  SPAN_SCOPE("txn", "abort");
   if (txn->state() != TxnState::kActive) {
     return Status::TxnInvalidState("abort of finished transaction");
   }

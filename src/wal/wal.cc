@@ -10,6 +10,7 @@
 #include "fault/debug_ring.h"
 #include "fault/retry.h"
 #include "obs/op_trace.h"
+#include "obs/span.h"
 
 namespace sias {
 
@@ -58,6 +59,8 @@ WalWriter::WalWriter(StorageDevice* device, uint64_t base_offset,
   m_flushes_ = reg.GetCounter("wal.flushes");
   m_written_bytes_ = reg.GetCounter("wal.written_bytes");
   m_flush_latency_ = reg.GetHistogram("wal.flush_latency");
+  m_gc_leader_ = reg.GetCounter("wal.group_commit.leader");
+  m_gc_follower_ = reg.GetCounter("wal.group_commit.follower");
 }
 
 Result<Lsn> WalWriter::Append(const WalRecord& record) {
@@ -119,8 +122,15 @@ Status WalWriter::Resume(Lsn lsn) {
 
 Status WalWriter::FlushTo(Lsn lsn, VirtualClock* clk) {
   TRACE_OP("wal", "flush");
+  // Group-commit span: renamed leader/follower once the role is known (a
+  // follower's lsn was already made durable by another terminal's flush).
+  obs::SpanScope flush_span(obs::SpanPhase::kWalFlush, "wal", "flush");
   MutexLock g(&mu_);
-  if (lsn <= flushed_lsn_) return Status::OK();
+  if (lsn <= flushed_lsn_) {
+    flush_span.set_name("flush_follower");
+    m_gc_follower_->Increment();
+    return Status::OK();
+  }
   lsn = std::min<Lsn>(lsn, next_lsn_);
   // The group-commit fsync: virtual time from here to the last block write
   // is what a committing terminal waits on the log device.
@@ -227,6 +237,8 @@ Status WalWriter::FlushTo(Lsn lsn, VirtualClock* clk) {
     m_written_bytes_->Add(static_cast<int64_t>(blocks_written * kPageSize));
     if (clk != nullptr) m_flush_latency_->Record(clk->now() - flush_start);
   }
+  flush_span.set_name("flush_leader");
+  m_gc_leader_->Increment();
   flushed_lsn_ = lsn;
   fault::DebugRingLog("wal_flush", lsn, blocks_written);
   // Retain the partially-filled last block in the tail; drop full blocks.

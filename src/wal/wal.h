@@ -109,6 +109,10 @@ class WalWriter {
   obs::Counter* m_flushes_;
   obs::Counter* m_written_bytes_;
   obs::HistogramMetric* m_flush_latency_;
+  /// Group-commit role split: a FlushTo that writes blocks led the group; one
+  /// that finds its lsn already durable rode a leader's flush.
+  obs::Counter* m_gc_leader_;
+  obs::Counter* m_gc_follower_;
 };
 
 /// Sequential reader over the log region. A parse or CRC failure is

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "obs/span.h"
 #include "workload/tpcc_gen.h"
 
 namespace sias {
@@ -40,8 +41,12 @@ TxnType TpccExecutor::PickType(Random& rng) const {
 
 TxnOutcome TpccExecutor::Run(TxnType type, int64_t w_id, Random& rng,
                              VirtualClock* clk, Status* error) {
+  // Root span for the attempt: every engine span below lands in this
+  // transaction's phase breakdown (obs/span.h).
+  obs::TxnSpan root(ToString(type), clk);
   clk->Cpu(kCpuCostByType[static_cast<int>(type)]);
   auto txn = db_->Begin(clk);
+  root.set_xid(txn->xid());
   bool user_abort = false;
   Status s;
   switch (type) {
@@ -77,6 +82,7 @@ TxnOutcome TpccExecutor::Run(TxnType type, int64_t w_id, Random& rng,
     if (error != nullptr) *error = cs;
     return TxnOutcome::kError;
   }
+  root.set_committed(true);
   return TxnOutcome::kCommitted;
 }
 

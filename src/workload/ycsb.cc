@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "index/key_codec.h"
+#include "obs/span.h"
 
 namespace sias {
 namespace ycsb {
@@ -144,7 +145,9 @@ Result<YcsbResult> YcsbRunner::Run(VTime start_time) {
       for (uint64_t i = 0; i < per_thread; ++i) {
         OpType op = PickOp(rng);
         VTime begin = clk.now();
+        obs::TxnSpan root(ToString(op), &clk);
         auto txn = db_->Begin(&clk);
+        root.set_xid(txn->xid());
         Status s;
         switch (op) {
           case OpType::kRead: {
@@ -188,6 +191,7 @@ Result<YcsbResult> YcsbRunner::Run(VTime start_time) {
         if (s.ok()) {
           Status cs = db_->Commit(txn.get());
           if (cs.ok()) {
+            root.set_committed(true);
             local.completed[static_cast<int>(op)]++;
             local.latency[static_cast<int>(op)].Record(clk.now() - begin);
           } else if (cs.IsRetryable()) {
@@ -207,6 +211,7 @@ Result<YcsbResult> YcsbRunner::Run(VTime start_time) {
             if (local.first_error.ok()) local.first_error = s;
           }
         }
+        root.Finish();
         (void)db_->Tick(&clk);
       }
       MutexLock g(&result_mu);

@@ -33,13 +33,26 @@ CheckResult = tuple[Any, str]
 
 def _exp(results: dict[str, float] | None = None,
          counters: dict[str, float] | None = None,
-         wa: float | None = None) -> dict[str, Any]:
+         wa: float | None = None,
+         histograms: dict[str, dict[str, float]] | None = None
+         ) -> dict[str, Any]:
     exp: dict[str, Any] = {"results": results or {}}
-    if counters is not None:
-        exp["metrics"] = {"counters": counters}
+    if counters is not None or histograms is not None:
+        exp["metrics"] = {}
+        if counters is not None:
+            exp["metrics"]["counters"] = counters
+        if histograms is not None:
+            exp["metrics"]["histograms"] = histograms
     if wa is not None:
         exp["device"] = {"write_amplification": wa}
     return exp
+
+
+def _hist(count: float, mean_ns: float, p999_ns: float = 0.0
+          ) -> dict[str, float]:
+    return {"count": count, "mean_ns": mean_ns, "p50_ns": mean_ns,
+            "p90_ns": mean_ns, "p99_ns": p999_ns, "p999_ns": p999_ns,
+            "max_ns": p999_ns}
 
 
 BENCHES: dict[str, dict[str, dict[str, Any]]] = {
@@ -51,6 +64,20 @@ BENCHES: dict[str, dict[str, dict[str, Any]]] = {
         "read_scaling.SIAS-V.zero": _exp(
             {"reads_per_vsec": 0.0, "busy_fraction_mean": 0.0}),
         "read_scaling.SIAS-V.empty": _exp({}),
+    },
+    "write_reduction": {
+        # Phase sum 100*(400+350+200) + 0 absent gc = 95000ns vs latency
+        # 100*1000 = 100000ns -> 5% drift.
+        "write_reduction.SIAS-V.t2": _exp(histograms={
+            "txn.latency.new_order": _hist(50, 2000.0, p999_ns=9000.0),
+            "txn.latency.committed": _hist(100, 1000.0, p999_ns=8000.0),
+            "txn.phase.apply": _hist(100, 400.0),
+            "txn.phase.traversal": _hist(100, 350.0),
+            "txn.phase.wal_flush": _hist(100, 200.0),
+        }),
+        "write_reduction.SIAS-V.empty": _exp(histograms={
+            "txn.latency.committed": _hist(0, 0.0),
+        }),
     },
 }
 
@@ -114,6 +141,86 @@ class ReductionGeqTest(unittest.TestCase):
             "baseline_label": "read_scaling.SIAS-V.sync",
             "label": "read_scaling.SIAS-V.empty",
             "key": "reads_per_vsec", "min_pct": 10}, BENCHES))
+        self.assertFalse(ok)
+        self.assertIn("missing", msg)
+
+
+class PercentileLeqTest(unittest.TestCase):
+    def check(self, check: dict[str, Any]) -> CheckResult:
+        return cast(CheckResult, bench_report.run_check(check, BENCHES))
+
+    def test_passes_under_bound(self) -> None:
+        ok, msg = self.check({
+            "type": "percentile_leq", "bench": "write_reduction",
+            "label": "write_reduction.SIAS-V.t2",
+            "histogram": "txn.latency.new_order",
+            "quantile": "p999_ns", "max": 10000})
+        self.assertTrue(ok, msg)
+
+    def test_fails_over_bound(self) -> None:
+        ok, msg = self.check({
+            "type": "percentile_leq", "bench": "write_reduction",
+            "label": "write_reduction.SIAS-V.t2",
+            "histogram": "txn.latency.new_order",
+            "quantile": "p999_ns", "max": 5000})
+        self.assertFalse(ok)
+        self.assertIn("p999_ns=9000", msg)
+
+    def test_missing_histogram_fails_cleanly(self) -> None:
+        ok, msg = self.check({
+            "type": "percentile_leq", "bench": "write_reduction",
+            "label": "write_reduction.SIAS-V.t2",
+            "histogram": "txn.latency.nope",
+            "quantile": "p999_ns", "max": 5000})
+        self.assertFalse(ok)
+        self.assertIn("missing", msg)
+
+    def test_missing_label_fails_cleanly(self) -> None:
+        ok, msg = self.check({
+            "type": "percentile_leq", "bench": "write_reduction",
+            "label": "write_reduction.SIAS-V.nope",
+            "histogram": "txn.latency.new_order",
+            "quantile": "p999_ns", "max": 5000})
+        self.assertFalse(ok)
+        self.assertIn("missing", msg)
+
+
+class PhaseSumWithinTest(unittest.TestCase):
+    PHASES = ["txn.phase.lock_wait", "txn.phase.io_wait",
+              "txn.phase.wal_flush", "txn.phase.traversal",
+              "txn.phase.gc_defer", "txn.phase.apply"]
+
+    def check(self, tolerance_pct: float,
+              label: str = "write_reduction.SIAS-V.t2",
+              latency: str = "txn.latency.committed") -> CheckResult:
+        return cast(CheckResult, bench_report.run_check({
+            "type": "phase_sum_within", "bench": "write_reduction",
+            "label": label, "latency": latency,
+            "phases": self.PHASES, "tolerance_pct": tolerance_pct}, BENCHES))
+
+    def test_passes_within_tolerance(self) -> None:
+        # 95000ns phase sum vs 100000ns latency: 5% drift.
+        ok, msg = self.check(10)
+        self.assertTrue(ok, msg)
+
+    def test_fails_outside_tolerance(self) -> None:
+        ok, msg = self.check(2)
+        self.assertFalse(ok)
+        self.assertIn("drift 5.00%", msg)
+
+    def test_absent_phases_count_as_zero(self) -> None:
+        # Only apply/traversal/wal_flush histograms exist; absent phases
+        # must contribute 0, not fail the check.
+        ok, msg = self.check(6)
+        self.assertTrue(ok, msg)
+
+    def test_empty_latency_fails_cleanly(self) -> None:
+        ok, msg = self.check(10, label="write_reduction.SIAS-V.empty")
+        self.assertFalse(ok)
+        self.assertIn("empty", msg)
+
+    def test_missing_latency_fails_cleanly(self) -> None:
+        ok, msg = self.check(10, latency="txn.latency.nope")
         self.assertFalse(ok)
         self.assertIn("missing", msg)
 

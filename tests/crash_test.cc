@@ -23,8 +23,10 @@
 #include "device/mem_device.h"
 #include "fault/crash_runner.h"
 #include "fault/faulty_device.h"
+#include "common/vclock.h"
 #include "fault/retry.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace sias {
 namespace fault {
@@ -524,6 +526,50 @@ TEST(RecoveryIdempotence, PacedCheckpointMidFlight) {
   ASSERT_TRUE(runner.db()->Recover().ok());
   Status s = runner.CheckInvariants();
   EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(CrashSpans, SpanOpenAcrossCrashPointRecoversCleanly) {
+  // A causal-span root held open across a crash-point unwind must neither
+  // leak thread-local span state nor deadlock recovery: span push/pop is
+  // malloc-free and latch-free (safe while the Status unwind runs engine
+  // destructors), and the aggregator latch is only taken at root finish.
+  VirtualClock clk;
+  CrashConfig cfg;
+  cfg.scheme = VersionScheme::kSiasV;
+  cfg.seed = 0x5EED;
+  cfg.crash_point = "wal.pre_fsync";
+  cfg.nth = 9;
+  {
+    obs::TxnSpan root("CrashProbe", &clk);
+    ASSERT_TRUE(root.active());
+    clk.Advance(10);
+    CrashRunner runner(cfg);
+    ASSERT_TRUE(runner.RunWorkload().ok());
+    ASSERT_TRUE(runner.report().crashed);
+    // Recover while the root is still open: the engine's own spans nest
+    // under it and must unwind balanced.
+    ASSERT_TRUE(runner.ReopenAndRecover().ok());
+    Status s = runner.CheckInvariants();
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    EXPECT_TRUE(root.active());
+    // Not committed: the crashed attempt lands in txn.latency.aborted.
+  }
+  EXPECT_FALSE(obs::SpanRootActive());
+
+  // The thread's span machinery is balanced: a fresh root still records.
+  Histogram before = obs::MetricsRegistry::Default()
+                         .GetHistogram("txn.latency.committed")
+                         ->Snapshot();
+  {
+    obs::TxnSpan root("CrashProbeAfter", &clk);
+    ASSERT_TRUE(root.active());
+    clk.Advance(25);
+    root.set_committed(true);
+  }
+  Histogram after = obs::MetricsRegistry::Default()
+                        .GetHistogram("txn.latency.committed")
+                        ->Snapshot();
+  EXPECT_EQ(after.count(), before.count() + 1);
 }
 
 TEST(RecoveryObservability, GaugesExported) {

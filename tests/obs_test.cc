@@ -200,6 +200,25 @@ TEST(OpTracerTest, ConcurrentRecordersLoseNothingBelowCapacity) {
   EXPECT_EQ(tracer.Events().size(), size_t{kThreads} * kPerThread);
 }
 
+TEST(OpTracerTest, OverflowBumpsCataloguedDroppedCounter) {
+  // Silent trace loss regression: every ring overwrite must surface in the
+  // process-wide obs.trace.dropped counter, not just the tracer's own
+  // dropped() figure.
+  Counter* dropped =
+      MetricsRegistry::Default().GetCounter("obs.trace.dropped");
+  int64_t before = dropped->Value();
+  constexpr size_t kCap = 16;
+  constexpr uint64_t kTotal = 100;
+  OpTracer tracer(kCap);
+  tracer.set_enabled(true);
+  for (uint64_t i = 0; i < kTotal; ++i) {
+    tracer.Record("cat", "op", /*start_ns=*/i, /*dur_ns=*/1);
+  }
+  EXPECT_EQ(tracer.dropped(), kTotal - kCap);
+  EXPECT_EQ(dropped->Value() - before,
+            static_cast<int64_t>(kTotal - kCap));
+}
+
 TEST(OpTracerTest, ClearEmptiesRingButKeepsNothingElse) {
   OpTracer tracer(8);
   tracer.set_enabled(true);

@@ -254,14 +254,15 @@ TEST(PrometheusTest, SnapshotExportRoundTripsTheFormat) {
     EXPECT_TRUE(ValidExpositionLine(line)) << "bad line: " << line;
     ++samples;
   }
-  // counter + counter + gauge + histogram summary; the histogram emits three
+  // counter + counter + gauge + histogram summary; the histogram emits four
   // quantiles plus _sum and _count.
   EXPECT_EQ(type_lines, 4u);
-  EXPECT_EQ(samples, 3u + 3u + 2u);
+  EXPECT_EQ(samples, 3u + 4u + 2u);
   EXPECT_NE(text.find("flash_host_page_programs{"), std::string::npos);
   EXPECT_NE(text.find("_9starts_with_digit{"), std::string::npos);
   EXPECT_NE(text.find("db_device_free_blocks{"), std::string::npos) << text;
   EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.999\""), std::string::npos);
   EXPECT_NE(text.find("mvcc_visible_depth_count{"), std::string::npos);
   EXPECT_NE(text.find("scheme=\"SIAS-V \\\"t2\\\"\\nnext\\\\line\""),
             std::string::npos)
