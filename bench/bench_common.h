@@ -185,12 +185,27 @@ inline const char* SchemeName(VersionScheme s) { return ToString(s); }
 /// builds its `BENCH_METRICS` labels through this helper so downstream
 /// tooling (scripts/bench_report.py) can split them uniformly; `variant`
 /// must not contain '.'-separated scheme-lookalikes (use '_' inside it).
+///
+/// Mixed-workload experiments (several concurrent workload classes in one
+/// run, e.g. bench_htap's OLTP + analytical scans) keep the same shape with
+/// the variant naming the mix: `<bench>.<scheme>.<mix>`, '_'-separated
+/// inside the mix segment (`htap.SIAS-V.mixed_mvpbt`). Runs that aggregate
+/// ACROSS schemes use MixedSchemeLabel below. See EXPERIMENTS.md
+/// ("Metrics label convention").
 inline std::string MetricsLabel(const std::string& bench_name,
                                 VersionScheme scheme,
                                 const std::string& variant = "") {
   std::string label = bench_name + "." + SchemeName(scheme);
   if (!variant.empty()) label += "." + variant;
   return label;
+}
+
+/// Label for experiments whose measurement spans multiple version schemes
+/// (the scheme segment carries the literal token `mixed` so the 3-segment
+/// `<bench>.<scheme>.<variant>` split stays uniform): `<bench>.mixed.<variant>`.
+inline std::string MixedSchemeLabel(const std::string& bench_name,
+                                    const std::string& variant) {
+  return bench_name + ".mixed." + variant;
 }
 
 namespace detail {

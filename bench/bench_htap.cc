@@ -1,0 +1,231 @@
+// HTAP — TPC-C OLTP mixed with concurrent long-running analytical scans.
+//
+// The paper's append-only index motivation: under SI a covering secondary
+// index still drags the analytical reader through heap version chains to
+// decide visibility, so long scans both run slower AND steal heap I/O from
+// the OLTP mix. The MV-PBT answers snapshot visibility from the index
+// records alone (src/index/mvpbt.h) — an index-only scan touches zero heap
+// pages.
+//
+// Four legs, all SIAS-V, labelled `htap.SIAS-V.<mix>` (EXPERIMENTS.md):
+//   oltp_btree  / oltp_mvpbt   — pure TPC-C with the extra stock index
+//                                attached (maintenance cost only);
+//   mixed_btree / mixed_mvpbt  — same plus analyst threads running
+//                                index-only low-stock scans concurrently.
+// Each leg reports TpccNumbers (OLTP side: New-Order p999 degradation =
+// mixed vs oltp p999) plus the scan side: rounds completed, rows returned,
+// scan latency p99 and heap fallbacks (`index.scan_heap_resolves` must be
+// ZERO on the mvpbt legs — the gated zero-heap-dereference claim).
+//
+// The analytical index is stock keyed by (w_id, quantity, i_id): every
+// New-Order stock update changes the quantity, so the key changes and both
+// index kinds pay maintenance per update; the scan aggregates low-stock
+// counts entirely from the key bytes (index-covered).
+//
+// Usage: bench_htap [warehouses] [duration_vsec] [analysts]
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+using namespace sias;
+using namespace sias::bench;
+
+namespace {
+
+constexpr size_t kStockByQuantity = 1;  // index position after the PK
+
+std::string StockQuantityKey(const Row& r) {
+  return KeyBuilder()
+      .AddInt(r.GetInt(tpcc::scol::kWid))
+      .AddInt(r.GetInt(tpcc::scol::kQuantity))
+      .AddInt(r.GetInt(tpcc::scol::kIid))
+      .Take();
+}
+
+struct ScanSide {
+  double rounds = 0;
+  double rows = 0;
+  double p99_vsec = 0;
+  double errors = 0;
+};
+
+/// Analyst loop: full index-only scans of the low-stock index until `stop`.
+/// Freshness = scan latency: the result is as of the snapshot taken at scan
+/// begin, so a scan that takes T vsec serves answers T vsec stale at the
+/// end — `htap.scan.latency` IS the staleness distribution.
+void AnalystLoop(Database* db, Table* stock, VTime start,
+                 const std::atomic<bool>* stop, std::atomic<uint64_t>* errors) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  obs::HistogramMetric* lat = reg.GetHistogram("htap.scan.latency");
+  obs::Counter* rounds = reg.GetCounter("htap.scan.rounds");
+  obs::Counter* rows = reg.GetCounter("htap.scan.rows");
+  VirtualClock clk(start);
+  while (!stop->load(std::memory_order_relaxed)) {
+    auto txn = db->Begin(&clk);
+    VTime t0 = clk.now();
+    uint64_t n = 0;
+    uint64_t low = 0;
+    Status s = stock->IndexOnlyRange(
+        txn.get(), kStockByQuantity, Slice(), Slice(),
+        [&](Slice key, Vid vid) {
+          (void)vid;
+          // Covered aggregate: quantity is bytes [8,16) of the key.
+          int64_t q = static_cast<int64_t>(
+              DecodeBigEndian64(key.data() + 8) - (1ull << 63));
+          n++;
+          if (q < 15) low++;
+          return true;
+        });
+    if (s.ok()) s = db->Commit(txn.get());
+    if (!s.ok()) {
+      (void)db->Abort(txn.get());
+      errors->fetch_add(1);
+      break;
+    }
+    lat->Record(clk.now() - t0);
+    rounds->Increment();
+    rows->Add(static_cast<int64_t>(n));
+  }
+}
+
+struct LegResult {
+  tpcc::TpccResult oltp;
+  ScanSide scan;
+};
+
+LegResult RunLeg(IndexKind kind, bool mixed, int warehouses, int duration,
+                 int analysts, BenchMetricsWriter* out) {
+  ExperimentConfig cfg;
+  cfg.scheme = VersionScheme::kSiasV;
+  cfg.device = DeviceKind::kSsdRaid;
+  cfg.warehouses = warehouses;
+  cfg.scale.customers_per_district = 60;
+  cfg.scale.items = 800;
+  cfg.scale.orders_per_district = 20;
+  cfg.pool_frames = 1024;
+  cfg.duration = static_cast<VDuration>(duration) * kVSecond;
+  cfg.bgwriter_interval = 20 * kVMillisecond;
+  cfg.checkpoint_interval = 4 * kVSecond;
+  // Engine-driven vacuum so MV-PBT flush/merge maintenance runs on the
+  // production path (Database::Vacuum -> Table::MaintainIndexes).
+  cfg.vacuum_interval = 1 * kVSecond;
+  auto exp = Setup(std::move(cfg));
+  SIAS_CHECK_MSG(exp.ok(), "setup failed: %s",
+                 exp.status().ToString().c_str());
+  Database* db = (*exp)->db.get();
+  Table* stock = (*exp)->tables.stock;
+
+  // Attach + backfill the analytical index AFTER the load so both legs pay
+  // identical load cost; a modest MV-PBT buffer keeps partitions flowing
+  // within the short smoke window.
+  MvPbtOptions mvopts;
+  mvopts.max_buffer_entries = 1024;
+  mvopts.vacuum_flush_min = 64;
+  mvopts.max_partitions = 4;
+  Status s = db->CreateIndex(stock, "stock_by_quantity", StockQuantityKey,
+                             kind, mvopts);
+  SIAS_CHECK_MSG(s.ok(), "create index: %s", s.ToString().c_str());
+  {
+    VirtualClock clk((*exp)->measure_start);
+    auto txn = db->Begin(&clk);
+    s = stock->PopulateIndex(txn.get(), kStockByQuantity, &clk);
+    if (s.ok()) s = db->Commit(txn.get());
+    SIAS_CHECK_MSG(s.ok(), "backfill: %s", s.ToString().c_str());
+  }
+  obs::MetricsRegistry::Default().ResetAll();  // exclude backfill from gates
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> scan_errors{0};
+  std::vector<std::thread> threads;
+  if (mixed) {
+    for (int i = 0; i < analysts; ++i) {
+      threads.emplace_back(AnalystLoop, db, stock, (*exp)->measure_start,
+                           &stop, &scan_errors);
+    }
+  }
+  auto result = (*exp)->Run();
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  SIAS_CHECK_MSG(result.ok(), "run failed: %s",
+                 result.status().ToString().c_str());
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  LegResult leg;
+  leg.oltp = *result;
+  leg.scan.rounds =
+      static_cast<double>(reg.GetCounter("htap.scan.rounds")->Value());
+  leg.scan.rows =
+      static_cast<double>(reg.GetCounter("htap.scan.rows")->Value());
+  leg.scan.p99_vsec =
+      static_cast<double>(
+          reg.GetHistogram("htap.scan.latency")->Snapshot().Percentile(99)) /
+      kVSecond;
+  leg.scan.errors = static_cast<double>(scan_errors.load());
+
+  std::string mix = std::string(mixed ? "mixed" : "oltp") + "_" +
+                    (kind == IndexKind::kMvPbt ? "mvpbt" : "btree");
+  std::string label = MetricsLabel("htap", VersionScheme::kSiasV, mix);
+  (*exp)->EmitMetrics(label);
+  std::map<std::string, double> numbers = TpccNumbers(*result);
+  numbers["scan_rounds"] = leg.scan.rounds;
+  numbers["scan_rows"] = leg.scan.rows;
+  numbers["scan_p99_vsec"] = leg.scan.p99_vsec;
+  numbers["scan_errors"] = leg.scan.errors;
+  numbers["scan_heap_resolves"] = static_cast<double>(
+      reg.GetCounter("index.scan_heap_resolves")->Value());
+  out->Add(label, SchemeName(VersionScheme::kSiasV),
+           (*exp)->data_device.get(), db->DumpMetrics(), numbers);
+  return leg;
+}
+
+void PrintLeg(const char* name, const LegResult& r) {
+  printf("%-12s | %8.0f NOTPM | NO p999 %7.4f vsec | scans %4.0f "
+         "(%6.0f rows, p99 %7.4f vsec, %.0f errors)\n",
+         name, r.oltp.Notpm(),
+         static_cast<double>(
+             r.oltp.response[static_cast<int>(tpcc::TxnType::kNewOrder)]
+                 .Percentile(99.9)) /
+             kVSecond,
+         r.scan.rounds, r.scan.rows, r.scan.p99_vsec, r.scan.errors);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchMetricsWriter out("htap", &argc, argv);
+  int warehouses = argc > 1 ? atoi(argv[1]) : 4;
+  int duration = argc > 2 ? atoi(argv[2]) : 3;
+  int analysts = argc > 3 ? atoi(argv[3]) : 1;
+
+  printf("HTAP: TPC-C (%d WH, %d vsec) + %d analyst(s) scanning "
+         "stock(w_id, quantity) index-only, SIAS-V\n\n",
+         warehouses, duration, analysts);
+
+  LegResult ob = RunLeg(IndexKind::kBTree, false, warehouses, duration,
+                        analysts, &out);
+  LegResult mb = RunLeg(IndexKind::kBTree, true, warehouses, duration,
+                        analysts, &out);
+  LegResult om = RunLeg(IndexKind::kMvPbt, false, warehouses, duration,
+                        analysts, &out);
+  LegResult mm = RunLeg(IndexKind::kMvPbt, true, warehouses, duration,
+                        analysts, &out);
+
+  PrintLeg("oltp_btree", ob);
+  PrintLeg("mixed_btree", mb);
+  PrintLeg("oltp_mvpbt", om);
+  PrintLeg("mixed_mvpbt", mm);
+
+  auto p999 = [](const LegResult& r) {
+    return static_cast<double>(
+        r.oltp.response[static_cast<int>(tpcc::TxnType::kNewOrder)]
+            .Percentile(99.9));
+  };
+  printf("\nOLTP p999 degradation under scans: btree %.2fx, mvpbt %.2fx\n",
+         p999(ob) > 0 ? p999(mb) / p999(ob) : 0.0,
+         p999(om) > 0 ? p999(mm) / p999(om) : 0.0);
+  out.Write();
+  return 0;
+}

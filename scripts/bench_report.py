@@ -27,6 +27,12 @@ check is one of
   {"type": "reduction_geq", "bench": B, "baseline_label": L0, "label": L,
    "key": K, "min_pct": P}
       (1 - results[K](L)/results[K](L0)) * 100 must be >= P
+  {"type": "ratio_geq", "bench": B, "base_label": L0, "label": L,
+   "key": K, "min_ratio": R}
+  {"type": "ratio_leq", "bench": B, "base_label": L0, "label": L,
+   "key": K, "max_ratio": R}
+      results[K](L) / results[K](L0) bound (ratio_leq is the degradation
+      gate: e.g. mixed-workload p999 over the OLTP-only baseline)
   {"type": "counter_geq", "bench": B, "label": L, "counter": C, "min": V}
   {"type": "counter_leq", "bench": B, "label": L, "counter": C, "max": V}
       metrics.counters[C] bound
@@ -273,7 +279,7 @@ def run_check(check: Check, benches: BenchMap) -> tuple[bool | None, str]:
         ok = red >= float(check["min_pct"])
         return ok, (f"{desc}: reduction {fmt(red)}% "
                     f"(want >= {check['min_pct']}%)")
-    if t == "ratio_geq":
+    if t in ("ratio_geq", "ratio_leq"):
         e0 = bench.get(check["base_label"])
         e = bench.get(check["label"])
         if e0 is None or e is None:
@@ -284,10 +290,15 @@ def run_check(check: Check, benches: BenchMap) -> tuple[bool | None, str]:
         if v is None:
             return False, f"{desc}: key {check['key']} missing"
         ratio = v / v0
-        ok = ratio >= float(check["min_ratio"])
+        if t == "ratio_geq":
+            ok, bound = ratio >= float(check["min_ratio"]), \
+                f">= {check['min_ratio']}"
+        else:
+            ok, bound = ratio <= float(check["max_ratio"]), \
+                f"<= {check['max_ratio']}"
         return ok, (f"{desc}: {check['label']}/{check['base_label']} "
                     f"{check['key']} ratio {fmt(ratio, 4)} "
-                    f"(want >= {check['min_ratio']})")
+                    f"(want {bound})")
     if t in ("counter_geq", "counter_leq"):
         e = bench.get(check["label"])
         if e is None:

@@ -141,6 +141,7 @@ const char* LatchRankName(LatchRank rank) {
     case LatchRank::kDbCatalog: return "db-catalog";
     case LatchRank::kTxnManager: return "txn-manager";
     case LatchRank::kBTree: return "btree";
+    case LatchRank::kMvPbt: return "mvpbt";
     case LatchRank::kAppendRegion: return "append-region";
     case LatchRank::kPage: return "page";
     case LatchRank::kSiHeapMap: return "si-heap-map";

@@ -49,6 +49,7 @@ enum class LatchRank : uint8_t {
   kDbCatalog = 15,      ///< Database::catalog_mu_ (table map)
   kTxnManager = 20,     ///< TransactionManager::mu_ (xid alloc, active set)
   kBTree = 25,          ///< BTree::tree_latch_ (whole-tree rw latch)
+  kMvPbt = 26,          ///< MvPbt::latch_ (buffer partition + partition set)
   kAppendRegion = 30,   ///< AppendRegion::mu_ (open page, free list)
   kPage = 40,           ///< buffer Frame::latch (heap + index pages)
   kSiHeapMap = 45,      ///< SiHeap::map_mu_ (version locators)

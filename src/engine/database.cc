@@ -133,13 +133,27 @@ Table* Database::GetTable(const std::string& name) {
 
 Status Database::CreateIndex(Table* table, const std::string& index_name,
                              KeyExtractor extractor) {
+  return CreateIndex(table, index_name, std::move(extractor),
+                     IndexKind::kBTree);
+}
+
+Status Database::CreateIndex(Table* table, const std::string& index_name,
+                             KeyExtractor extractor, IndexKind kind,
+                             const MvPbtOptions& mvpbt) {
   MutexLock g(&catalog_mu_);
   RelationId relation = next_relation_++;
   SIAS_RETURN_NOT_OK(disk_->CreateRelation(relation));
-  auto tree = std::make_unique<BTree>(relation, pool_.get());
+  std::unique_ptr<SecondaryIndex> index;
+  if (kind == IndexKind::kMvPbt) {
+    index = std::make_unique<MvPbt>(relation, pool_.get(), txns_.clog(),
+                                    mvpbt);
+  } else {
+    index = std::make_unique<BTreeIndex>(relation, pool_.get(),
+                                         table->scheme());
+  }
   VirtualClock clk;
-  SIAS_RETURN_NOT_OK(tree->Create(&clk));
-  table->AttachIndex(index_name, std::move(tree), std::move(extractor));
+  SIAS_RETURN_NOT_OK(index->Create(&clk));
+  table->AttachIndex(index_name, std::move(index), std::move(extractor));
   return Status::OK();
 }
 
@@ -615,6 +629,14 @@ Status Database::Recover(const RecoverOptions& ropts) {
 }
 
 Status Database::Vacuum(VirtualClock* clk, GcStats* stats) {
+  bool expected = false;
+  if (!vacuum_running_.compare_exchange_strong(expected, true)) {
+    return Status::OK();  // another pass is in flight; see header comment
+  }
+  struct Release {
+    std::atomic<bool>* flag;
+    ~Release() { flag->store(false); }
+  } release{&vacuum_running_};
   TRACE_OP("maintenance", "vacuum");
   // When vacuum runs on a terminal's clock inside an open transaction root
   // (inline GC), its virtual time is that transaction's gc_defer phase —
@@ -629,6 +651,9 @@ Status Database::Vacuum(VirtualClock* clk, GcStats* stats) {
   }
   for (Table* t : tables) {
     SIAS_RETURN_NOT_OK(t->GarbageCollect(horizon, clk, stats));
+    // MV-PBT partition flush/merge rides the vacuum cadence (B+-trees
+    // no-op here).
+    SIAS_RETURN_NOT_OK(t->MaintainIndexes(horizon, clk));
   }
   // One more reclaim pass over work the per-table collections deferred:
   // with no pinned readers everything lands now; otherwise it stays queued

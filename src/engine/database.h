@@ -24,6 +24,7 @@
 #include "common/latch.h"
 #include "core/sias_table.h"
 #include "engine/table.h"
+#include "index/mvpbt.h"
 #include "mvcc/si_heap.h"
 #include "obs/metrics.h"
 #include "storage/disk_manager.h"
@@ -102,6 +103,13 @@ class Database {
   Status CreateIndex(Table* table, const std::string& index_name,
                      KeyExtractor extractor);
 
+  /// Adds a secondary index of the chosen implementation. kMvPbt indexes
+  /// answer visibility from their own version records (index/mvpbt.h);
+  /// `mvpbt` tunes their flush/merge thresholds and is ignored for kBTree.
+  Status CreateIndex(Table* table, const std::string& index_name,
+                     KeyExtractor extractor, IndexKind kind,
+                     const MvPbtOptions& mvpbt = {});
+
   /// Transactions.
   std::unique_ptr<Transaction> Begin(VirtualClock* clock);
   Status Commit(Transaction* txn);
@@ -123,7 +131,14 @@ class Database {
   /// One background-writer pass under the configured flush policy.
   Status BgWriterPass(VirtualClock* clk);
 
-  /// Garbage-collects every table up to the current GC horizon.
+  /// Garbage-collects every table up to the current GC horizon, then runs
+  /// index maintenance (MV-PBT partition flush/merge) and an epoch-reclaim
+  /// pass. At most one vacuum runs at a time: SiasTable::GarbageCollect's
+  /// victim selection re-checks its gc_pending_ set long before it inserts,
+  /// so two overlapping passes could pick the same page and double-enqueue
+  /// its epoch-deferred wipe. A call that finds another vacuum in flight
+  /// returns OK without doing work (the running pass covers the cadence;
+  /// single-threaded callers are never skipped).
   Status Vacuum(VirtualClock* clk, GcStats* stats = nullptr);
 
   /// Crash recovery: restores the control block, replays the WAL, aborts
@@ -189,6 +204,10 @@ class Database {
   std::atomic<VTime> next_bgwriter_{0};
   std::atomic<VTime> next_checkpoint_{0};
   std::atomic<VTime> next_vacuum_{0};
+  /// Single-flight guard for Vacuum (see its doc comment). Distinct
+  /// terminals can win the next_vacuum_ CAS for *different* intervals while
+  /// an earlier pass is still running; this flag makes the overlap a no-op.
+  std::atomic<bool> vacuum_running_{false};
   // Paced-checkpoint state.
   std::deque<PageId> ckpt_queue_ SIAS_GUARDED_BY(maintenance_mu_);
   size_t ckpt_drain_per_pass_ SIAS_GUARDED_BY(maintenance_mu_) = 0;

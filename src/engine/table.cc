@@ -2,16 +2,31 @@
 
 #include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace sias {
 
-void Table::AttachIndex(std::string index_name, std::unique_ptr<BTree> tree,
+namespace {
+
+/// Heap dereferences made to resolve index-only scan candidates (zero on an
+/// MV-PBT leg — the bench-gated invariant; see docs/INDEXING.md).
+obs::Counter* ScanHeapResolves() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("index.scan_heap_resolves");
+  return c;
+}
+
+}  // namespace
+
+void Table::AttachIndex(std::string index_name,
+                        std::unique_ptr<SecondaryIndex> index,
                         KeyExtractor extractor) {
   indexes_.push_back(
-      IndexDef{std::move(index_name), std::move(tree), std::move(extractor)});
+      IndexDef{std::move(index_name), std::move(index), std::move(extractor)});
 }
 
 Result<Vid> Table::Insert(Transaction* txn, const Row& row) {
@@ -19,12 +34,11 @@ Result<Vid> Table::Insert(Transaction* txn, const Row& row) {
   SIAS_RETURN_NOT_OK(row.Encode(schema_, &encoded));
   Tid tid;
   SIAS_ASSIGN_OR_RETURN(Vid vid, heap_->Insert(txn, Slice(encoded), &tid));
-  // Index maintenance: every index gets one entry for the new item/version.
+  // Index maintenance: every index sees the insert event.
+  IndexWriteCtx ctx{txn->xid(), tid, vid, txn->clock()};
   for (auto& idx : indexes_) {
     std::string key = idx.extractor(row);
-    uint64_t value =
-        scheme() == VersionScheme::kSi ? tid.Pack() : vid;
-    SIAS_RETURN_NOT_OK(idx.tree->Insert(Slice(key), value, txn->clock()));
+    SIAS_RETURN_NOT_OK(idx.index->OnInsert(ctx, Slice(key)));
   }
   return vid;
 }
@@ -39,29 +53,38 @@ Status Table::Update(Transaction* txn, Vid vid, const Row& new_row) {
   Tid new_tid;
   SIAS_RETURN_NOT_OK(heap_->Update(txn, vid, Slice(encoded), &new_tid));
 
+  IndexWriteCtx ctx{txn->xid(), new_tid, vid, txn->clock()};
   for (auto& idx : indexes_) {
+    std::string old_key = idx.extractor(*old_row);
     std::string new_key = idx.extractor(new_row);
-    if (scheme() == VersionScheme::kSi) {
-      // SI: one index entry per version — every update hits every index.
-      SIAS_RETURN_NOT_OK(
-          idx.tree->Insert(Slice(new_key), new_tid.Pack(), txn->clock()));
-    } else {
-      // SIAS (§4.3): the index references the VID; only a key-value change
-      // needs a new entry. The stale <old_key, VID> entry is filtered by
-      // the key recheck on lookup until GC removes it.
-      std::string old_key = idx.extractor(*old_row);
-      if (old_key != new_key) {
-        SIAS_RETURN_NOT_OK(idx.tree->Insert(Slice(new_key), vid,
-                                            txn->clock()));
-      }
-    }
+    SIAS_RETURN_NOT_OK(
+        idx.index->OnUpdate(ctx, Slice(old_key), Slice(new_key)));
   }
   return Status::OK();
 }
 
 Status Table::Delete(Transaction* txn, Vid vid) {
-  return heap_->Delete(txn, vid);
-  // Index entries are removed lazily (vacuum/lookup-time ghost cleanup).
+  // Version-aware indexes need a delete record carrying the doomed row's
+  // key; fetch it only when one asks (B+-trees clean ghosts lazily).
+  bool need_keys = false;
+  for (auto& idx : indexes_) {
+    need_keys = need_keys || idx.index->wants_delete_events();
+  }
+  std::optional<Row> row;
+  if (need_keys) {
+    SIAS_ASSIGN_OR_RETURN(row, Get(txn, vid));
+    if (!row.has_value()) return Status::NotFound("no visible row");
+  }
+  SIAS_RETURN_NOT_OK(heap_->Delete(txn, vid));
+  if (need_keys) {
+    IndexWriteCtx ctx{txn->xid(), Tid{}, vid, txn->clock()};
+    for (auto& idx : indexes_) {
+      if (!idx.index->wants_delete_events()) continue;
+      std::string key = idx.extractor(*row);
+      SIAS_RETURN_NOT_OK(idx.index->OnDelete(ctx, Slice(key)));
+    }
+  }
+  return Status::OK();
 }
 
 Result<std::optional<Row>> Table::Get(Transaction* txn, Vid vid) {
@@ -134,14 +157,29 @@ Result<std::vector<std::pair<Vid, Row>>> Table::IndexLookup(Transaction* txn,
     return Status::InvalidArgument("no such index");
   }
   IndexDef& idx = indexes_[index_id];
-  SIAS_ASSIGN_OR_RETURN(std::vector<uint64_t> values,
-                        idx.tree->Lookup(key, txn->clock()));
+  std::vector<IndexHit> hits;
+  SIAS_RETURN_NOT_OK(idx.index->Probe(txn->snapshot(), key, txn->clock(),
+                                      [&](const IndexHit& hit) {
+                                        hits.push_back(hit);
+                                        return true;
+                                      }));
   std::vector<std::pair<Vid, Row>> out;
   std::unordered_set<Vid> seen;
-  for (uint64_t v : values) {
-    SIAS_ASSIGN_OR_RETURN(auto hit, ResolveIndexHit(txn, v, key, idx));
-    if (hit.has_value() && seen.insert(hit->first).second) {
-      out.push_back(std::move(*hit));
+  for (const IndexHit& hit : hits) {
+    if (hit.visibility_resolved) {
+      // The index already decided visibility; the heap read only
+      // materializes attributes not present in the entry.
+      Vid vid = hit.value;
+      SIAS_ASSIGN_OR_RETURN(std::optional<Row> row, Get(txn, vid));
+      if (row.has_value() && seen.insert(vid).second) {
+        out.emplace_back(vid, std::move(*row));
+      }
+      continue;
+    }
+    SIAS_ASSIGN_OR_RETURN(auto resolved,
+                          ResolveIndexHit(txn, hit.value, key, idx));
+    if (resolved.has_value() && seen.insert(resolved->first).second) {
+      out.push_back(std::move(*resolved));
     }
   }
   return out;
@@ -153,47 +191,87 @@ Status Table::IndexRange(Transaction* txn, size_t index_id, Slice lo,
     return Status::InvalidArgument("no such index");
   }
   IndexDef& idx = indexes_[index_id];
-  // Collect hits first (the tree latch must not be held while resolving
-  // rows, which fetches heap pages).
-  std::vector<std::pair<std::string, uint64_t>> hits;
-  SIAS_RETURN_NOT_OK(idx.tree->Range(lo, hi, txn->clock(),
-                                     [&](Slice key, uint64_t value) {
-                                       hits.emplace_back(key.ToString(),
-                                                         value);
-                                       return true;
-                                     }));
+  // Hit callbacks run latch-free (SecondaryIndex contract), so rows can be
+  // resolved inline.
   std::unordered_set<Vid> seen;
-  for (const auto& [key, value] : hits) {
-    SIAS_ASSIGN_OR_RETURN(auto hit,
-                          ResolveIndexHit(txn, value, Slice(key), idx));
-    if (hit.has_value() && seen.insert(hit->first).second) {
-      if (!cb(hit->first, hit->second)) return Status::OK();
-    }
+  Status inner;
+  Status s = idx.index->ProbeRange(
+      txn->snapshot(), lo, hi, txn->clock(), [&](const IndexHit& hit) {
+        if (hit.visibility_resolved) {
+          Vid vid = hit.value;
+          auto row = Get(txn, vid);
+          if (!row.ok()) {
+            inner = row.status();
+            return false;
+          }
+          if (row->has_value() && seen.insert(vid).second) {
+            return cb(vid, **row);
+          }
+          return true;
+        }
+        auto resolved = ResolveIndexHit(txn, hit.value, Slice(hit.key), idx);
+        if (!resolved.ok()) {
+          inner = resolved.status();
+          return false;
+        }
+        if (resolved->has_value() && seen.insert((*resolved)->first).second) {
+          return cb((*resolved)->first, (*resolved)->second);
+        }
+        return true;
+      });
+  SIAS_RETURN_NOT_OK(inner);
+  return s;
+}
+
+Status Table::IndexOnlyRange(Transaction* txn, size_t index_id, Slice lo,
+                             Slice hi, const KeyVidCallback& cb) {
+  if (index_id >= indexes_.size()) {
+    return Status::InvalidArgument("no such index");
   }
-  return Status::OK();
+  IndexDef& idx = indexes_[index_id];
+  std::unordered_set<Vid> seen;
+  Status inner;
+  Status s = idx.index->ProbeRange(
+      txn->snapshot(), lo, hi, txn->clock(), [&](const IndexHit& hit) {
+        if (hit.visibility_resolved) {
+          // Index-covered: the verdict and both outputs come from the
+          // entry; no heap page is touched.
+          return cb(Slice(hit.key), hit.value);
+        }
+        // Candidate entry: visibility lives in the heap version chain.
+        ScanHeapResolves()->Increment();
+        auto resolved = ResolveIndexHit(txn, hit.value, Slice(hit.key), idx);
+        if (!resolved.ok()) {
+          inner = resolved.status();
+          return false;
+        }
+        if (resolved->has_value() && seen.insert((*resolved)->first).second) {
+          return cb(Slice(hit.key), (*resolved)->first);
+        }
+        return true;
+      });
+  SIAS_RETURN_NOT_OK(inner);
+  return s;
 }
 
 Status Table::GarbageCollect(Xid horizon, VirtualClock* clk, GcStats* stats) {
   return heap_->GarbageCollect(horizon, clk, stats);
 }
 
-Status Table::RebuildIndexes(Transaction* txn, VirtualClock* clk) {
-  // Used after crash recovery, under quiescence: re-create every tree and
-  // repopulate it from the visible version of each item. (No snapshot is
-  // older than the recovery point, so visible versions are sufficient.)
+Status Table::MaintainIndexes(Xid horizon, VirtualClock* clk) {
   for (auto& idx : indexes_) {
-    SIAS_RETURN_NOT_OK(idx.tree->Create(clk));
+    SIAS_RETURN_NOT_OK(idx.index->Maintain(horizon, clk));
   }
-  if (indexes_.empty()) return Status::OK();
-  // Collect entries under the scan's page latches and insert afterwards:
-  // BTree::Insert acquires the tree lock and then page latches, so calling
-  // it from inside the callback (heap page latch held) inverts that order.
-  struct Entry {
-    size_t index;
-    std::string key;
-    uint64_t value;
-  };
-  std::vector<Entry> entries;
+  return Status::OK();
+}
+
+Status Table::CollectBackfill(Transaction* txn,
+                              const std::vector<size_t>& ids,
+                              std::vector<BackfillEntry>* out) {
+  // Collect entries under the scan's page latches and post afterwards:
+  // index writes acquire the index latch and then page latches, so calling
+  // them from inside the callback (heap page latch held) inverts that
+  // order.
   Status inner;
   Status s = heap_->ScanWithTid(txn, [&](Vid vid, Tid tid, Slice bytes) {
     auto row = Row::Decode(schema_, bytes);
@@ -201,17 +279,46 @@ Status Table::RebuildIndexes(Transaction* txn, VirtualClock* clk) {
       inner = row.status();
       return false;
     }
-    uint64_t value = scheme() == VersionScheme::kSi ? tid.Pack() : vid;
-    for (size_t i = 0; i < indexes_.size(); ++i) {
-      entries.push_back(Entry{i, indexes_[i].extractor(*row), value});
+    for (size_t i : ids) {
+      out->push_back(BackfillEntry{i, indexes_[i].extractor(*row), tid, vid});
     }
     return true;
   });
   SIAS_RETURN_NOT_OK(inner);
-  SIAS_RETURN_NOT_OK(s);
-  for (const Entry& e : entries) {
+  return s;
+}
+
+Status Table::RebuildIndexes(Transaction* txn, VirtualClock* clk) {
+  // Used after crash recovery, under quiescence: re-create every index and
+  // repopulate it from the visible version of each item. (No snapshot is
+  // older than the recovery point, so visible versions are sufficient.)
+  for (auto& idx : indexes_) {
+    SIAS_RETURN_NOT_OK(idx.index->Create(clk));
+  }
+  if (indexes_.empty()) return Status::OK();
+  std::vector<size_t> ids;
+  for (size_t i = 0; i < indexes_.size(); ++i) ids.push_back(i);
+  std::vector<BackfillEntry> entries;
+  SIAS_RETURN_NOT_OK(CollectBackfill(txn, ids, &entries));
+  for (const BackfillEntry& e : entries) {
+    IndexWriteCtx ctx{txn->xid(), e.tid, e.vid, clk};
     SIAS_RETURN_NOT_OK(
-        indexes_[e.index].tree->Insert(Slice(e.key), e.value, clk));
+        indexes_[e.index].index->OnInsert(ctx, Slice(e.key)));
+  }
+  return Status::OK();
+}
+
+Status Table::PopulateIndex(Transaction* txn, size_t index_id,
+                            VirtualClock* clk) {
+  if (index_id >= indexes_.size()) {
+    return Status::InvalidArgument("no such index");
+  }
+  std::vector<BackfillEntry> entries;
+  SIAS_RETURN_NOT_OK(CollectBackfill(txn, {index_id}, &entries));
+  for (const BackfillEntry& e : entries) {
+    IndexWriteCtx ctx{txn->xid(), e.tid, e.vid, clk};
+    SIAS_RETURN_NOT_OK(
+        indexes_[e.index].index->OnInsert(ctx, Slice(e.key)));
   }
   return Status::OK();
 }

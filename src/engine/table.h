@@ -1,11 +1,12 @@
 // Table: schema + multi-version heap + secondary indexes.
 //
-// Implements the paper's indexing scheme (§4.3): under SIAS, index records
-// are <key, VID> pairs — updates that do not change the key value require NO
-// index maintenance, and key updates add a single new entry while visibility
-// filters the stale one. Under classical SI, index records are <key, TID>
-// with one entry per tuple *version*, so every update inserts into every
-// index, exactly as a PostgreSQL non-HOT update would.
+// Indexes sit behind the SecondaryIndex interface (index/secondary_index.h):
+// the classical B+-tree of paper §4.3 — <key, TID> per version under SI,
+// <key, VID> per item under SIAS, visibility resolved through the heap — or
+// MV-PBT (index/mvpbt.h), whose version records answer visibility from the
+// index alone. The table feeds every attached index the same write events
+// and resolves probe hits against the heap only when the index could not
+// (IndexHit::visibility_resolved).
 #pragma once
 
 #include <functional>
@@ -14,7 +15,7 @@
 #include <vector>
 
 #include "engine/schema.h"
-#include "index/btree.h"
+#include "index/secondary_index.h"
 #include "mvcc/mvcc_table.h"
 
 namespace sias {
@@ -35,11 +36,12 @@ class Table {
   MvccTable* heap() { return heap_.get(); }
   VersionScheme scheme() const { return heap_->scheme(); }
 
-  /// Attaches a created BTree as index `index_id` (dense, 0-based).
-  void AttachIndex(std::string index_name, std::unique_ptr<BTree> tree,
+  /// Attaches a created index as index `index_id` (dense, 0-based).
+  void AttachIndex(std::string index_name,
+                   std::unique_ptr<SecondaryIndex> index,
                    KeyExtractor extractor);
   size_t num_indexes() const { return indexes_.size(); }
-  BTree* index(size_t i) { return indexes_[i].tree.get(); }
+  SecondaryIndex* index(size_t i) { return indexes_[i].index.get(); }
 
   Result<Vid> Insert(Transaction* txn, const Row& row);
   Status Update(Transaction* txn, Vid vid, const Row& new_row);
@@ -64,23 +66,52 @@ class Table {
   Status IndexRange(Transaction* txn, size_t index_id, Slice lo, Slice hi,
                     const RowCallback& cb);
 
+  /// Index-only range scan over [lo, hi): emits (key, vid) pairs of visible
+  /// items without materializing rows. On an index that resolves visibility
+  /// itself (MV-PBT) this touches no heap page; on a B+-tree every
+  /// candidate is resolved through the heap version chain, counted in
+  /// index.scan_heap_resolves — the HTAP bench's gated counter.
+  using KeyVidCallback = std::function<bool(Slice key, Vid vid)>;
+  Status IndexOnlyRange(Transaction* txn, size_t index_id, Slice lo,
+                        Slice hi, const KeyVidCallback& cb);
+
   /// Garbage collection of the heap (indexes clean lazily on lookup).
   Status GarbageCollect(Xid horizon, VirtualClock* clk, GcStats* stats);
+
+  /// Vacuum-driven index maintenance (MV-PBT partition flush/merge).
+  Status MaintainIndexes(Xid horizon, VirtualClock* clk);
 
   /// Rebuilds all indexes from the heap (recovery path; caller provides
   /// a quiescent transaction that sees all committed data).
   Status RebuildIndexes(Transaction* txn, VirtualClock* clk);
 
+  /// Backfills one freshly attached index from the rows `txn` sees (an
+  /// index created after the table was loaded starts empty).
+  Status PopulateIndex(Transaction* txn, size_t index_id, VirtualClock* clk);
+
  private:
   struct IndexDef {
     std::string name;
-    std::unique_ptr<BTree> tree;
+    std::unique_ptr<SecondaryIndex> index;
     KeyExtractor extractor;
   };
 
-  /// Resolves one index hit to a visible row (scheme-dependent).
+  /// Resolves one unresolved index hit to a visible row (scheme-dependent
+  /// heap dereference).
   Result<std::optional<std::pair<Vid, Row>>> ResolveIndexHit(
       Transaction* txn, uint64_t value, Slice key, const IndexDef& index);
+
+  /// Collects (index_id, key, tid, vid) for every row `txn` sees; used by
+  /// the rebuild/backfill paths (entries are posted after the heap scan so
+  /// index latches never nest inside heap page latches).
+  struct BackfillEntry {
+    size_t index;
+    std::string key;
+    Tid tid;
+    Vid vid;
+  };
+  Status CollectBackfill(Transaction* txn, const std::vector<size_t>& ids,
+                         std::vector<BackfillEntry>* out);
 
   std::string name_;
   Schema schema_;

@@ -54,8 +54,9 @@ Status CrashRunner::OpenDb() {
       db_->CreateTable(
           "kv", Schema{{"k", ColumnType::kInt64}, {"v", ColumnType::kString}},
           cfg_.scheme));
-  return db_->CreateIndex(table_, "kv_pk",
-                          [](const Row& r) { return IntKey(r.GetInt(0)); });
+  return db_->CreateIndex(
+      table_, "kv_pk", [](const Row& r) { return IntKey(r.GetInt(0)); },
+      cfg_.index_kind, cfg_.mvpbt);
 }
 
 namespace {

@@ -54,6 +54,15 @@ struct CrashConfig {
 
   int txns = 90;  ///< workload length (bounded; maintenance at fixed indices)
   int keys = 16;  ///< key-space size
+
+  /// Secondary-index implementation for "kv_pk". With kMvPbt the Vacuum
+  /// pass flushes the index buffer through the mvpbt.flush.* crash points,
+  /// so the matrix covers a power cut mid-partition-flush.
+  IndexKind index_kind = IndexKind::kBTree;
+  /// Small thresholds so the bounded workload actually reaches a flush (the
+  /// production defaults would never fill the buffer with `keys` items).
+  MvPbtOptions mvpbt{/*max_buffer_entries=*/32, /*vacuum_flush_min=*/1,
+                     /*max_partitions=*/2};
 };
 
 struct CrashReport {

@@ -69,6 +69,26 @@ class BTree {
   Status Range(Slice lo, Slice hi, VirtualClock* clk,
                const RangeCallback& cb);
 
+  /// One half-open scan interval for ScanMulti (empty `hi` = unbounded).
+  struct ScanRange {
+    std::string lo;
+    std::string hi;
+  };
+
+  /// Batched range scan: one resumable traversal per range under a single
+  /// shared tree latch, the Range() counterpart of LookupMulti. A scan that
+  /// needs a cold page submits the read (BufferPool::StartFetch) and
+  /// suspends; up to `io_depth` page reads stay in flight across scans, so
+  /// the descents and leaf walks of independent ranges overlap on the
+  /// device channels. The callback receives the originating range index and
+  /// runs under the tree + page latch (like Range's); returning false ends
+  /// that one range's scan. Per range, entries arrive exactly as Range()
+  /// would deliver them.
+  using ScanMultiCallback =
+      std::function<bool(size_t range, Slice key, uint64_t value)>;
+  Status ScanMulti(const std::vector<ScanRange>& ranges, size_t io_depth,
+                   VirtualClock* clk, const ScanMultiCallback& cb);
+
   /// Number of entries (maintained counter).
   uint64_t size() const;
 

@@ -24,10 +24,19 @@ class KeyBuilder {
     return *this;
   }
 
-  /// Raw bytes terminated by 0x00 so that prefixes order before extensions
-  /// (text fields must not contain NUL).
+  /// Arbitrary bytes, order-preserving. Content byte 0x00 is escaped to
+  /// 0x00 0xFF and the field is terminated by 0x00 0x00, so (a) a prefix
+  /// orders before its extensions (terminator 0x00 0x00 < any content
+  /// byte, including an escaped NUL's 0x00 0xFF), and (b) embedded zero
+  /// bytes keep memcmp order — the previous bare-0x00 terminator made
+  /// "a" and "a\0..." collide at the terminator position.
   KeyBuilder& AddString(Slice s) {
-    key_.append(reinterpret_cast<const char*>(s.data()), s.size());
+    for (size_t i = 0; i < s.size(); ++i) {
+      char c = static_cast<char>(s.data()[i]);
+      key_.push_back(c);
+      if (c == '\0') key_.push_back('\xff');
+    }
+    key_.push_back('\0');
     key_.push_back('\0');
     return *this;
   }

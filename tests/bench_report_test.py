@@ -125,6 +125,60 @@ class RatioGeqTest(unittest.TestCase):
         self.assertIn("missing", msg)
 
 
+class RatioLeqTest(unittest.TestCase):
+    """The degradation gate: label/base_label must stay under max_ratio."""
+
+    def check(self, check: dict[str, Any]) -> CheckResult:
+        return cast(CheckResult, bench_report.run_check(check, BENCHES))
+
+    def test_passes_under_bound(self) -> None:
+        # 36000/16000 = 2.25 <= 3.0.
+        ok, msg = self.check({
+            "type": "ratio_leq", "bench": "read_scaling",
+            "base_label": "read_scaling.SIAS-V.sync",
+            "label": "read_scaling.SIAS-V.d4",
+            "key": "reads_per_vsec", "max_ratio": 3.0})
+        self.assertTrue(ok, msg)
+
+    def test_fails_over_bound(self) -> None:
+        ok, msg = self.check({
+            "type": "ratio_leq", "bench": "read_scaling",
+            "base_label": "read_scaling.SIAS-V.sync",
+            "label": "read_scaling.SIAS-V.d4",
+            "key": "reads_per_vsec", "max_ratio": 2.0})
+        self.assertFalse(ok)
+        self.assertIn("ratio 2.2500", msg)
+        self.assertIn("<= 2.0", msg)
+
+    def test_zero_baseline_fails_cleanly(self) -> None:
+        ok, msg = self.check({
+            "type": "ratio_leq", "bench": "read_scaling",
+            "base_label": "read_scaling.SIAS-V.zero",
+            "label": "read_scaling.SIAS-V.d4",
+            "key": "reads_per_vsec", "max_ratio": 2.0})
+        self.assertFalse(ok)
+        self.assertIn("zero/missing", msg)
+
+    def test_missing_subject_key_fails_cleanly(self) -> None:
+        ok, msg = self.check({
+            "type": "ratio_leq", "bench": "read_scaling",
+            "base_label": "read_scaling.SIAS-V.sync",
+            "label": "read_scaling.SIAS-V.empty",
+            "key": "reads_per_vsec", "max_ratio": 2.0})
+        self.assertFalse(ok)
+        self.assertIn("missing", msg)
+
+    def test_missing_bound_field_is_malformed(self) -> None:
+        # No "max_ratio": the KeyError guard in check_baseline turns this
+        # into a FAIL; run_check itself raises.
+        with self.assertRaises(KeyError):
+            self.check({
+                "type": "ratio_leq", "bench": "read_scaling",
+                "base_label": "read_scaling.SIAS-V.sync",
+                "label": "read_scaling.SIAS-V.d4",
+                "key": "reads_per_vsec"})
+
+
 class ReductionGeqTest(unittest.TestCase):
     def test_zero_baseline_fails_cleanly(self) -> None:
         ok, msg = cast(CheckResult, bench_report.run_check({

@@ -93,6 +93,48 @@ INSTANTIATE_TEST_SUITE_P(
                                                                     : "_t1");
     });
 
+TEST(CrashMatrix, MvPbtPartitionFlushCuts) {
+  // With the MV-PBT index the Vacuum pass flushes the index buffer into an
+  // on-device partition; cutting power at each mvpbt.flush.* point (plus a
+  // torn variant of the page write) must recover with the suite green —
+  // the index is rebuilt from the heap and the half-written partition pages
+  // are simply never referenced again.
+  for (VersionScheme scheme :
+       {VersionScheme::kSi, VersionScheme::kSiasChains, VersionScheme::kSiasV}) {
+    CrashConfig base;
+    base.scheme = scheme;
+    base.seed = 0xC0FFEE;
+    base.index_kind = IndexKind::kMvPbt;
+
+    auto points = DiscoverCrashPoints(base);
+    ASSERT_TRUE(points.ok()) << points.status().ToString();
+    std::vector<std::string> mvpbt_points;
+    for (const std::string& p : *points) {
+      if (p.rfind("mvpbt.", 0) == 0) mvpbt_points.push_back(p);
+    }
+    ASSERT_GE(mvpbt_points.size(), 2u)
+        << "the Vacuum pass must reach the partition-flush crash points";
+
+    for (const std::string& point : mvpbt_points) {
+      for (bool tear : {false, true}) {
+        SCOPED_TRACE(SchemeTag(scheme) + " crash point: " + point +
+                     (tear ? " (torn)" : ""));
+        CrashConfig cfg = base;
+        cfg.crash_point = point;
+        cfg.tear = tear;
+        CrashRunner runner(cfg);
+        Status s = runner.RunWorkload();
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        ASSERT_TRUE(runner.report().crashed);
+        s = runner.ReopenAndRecover();
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        s = runner.CheckInvariants();
+        EXPECT_TRUE(s.ok()) << s.ToString();
+      }
+    }
+  }
+}
+
 TEST(CrashMatrix, TornPowerCutsRecoverToo) {
   // Sector-level tearing of the first dropped cached write: the WAL's CRC
   // framing must classify the torn block as a benign tail.

@@ -1,0 +1,115 @@
+// Order-preservation tests for the composite-key codec: encoded byte
+// strings must memcmp-order exactly as the field tuples order, across
+// signed integer boundaries and strings with embedded zero bytes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/key_codec.h"
+
+namespace sias {
+namespace {
+
+TEST(KeyCodecTest, IntOrderAcrossSignedBoundaries) {
+  const std::vector<int64_t> values = {
+      std::numeric_limits<int64_t>::min(),
+      std::numeric_limits<int64_t>::min() + 1,
+      -(1ll << 32) - 1,
+      -(1ll << 32),
+      -2,
+      -1,
+      0,
+      1,
+      2,
+      (1ll << 32) - 1,
+      (1ll << 32),
+      std::numeric_limits<int64_t>::max() - 1,
+      std::numeric_limits<int64_t>::max(),
+  };
+  for (size_t i = 0; i + 1 < values.size(); ++i) {
+    EXPECT_LT(IntKey(values[i]), IntKey(values[i + 1]))
+        << values[i] << " vs " << values[i + 1];
+  }
+}
+
+TEST(KeyCodecTest, StringOrderWithEmbeddedZeroBytes) {
+  // Tuple order of the raw strings (shorter-prefix-first, byte-wise),
+  // including empties and embedded/leading/trailing NULs.
+  const std::vector<std::string> values = {
+      std::string(),
+      std::string("\0", 1),
+      std::string("\0\0", 2),
+      std::string("\0a", 2),
+      std::string("a"),
+      std::string("a\0", 2),
+      std::string("a\0\0", 3),
+      std::string("a\0b", 3),
+      std::string("a\x01", 2),
+      std::string("ab"),
+      std::string("b"),
+  };
+  ASSERT_TRUE(std::is_sorted(values.begin(), values.end()));
+  for (size_t i = 0; i + 1 < values.size(); ++i) {
+    std::string a = KeyBuilder().AddString(values[i]).Take();
+    std::string b = KeyBuilder().AddString(values[i + 1]).Take();
+    EXPECT_LT(a, b) << "field " << i << " vs " << i + 1;
+  }
+}
+
+TEST(KeyCodecTest, PrefixOrdersBeforeExtension) {
+  // The terminator must sort below ANY continuation of the field —
+  // including a continuation that is itself an (escaped) zero byte.
+  EXPECT_LT(KeyBuilder().AddString("a").Take(),
+            KeyBuilder().AddString(std::string("a\0", 2)).Take());
+  EXPECT_LT(KeyBuilder().AddString("a").Take(),
+            KeyBuilder().AddString("ab").Take());
+}
+
+TEST(KeyCodecTest, CompositeFieldsCannotCollide) {
+  // The historical bug: a bare 0x00 terminator made ("a", "\0c") and
+  // ("a\0", "c") encode to the same bytes. With escaped NULs the encodings
+  // are distinct and ordered like the tuples: ("a", _) < ("a\0", _).
+  std::string t1 = KeyBuilder()
+                       .AddString("a")
+                       .AddString(std::string("\0c", 2))
+                       .Take();
+  std::string t2 = KeyBuilder()
+                       .AddString(std::string("a\0", 2))
+                       .AddString("c")
+                       .Take();
+  EXPECT_NE(t1, t2);
+  EXPECT_LT(t1, t2);
+}
+
+TEST(KeyCodecTest, CompositeIntStringOrder) {
+  struct Tuple {
+    int64_t a;
+    std::string b;
+    int64_t c;
+  };
+  // Tuple order with the middle string varying in length and content.
+  const std::vector<Tuple> tuples = {
+      {-5, "x", 9},  {-5, "x", 10}, {-5, std::string("x\0", 2), 0},
+      {-5, "xa", 0}, {0, "", 0},    {0, "", 1},
+      {0, "a", -7},  {3, "", 0},
+  };
+  for (size_t i = 0; i + 1 < tuples.size(); ++i) {
+    std::string a = KeyBuilder()
+                        .AddInt(tuples[i].a)
+                        .AddString(tuples[i].b)
+                        .AddInt(tuples[i].c)
+                        .Take();
+    std::string b = KeyBuilder()
+                        .AddInt(tuples[i + 1].a)
+                        .AddString(tuples[i + 1].b)
+                        .AddInt(tuples[i + 1].c)
+                        .Take();
+    EXPECT_LT(a, b) << "tuple " << i << " vs " << i + 1;
+  }
+}
+
+}  // namespace
+}  // namespace sias
